@@ -1,0 +1,48 @@
+// Ablation: confidence sweep from baseline (0) to fully directed (1).
+//
+// The paper frames confidence as the knob between the stochastic baseline
+// and near-gradient-descent behavior (section 3).  This sweep locates the
+// regime where the FFT expert hints help most and verifies the endpoints:
+// confidence 0 == baseline; confidence 1 never freezes the search.
+
+#include <cstdio>
+#include <iostream>
+
+#include "fft/fft_generator.hpp"
+#include "fig_common.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== Ablation: confidence sweep (FFT, minimize LUTs) ==");
+    const fft::FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), /*measure_snr=*/false};
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    const double best = ds.best(Metric::area_luts, Direction::minimize);
+    std::printf("dataset optimum: %.0f LUTs\n\n", best);
+
+    const exp::Query query =
+        exp::Query::simple("min-luts", Metric::area_luts, Direction::minimize);
+
+    exp::Experiment e{gen, query, bench::paper_config(30)};
+    e.use_dataset(ds);
+    for (double conf : {0.0, 0.2, 0.45, 0.6, 0.8, 0.95, 1.0}) {
+        char label[32];
+        std::snprintf(label, sizeof label, "conf=%.2f", conf);
+        e.add_engine({label, GuidanceLevel::custom, std::nullopt, conf});
+    }
+
+    bench::FigureReport report{e.run()};
+    std::printf("  %-12s %-22s %-20s\n", "confidence", "evals to optimum+5%",
+                "final best (mean)");
+    for (const auto& er : report.result.engines) {
+        const auto conv = er.curve.evals_to_reach(best * 1.05);
+        std::printf("  %-12s %8.1f (%zu/%zu runs)    %8.1f LUTs\n", er.spec.label.c_str(),
+                    conv.mean_evals, conv.reached, conv.runs, er.curve.mean_final_best());
+    }
+    std::puts("\nexpected: a sweet spot at moderate-high confidence; conf=1.0 remains\n"
+              "functional (stochastic floor, paper footnote 1) but can lose endgame\n"
+              "diversity; conf=0 reproduces the baseline exactly.");
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: contribution of each hint class in isolation.
+//
+// The paper proposes a taxonomy of hints (importance, importance decay,
+// bias, target) but evaluates them combined.  This ablation runs the FFT
+// min-LUTs query with each class enabled alone, quantifying what each
+// mechanism buys over the baseline.
+
+#include <cstdio>
+#include <iostream>
+
+#include "fft/fft_generator.hpp"
+#include "fig_common.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+namespace {
+
+// Author hints restricted to a single hint class.
+HintSet only_class(const HintSet& full, const std::string& klass)
+{
+    HintSet out = full;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        ParamHints& h = out.param(i);
+        const ParamHints original = h;
+        h = ParamHints{};
+        if (klass == "importance") {
+            h.importance = original.importance;
+        }
+        else if (klass == "importance+decay") {
+            h.importance = original.importance;
+            h.importance_decay = original.importance_decay;
+        }
+        else if (klass == "bias") {
+            h.bias = original.bias;
+        }
+        else if (klass == "target") {
+            h.target = original.target;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main()
+{
+    std::puts("== Ablation: hint classes in isolation (FFT, minimize LUTs) ==");
+    const fft::FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), /*measure_snr=*/false};
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    const double best = ds.best(Metric::area_luts, Direction::minimize);
+
+    const exp::Query query =
+        exp::Query::simple("min-luts", Metric::area_luts, Direction::minimize);
+    const HintSet full = exp::query_hints(gen, query);
+
+    exp::Experiment e{gen, query, bench::paper_config(30)};
+    e.use_dataset(ds);
+    e.add_engine({"baseline", GuidanceLevel::none, std::nullopt, std::nullopt});
+    e.add_engine({"importance-only", GuidanceLevel::strong, only_class(full, "importance"),
+                  std::nullopt});
+    e.add_engine({"imp+decay", GuidanceLevel::strong,
+                  only_class(full, "importance+decay"), std::nullopt});
+    e.add_engine({"bias-only", GuidanceLevel::strong, only_class(full, "bias"),
+                  std::nullopt});
+    e.add_engine({"all-hints", GuidanceLevel::strong, std::nullopt, std::nullopt});
+
+    bench::FigureReport report{e.run()};
+    std::puts("");
+    report.print_speedups(best * 1.05, "within 5% of the optimum");
+    std::puts("");
+    report.print_speedups(best * 1.5, "within 1.5x of the optimum");
+    std::puts("");
+    for (const auto& er : report.result.engines)
+        std::printf("  %-18s final best (mean): %8.1f LUTs\n", er.spec.label.c_str(),
+                    er.curve.mean_final_best());
+    std::puts("\nexpected: bias drives most of the gain on this monotone query;\n"
+              "importance alone helps less; decay recovers the endgame losses of\n"
+              "importance-only focusing.");
+    return 0;
+}

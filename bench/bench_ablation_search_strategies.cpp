@@ -1,0 +1,104 @@
+// Ablation: search strategies under the same budget and cost accounting.
+//
+// The paper's related work places GAs among stochastic DSE methods
+// (simulated annealing in physical design, Monte Carlo methods in HLS).
+// This bench compares, on the FFT min-LUTs query with identical distinct-
+// evaluation budgets: random sampling, hill climbing, simulated annealing,
+// the baseline GA, and guided variants of each (the hint machinery plugs
+// into every engine's proposal distribution).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/local_search.hpp"
+#include "core/random_search.hpp"
+#include "exp/experiment.hpp"
+#include "fft/fft_generator.hpp"
+#include "fig_common.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== Ablation: search strategies (FFT, minimize LUTs, equal budgets) ==");
+    const fft::FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), /*measure_snr=*/false};
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    const double best = ds.best(Metric::area_luts, Direction::minimize);
+    const EvalFn eval = ds.lookup_eval(Metric::area_luts);
+    constexpr std::size_t budget = 400;
+    constexpr std::size_t runs = 30;
+
+    const exp::Query query =
+        exp::Query::simple("min-luts", Metric::area_luts, Direction::minimize);
+    HintSet guided = exp::query_hints(gen, query);
+    guided.set_confidence(guidance_confidence(GuidanceLevel::strong, 0.0));
+    const HintSet none = HintSet::none(gen.space());
+
+    struct Row {
+        const char* name;
+        MultiRunCurve curve;
+    };
+    std::vector<Row> rows;
+
+    {
+        RandomSearchConfig rc;
+        rc.max_distinct_evals = budget;
+        rows.push_back(
+            {"random", RandomSearch{gen.space(), rc, Direction::minimize, eval}.run_many(
+                           runs)});
+    }
+    {
+        HillClimbConfig hc;
+        hc.max_distinct_evals = budget;
+        rows.push_back({"hill-climb",
+                        HillClimber{gen.space(), hc, Direction::minimize, eval, none}
+                            .run_many(runs)});
+        rows.push_back({"hill-climb+hints",
+                        HillClimber{gen.space(), hc, Direction::minimize, eval, guided}
+                            .run_many(runs)});
+    }
+    {
+        AnnealingConfig ac;
+        ac.max_distinct_evals = budget;
+        rows.push_back(
+            {"sim-anneal",
+             SimulatedAnnealing{gen.space(), ac, Direction::minimize, eval, none}.run_many(
+                 runs)});
+        rows.push_back({"sim-anneal+hints",
+                        SimulatedAnnealing{gen.space(), ac, Direction::minimize, eval,
+                                           guided}
+                            .run_many(runs)});
+    }
+    {
+        GaConfig cfg;
+        cfg.seed = 2015;
+        const GaEngine base{gen.space(), cfg, Direction::minimize, eval, none};
+        const GaEngine strong{gen.space(), cfg, Direction::minimize, eval, guided};
+        rows.push_back({"ga-baseline", base.run_many(runs)});
+        rows.push_back({"ga+hints (nautilus)", strong.run_many(runs)});
+    }
+
+    std::printf("\n  %-22s %-24s %-24s %-12s\n", "strategy", "evals to optimum+5%",
+                "evals to optimum+50%", "final best");
+    for (const Row& row : rows) {
+        const auto tight = row.curve.evals_to_reach(best * 1.05);
+        const auto loose = row.curve.evals_to_reach(best * 1.5);
+        auto fmt = [](const MultiRunCurve::Convergence& c) {
+            char buf[40];
+            if (c.reached == 0)
+                std::snprintf(buf, sizeof buf, "never (0/%zu)", c.runs);
+            else
+                std::snprintf(buf, sizeof buf, "%7.1f (%zu/%zu)", c.mean_evals, c.reached,
+                              c.runs);
+            return std::string(buf);
+        };
+        std::printf("  %-22s %-24s %-24s %8.1f\n", row.name, fmt(tight).c_str(),
+                    fmt(loose).c_str(), row.curve.mean_final_best());
+    }
+    std::puts("\nexpected: every structured strategy beats random sampling; hints\n"
+              "accelerate each strategy they plug into, and the guided GA is the\n"
+              "most reliable at the tight threshold (population diversity protects\n"
+              "the endgame where single-trajectory methods stall).");
+    return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark): cost of the engine's inner loops.
+//
+// In the paper's setting one fitness evaluation is minutes-to-hours of EDA
+// runtime, so the GA's own cost is negligible.  These benchmarks document
+// that property for our virtual flow: operator and model costs per design
+// point, to be compared against real synthesis times.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ga.hpp"
+#include "core/nautilus.hpp"
+#include "fft/fft_generator.hpp"
+#include "fft/fft_kernel.hpp"
+#include "noc/router_generator.hpp"
+
+using namespace nautilus;
+
+namespace {
+
+ParameterSpace bench_space()
+{
+    ParameterSpace space;
+    for (int i = 0; i < 9; ++i)
+        space.add("p" + std::to_string(i), ParamDomain::int_range(0, 7));
+    return space;
+}
+
+void bm_genome_random(benchmark::State& state)
+{
+    const auto space = bench_space();
+    Rng rng{1};
+    for (auto _ : state) benchmark::DoNotOptimize(Genome::random(space, rng));
+}
+BENCHMARK(bm_genome_random);
+
+void bm_mutation_baseline(benchmark::State& state)
+{
+    const auto space = bench_space();
+    const HintSet hints = HintSet::none(space);
+    MutationContext ctx;
+    ctx.space = &space;
+    ctx.hints = &hints;
+    ctx.mutation_rate = 0.1;
+    Rng rng{2};
+    Genome g = Genome::random(space, rng);
+    for (auto _ : state) benchmark::DoNotOptimize(mutate(g, ctx, rng));
+}
+BENCHMARK(bm_mutation_baseline);
+
+void bm_mutation_guided(benchmark::State& state)
+{
+    const auto space = bench_space();
+    HintSet hints = HintSet::none(space);
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        hints.param(i).importance = 10.0 + static_cast<double>(i) * 10.0;
+        hints.param(i).bias = 0.5;
+    }
+    hints.set_confidence(0.8);
+    MutationContext ctx;
+    ctx.space = &space;
+    ctx.hints = &hints;
+    ctx.mutation_rate = 0.1;
+    Rng rng{3};
+    Genome g = Genome::random(space, rng);
+    for (auto _ : state) benchmark::DoNotOptimize(mutate(g, ctx, rng));
+}
+BENCHMARK(bm_mutation_guided);
+
+void bm_crossover(benchmark::State& state)
+{
+    const auto space = bench_space();
+    Rng rng{4};
+    const Genome a = Genome::random(space, rng);
+    const Genome b = Genome::random(space, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crossover(a, b, CrossoverKind::single_point, rng));
+}
+BENCHMARK(bm_crossover);
+
+void bm_router_evaluate(benchmark::State& state)
+{
+    const noc::RouterGenerator gen;
+    Rng rng{5};
+    const Genome g = Genome::random(gen.space(), rng);
+    for (auto _ : state) benchmark::DoNotOptimize(gen.evaluate(g));
+}
+BENCHMARK(bm_router_evaluate);
+
+void bm_fft_evaluate_no_snr(benchmark::State& state)
+{
+    const fft::FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), false};
+    const Genome g = Genome::zeros(gen.space());
+    for (auto _ : state) benchmark::DoNotOptimize(gen.evaluate(g));
+}
+BENCHMARK(bm_fft_evaluate_no_snr);
+
+void bm_fixed_fft_256(benchmark::State& state)
+{
+    fft::FixedFftConfig cfg;
+    cfg.n = 256;
+    cfg.data_width = 16;
+    cfg.twiddle_width = 16;
+    cfg.scaling = fft::ScalingMode::per_stage;
+    Rng rng{6};
+    std::vector<std::complex<double>> input(256);
+    for (auto& v : input) v = {rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4)};
+    for (auto _ : state) benchmark::DoNotOptimize(fft::fft_fixed(cfg, input));
+}
+BENCHMARK(bm_fixed_fft_256);
+
+void bm_full_ga_run(benchmark::State& state)
+{
+    const auto space = bench_space();
+    const EvalFn eval = [](const Genome& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+        return Evaluation{true, v};
+    };
+    GaConfig cfg;
+    cfg.generations = 80;
+    const GaEngine engine{space, cfg, Direction::maximize, eval, HintSet::none(space)};
+    std::uint64_t seed = 1;
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(seed++));
+}
+BENCHMARK(bm_full_ga_run);
+
+}  // namespace
+
+BENCHMARK_MAIN();

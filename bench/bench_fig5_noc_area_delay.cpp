@@ -1,0 +1,49 @@
+// Figure 5: minimizing the area-delay product (clock period x LUTs) in the
+// NoC design space, first 20 generations.
+//
+// This query merges hints: frequency-related hints plus "importance and bias
+// of IP parameters that affect area, such as virtual-channel buffer depth"
+// (paper section 4.2).  Hints are non-expert estimates, as in Fig. 4.
+
+#include "core/hint_estimator.hpp"
+#include "fig_common.hpp"
+#include "noc/router_generator.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== Figure 5: NoC, minimize area-delay product (20 generations) ==");
+    const noc::RouterGenerator gen;
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    const double best = ds.best(Metric::area_delay_product, Direction::minimize);
+    std::printf("dataset: %zu designs, best area-delay product %.0f ns*LUTs\n\n", ds.size(),
+                best);
+
+    // Non-expert estimate directly on the composite metric.
+    const HintEstimator estimator;
+    const HintSet estimated = [&] {
+        HintSet h = estimator.estimate(gen.space(),
+                                       gen.metric_eval(Metric::area_delay_product));
+        return h.negated_bias();  // fold for the minimize query
+    }();
+
+    const exp::Query query = exp::Query::simple(
+        "NoC: Minimize Area-Delay Product", Metric::area_delay_product, Direction::minimize);
+    exp::Experiment e{gen, query, bench::paper_config(40, 20)};
+    e.use_dataset(ds);
+    e.add_engine({"baseline", GuidanceLevel::none, std::nullopt, std::nullopt});
+    e.add_engine({"nautilus", GuidanceLevel::strong, estimated, std::nullopt});
+
+    bench::FigureReport report{e.run()};
+    report.result.print(std::cout);
+    std::puts("");
+    // 20 generations reach the good-but-not-optimal regime; report the
+    // quality levels the mean curves actually traverse (as Fig. 5 does).
+    report.print_speedups(best * 1.15, "within 15% of the best area-delay product");
+    report.print_speedups(best * 1.30, "within 30% of the best area-delay product");
+    std::puts("\npaper: Nautilus achieves similar quality with about half the synthesis"
+              "\nruns required by the baseline within the first 20 generations.");
+    return 0;
+}

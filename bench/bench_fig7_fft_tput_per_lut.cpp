@@ -1,0 +1,46 @@
+// Figure 7: maximizing throughput per LUT (MSPS/LUT) in the FFT space.
+//
+// A composite-metric query: the expert hints include a *target* hint on the
+// streaming width (efficiency peaks at moderate parallelism) plus bias hints
+// on the datapath widths.  The paper reports the largest speedup here
+// (strong Nautilus reaches 1.45 MSPS/LUT >8x faster; the baseline never
+// reaches 1.5).
+
+#include "fft/fft_generator.hpp"
+#include "fig_common.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== Figure 7: FFT, maximize throughput per LUT (expert-guided) ==");
+    const fft::FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), /*measure_snr=*/false};
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    const double best = ds.best(Metric::throughput_per_lut, Direction::maximize);
+    std::printf("dataset: %zu designs, best efficiency %.3f MSPS/LUT (paper: >1.5)\n",
+                ds.size(), best);
+    std::printf(
+        "best design: %s\n\n",
+        fft::decode_fft(gen.space(),
+                        ds.best_entry(Metric::throughput_per_lut, Direction::maximize).genome)
+            .to_string()
+            .c_str());
+
+    const exp::Query query = exp::Query::simple(
+        "FFT: Maximize Throughput per LUT", Metric::throughput_per_lut, Direction::maximize);
+    exp::Experiment e{gen, query, bench::paper_config()};
+    e.use_dataset(ds);
+    e.add_standard_engines();
+
+    bench::FigureReport report{e.run()};
+    report.result.print(std::cout);
+    std::puts("");
+    // The paper's two reference levels, scaled to our dataset's optimum: the
+    // paper reads 1.45 and 1.5 MSPS/LUT off a ~1.7 peak.
+    report.print_speedups(best * 0.85, "85% of the best efficiency (paper's 1.45 level)");
+    report.print_speedups(best * 0.92, "92% of the best efficiency (paper's 1.5 level)");
+    std::puts("\npaper: strong Nautilus reaches 1.45 MSPS/LUT in 61.6 evals vs baseline"
+              "\n501.4 (>8x); only Nautilus ever exceeds 1.5 MSPS/LUT.");
+    return 0;
+}

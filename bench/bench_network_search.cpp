@@ -1,0 +1,115 @@
+// Extension: guided search over the whole-network space.
+//
+// Exercises the pieces the router/FFT queries do not: an *unordered*
+// categorical parameter (topology family) steered purely by importance
+// hints, measured traffic metrics (zero-load latency from explicit-graph
+// routing), and a constrained query ("minimize latency within an area
+// budget", the paper's fitness-constraint device).
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/constraint.hpp"
+#include "fig_common.hpp"
+#include "noc/network_generator.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== Extension: guided search over 64-endpoint networks ==");
+    const noc::NetworkGenerator gen;
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    std::printf("space: %zu configurations across %d topology families\n\n", ds.size(),
+                noc::k_topology_count);
+
+    // Query 1: minimize zero-load latency, unconstrained.
+    {
+        const exp::Query q =
+            exp::Query::simple("min-latency", Metric::latency_ns, Direction::minimize);
+        exp::Experiment e{gen, q, bench::paper_config(30, 40)};
+        e.use_dataset(ds);
+        e.add_standard_engines();
+        const auto r = e.run();
+        const double best = ds.best(Metric::latency_ns, Direction::minimize);
+        std::printf("min zero-load latency (dataset best %.1f ns):\n", best);
+        r.print_convergence(std::cout, best * 1.05, "within 5% of the best latency");
+        for (const auto& er : r.engines)
+            std::printf("    %-18s final best %.1f ns\n", er.spec.label.c_str(),
+                        er.curve.mean_final_best());
+    }
+
+    // Query 2: the same under an area budget that excludes the fat tree's
+    // wide-flit corner.
+    {
+        const std::vector<exp::Constraint> budget{
+            {Metric::area_mm2, exp::Constraint::Bound::upper, 20.0}};
+        const double rate = exp::constraint_satisfaction_rate(ds, budget);
+        std::printf("\nmin latency with area <= 20 mm^2 (%.0f%% of the space"
+                    " qualifies):\n",
+                    rate * 100.0);
+        const EvalFn eval = exp::constrained_eval(gen, Metric::latency_ns,
+                                                  Direction::minimize, budget,
+                                                  exp::ConstraintMode::hard);
+        const exp::Query q =
+            exp::Query::simple("min-latency-budget", Metric::latency_ns,
+                               Direction::minimize);
+        HintSet hints = exp::query_hints(gen, q);
+        hints.set_confidence(guidance_confidence(GuidanceLevel::strong, 0.0));
+
+        GaConfig cfg;
+        cfg.generations = 40;
+        cfg.seed = 2015;
+        const GaEngine baseline{gen.space(), cfg, Direction::minimize, eval,
+                                HintSet::none(gen.space())};
+        const GaEngine guided{gen.space(), cfg, Direction::minimize, eval, hints};
+        const auto base = baseline.run_many(30);
+        const auto strong = guided.run_many(30);
+        std::printf("    %-18s final best %.1f ns\n", "baseline", base.mean_final_best());
+        std::printf("    %-18s final best %.1f ns\n", "nautilus-strong",
+                    strong.mean_final_best());
+
+        // Show a winning design.
+        const RunResult one = guided.run(7);
+        const noc::NetworkConfig win = gen.decode(one.best_genome);
+        const auto mv = gen.evaluate(one.best_genome);
+        std::printf("    winner: %s, flit %d, %.1f ns at %.1f mm^2 (%zu evals)\n",
+                    noc::topology_name(win.topology.kind), win.router.flit_width,
+                    mv.get(Metric::latency_ns), mv.get(Metric::area_mm2),
+                    one.distinct_evals);
+    }
+
+    // Query 3: saturation throughput is a pure topology property -- the
+    // importance-only hint on the unordered family parameter should find the
+    // fat tree quickly.
+    {
+        const exp::Query q = exp::Query::simple(
+            "max-saturation", Metric::saturation_injection, Direction::maximize);
+        exp::Experiment e{gen, q, bench::paper_config(30, 25)};
+        e.use_dataset(ds);
+        e.add_engine({"baseline", GuidanceLevel::none, std::nullopt, std::nullopt});
+        e.add_engine({"nautilus-strong", GuidanceLevel::strong, std::nullopt,
+                      std::nullopt});
+        const auto r = e.run();
+        const double best = ds.best(Metric::saturation_injection, Direction::maximize);
+        std::printf("\nmax saturation injection (best %.3f flits/cyc/node):\n", best);
+        r.print_convergence(std::cout, best, "the best saturation");
+    }
+
+    // Latency-vs-offered-load curves (M/D/1 queueing on the measured
+    // channel loads) -- the classic NoC characterization plot.
+    std::puts("\nlatency vs offered load (cycles; 512-bit packets, 64-bit flits,"
+              " 2-stage routers):");
+    std::printf("  %-18s", "injection ->");
+    for (int i = 0; i < 6; ++i) std::printf("%8.0f%%", 98.0 * i / 5.0);
+    std::puts("  (of each family's own saturation)");
+    for (int k = 0; k < noc::k_topology_count; ++k) {
+        const auto kind = static_cast<noc::TopologyKind>(k);
+        const auto curve = load_latency_curve(gen.traffic(kind), 2, 512, 64, 6);
+        std::printf("  %-18s", noc::topology_name(kind));
+        for (const auto& p : curve) std::printf("%9.1f", p.latency_cycles);
+        std::puts("");
+    }
+    return 0;
+}

@@ -1,0 +1,160 @@
+// Extension: tracing a Pareto front with repeated guided queries.
+//
+// The paper's related work (Zuluaga et al., Knowles) models the full
+// Pareto-optimal set; Nautilus instead answers one query at a time.  This
+// bench shows the middle path the paper implies: sweep the weight of a
+// weighted-sum objective across several guided queries and measure how much
+// of the true area/throughput front the collected results cover -- at a
+// fraction of the evaluations full enumeration needs.
+
+#include <cstdio>
+#include <iostream>
+#include <unordered_set>
+
+#include "core/ga.hpp"
+#include "core/nautilus.hpp"
+#include "core/nsga2.hpp"
+#include "core/pareto.hpp"
+#include "exp/query.hpp"
+#include "fft/fft_generator.hpp"
+#include "ip/dataset.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== Extension: Pareto front sweep (FFT, LUTs vs throughput) ==");
+    const fft::FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), /*measure_snr=*/false};
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+
+    const std::vector<Direction> dirs{Direction::minimize, Direction::maximize};
+
+    // Ground truth: the dataset's true front.
+    std::vector<ObjectivePoint> all;
+    all.reserve(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const auto& e = ds.entry(i);
+        if (!e.values.feasible) continue;
+        all.push_back({i,
+                       {e.values.get(Metric::area_luts),
+                        e.values.get(Metric::throughput_msps)}});
+    }
+    const auto true_front_idx = pareto_front(all, dirs);
+    std::vector<ObjectivePoint> true_front;
+    for (std::size_t i : true_front_idx) true_front.push_back(all[i]);
+    std::printf("true front: %zu of %zu feasible points (full enumeration cost: %zu)\n\n",
+                true_front.size(), all.size(), ds.size());
+
+    // Weighted-sum sweep with guided GA queries.
+    const double lut_scale = ds.best(Metric::area_luts, Direction::maximize);
+    const double tput_scale = ds.best(Metric::throughput_msps, Direction::maximize);
+    const HintSet area_hints =
+        exp::query_hints(gen, exp::Query::simple("a", Metric::area_luts,
+                                                 Direction::minimize));
+    const HintSet tput_hints =
+        exp::query_hints(gen, exp::Query::simple("t", Metric::throughput_msps,
+                                                 Direction::maximize));
+
+    std::vector<ObjectivePoint> found;
+    std::unordered_set<std::uint64_t> found_keys;
+    std::size_t total_evals = 0;
+
+    const EvalFn lut_eval = ds.lookup_eval(Metric::area_luts);
+    const EvalFn tput_eval = ds.lookup_eval(Metric::throughput_msps);
+
+    for (double w_area : {0.0, 0.15, 0.3, 0.5, 0.7, 0.85, 1.0}) {
+        const double w_tput = 1.0 - w_area;
+        // Scalarized objective over the dataset metrics.
+        const EvalFn eval = [&](const Genome& g) -> Evaluation {
+            const Evaluation a = lut_eval(g);
+            const Evaluation t = tput_eval(g);
+            if (!a.feasible || !t.feasible) return {false, 0.0};
+            const ObjectivePoint p{0, {a.value, t.value}};
+            const std::vector<double> weights{w_area, w_tput};
+            const std::vector<double> scales{lut_scale, tput_scale};
+            return {true, weighted_sum(p, dirs, weights, scales)};
+        };
+        // Merge hints with the same weights.
+        const std::vector<WeightedHintSet> parts{{&area_hints, w_area + 0.01},
+                                                 {&tput_hints, w_tput + 0.01}};
+        HintSet hints = merge_hints(parts);
+        hints.set_confidence(guidance_confidence(GuidanceLevel::strong, 0.0));
+
+        GaConfig cfg;
+        cfg.generations = 40;
+        cfg.seed = 17 + static_cast<std::uint64_t>(w_area * 100);
+        const GaEngine engine{gen.space(), cfg, Direction::maximize, eval, hints};
+        const RunResult r = engine.run();
+        total_evals += r.distinct_evals;
+
+        // Collect the run's best genome plus everything on its curve.
+        const auto& e = ds.entry(r.best_genome.to_rank(gen.space()));
+        if (e.values.feasible && found_keys.insert(r.best_genome.key()).second) {
+            found.push_back({0,
+                             {e.values.get(Metric::area_luts),
+                              e.values.get(Metric::throughput_msps)}});
+        }
+        std::printf("  w_area=%.2f: best %6.0f LUTs / %6.0f MSPS  (%3zu evals)\n", w_area,
+                    e.values.get(Metric::area_luts),
+                    e.values.get(Metric::throughput_msps), r.distinct_evals);
+    }
+
+    const auto approx_front_idx = pareto_front(found, dirs);
+    std::vector<ObjectivePoint> approx_front;
+    for (std::size_t i : approx_front_idx) approx_front.push_back(found[i]);
+
+    const ObjectivePoint reference{0, {lut_scale * 1.01, 0.0}};
+    const double hv_true = hypervolume_2d(true_front, dirs, reference);
+    const double hv_approx = hypervolume_2d(approx_front, dirs, reference);
+
+    std::printf("\nweighted-sum sweep after %zu total evaluations (%.1f%% of"
+                " enumeration):\n",
+                total_evals, 100.0 * static_cast<double>(total_evals) /
+                                 static_cast<double>(ds.size()));
+    std::printf("  hypervolume:   %.3g of %.3g (%.1f%% of the true front)\n", hv_approx,
+                hv_true, 100.0 * hv_approx / hv_true);
+    std::printf("  coverage:      %.1f%% of true-front points dominated or matched\n",
+                100.0 * front_coverage(approx_front, true_front, dirs));
+
+    // --- Native multi-objective search: hint-aware NSGA-II -----------------
+    const MultiEvalFn mo_eval =
+        [&](const Genome& g) -> std::optional<std::vector<double>> {
+        const Evaluation a = lut_eval(g);
+        const Evaluation t = tput_eval(g);
+        if (!a.feasible || !t.feasible) return std::nullopt;
+        return std::vector<double>{a.value, t.value};
+    };
+    // Importance-only hints (no directional bias: the objectives conflict).
+    HintSet mo_hints = HintSet::none(gen.space());
+    for (std::size_t i = 0; i < gen.space().size(); ++i) {
+        const double a_imp = area_hints.param(i).importance;
+        const double t_imp = tput_hints.param(i).importance;
+        mo_hints.param(i).importance = std::max(a_imp, t_imp);
+    }
+    mo_hints.set_confidence(0.5);
+
+    MultiObjectiveConfig mo_cfg;
+    mo_cfg.population_size = 24;
+    mo_cfg.generations = 50;
+    mo_cfg.seed = 23;
+    const Nsga2Engine nsga2{gen.space(), mo_cfg, {dirs[0], dirs[1]}, mo_eval, mo_hints};
+    const MultiObjectiveResult mo = nsga2.run();
+
+    std::vector<ObjectivePoint> nsga_front;
+    for (const auto& p : mo.front) nsga_front.push_back({0, p.values});
+    const double hv_nsga = hypervolume_2d(nsga_front, dirs, reference);
+
+    std::printf("\nNSGA-II (hint-aware) after %zu evaluations (%.1f%% of enumeration):\n",
+                mo.distinct_evals, 100.0 * static_cast<double>(mo.distinct_evals) /
+                                       static_cast<double>(ds.size()));
+    std::printf("  front size:    %zu points\n", mo.front.size());
+    std::printf("  hypervolume:   %.3g (%.1f%% of the true front)\n", hv_nsga,
+                100.0 * hv_nsga / hv_true);
+    std::printf("  coverage:      %.1f%% of true-front points dominated or matched\n",
+                100.0 * front_coverage(nsga_front, true_front, dirs));
+    std::puts("\nexpected: NSGA-II covers many more distinct front points than the\n"
+              "weighted-sum sweep (which collapses onto knee points), at comparable\n"
+              "hypervolume and evaluation cost.");
+    return 0;
+}

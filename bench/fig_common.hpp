@@ -1,0 +1,40 @@
+#pragma once
+// Shared plumbing for the Figure 4-7 benches: run a baseline-vs-Nautilus
+// experiment against an offline dataset with the paper's configuration and
+// print the standard report.
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+
+#include "exp/experiment.hpp"
+#include "ip/dataset.hpp"
+
+namespace nautilus::bench {
+
+inline exp::ExperimentConfig paper_config(std::size_t runs = 40, std::size_t gens = 80)
+{
+    exp::ExperimentConfig cfg;
+    cfg.runs = runs;          // paper: averaged over 40 runs
+    cfg.ga.generations = gens;  // paper: 80 generations (Fig. 5 shows 20)
+    cfg.ga.seed = 2015;
+    return cfg;
+}
+
+struct FigureReport {
+    exp::ExperimentResult result;
+
+    void print_speedups(double threshold, const std::string& label) const
+    {
+        result.print_convergence(std::cout, threshold, label);
+        const auto& baseline = result.engines.front().curve;
+        for (std::size_t i = 1; i < result.engines.size(); ++i) {
+            const auto s = speedup_at_threshold(baseline, result.engines[i].curve, threshold);
+            if (s)
+                std::printf("    per-run speedup %s vs baseline: %.2fx\n",
+                            result.engines[i].spec.label.c_str(), *s);
+        }
+    }
+};
+
+}  // namespace nautilus::bench

@@ -1,0 +1,139 @@
+// Author-side integration: packaging hints with a custom IP generator.
+//
+// Implements a small "crossbar switch" IP generator with author hints for
+// two metrics, shows composite-metric hint merging, and compares the
+// author's hints against what a non-expert would estimate from samples --
+// the two hint-provenance modes of the paper's evaluation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/hint_estimator.hpp"
+#include "exp/experiment.hpp"
+#include "ip/ip_generator.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+namespace {
+
+// A parameterized crossbar generator with an analytic cost model.
+class CrossbarGenerator final : public ip::IpGenerator {
+public:
+    CrossbarGenerator()
+    {
+        space_.add("ports", ParamDomain::int_range(2, 16), "endpoints switched");
+        space_.add("width", ParamDomain::pow2(3, 8), "datapath bits");
+        space_.add("registered", ParamDomain::boolean(), "register the outputs");
+        space_.add("arbiter", ParamDomain::categorical({"fixed", "rr", "matrix"}, true),
+                   "arbitration scheme (ordered by cost)");
+    }
+
+    std::string name() const override { return "crossbar"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<Metric> metrics() const override
+    {
+        return {Metric::area_luts, Metric::freq_mhz};
+    }
+    ip::MetricValues evaluate(const Genome& g) const override
+    {
+        const double p = g.numeric_value(space_, 0);
+        const double w = g.numeric_value(space_, 1);
+        const bool registered = g.gene(2) == 1;
+        const double arb = 1.0 + 0.4 * g.gene(3);
+        ip::MetricValues mv;
+        mv.set(Metric::area_luts, p * p * w * 0.4 * arb + (registered ? p * w : 0.0));
+        const double depth = 2.0 + std::log2(p) + 0.5 * g.gene(3);
+        mv.set(Metric::freq_mhz, 1000.0 / (1.0 + depth * (registered ? 0.45 : 0.8)));
+        return mv;
+    }
+
+    // The author knows the model: quadratic port cost, linear width cost.
+    HintSet author_hints(Metric m) const override
+    {
+        HintSet h = HintSet::none(space_);
+        if (m == Metric::area_luts) {
+            h.param(0).importance = 95.0;
+            h.param(0).bias = 0.9;
+            h.param(1).importance = 70.0;
+            h.param(1).bias = 0.7;
+            h.param(3).importance = 30.0;
+            h.param(3).bias = 0.4;
+        }
+        if (m == Metric::freq_mhz) {
+            h.param(2).importance = 80.0;
+            h.param(2).bias = 0.8;  // registering outputs speeds the clock
+            h.param(0).importance = 60.0;
+            h.param(0).bias = -0.5;
+            h.param(3).importance = 30.0;
+            h.param(3).bias = -0.4;
+        }
+        return h;
+    }
+
+private:
+    ParameterSpace space_;
+};
+
+}  // namespace
+
+int main()
+{
+    std::puts("== Author-side hint packaging for a custom IP ==\n");
+    const CrossbarGenerator gen;
+
+    // Composite query: merge the author's area and frequency hints.
+    exp::Query q = exp::Query::simple("min-area-delay", Metric::area_delay_product,
+                                      Direction::minimize);
+    q.hint_components = {{Metric::area_luts, Direction::minimize, 0.5},
+                         {Metric::freq_mhz, Direction::maximize, 0.5}};
+    // area_delay_product is derivable from area + freq:
+    // the generator's evaluate() does not publish it, so derive via a query
+    // on area with folded frequency hints would lose information; instead we
+    // extend the evaluation through derive_composites in a tiny adapter.
+    const EvalFn adp_eval = [&gen](const Genome& g) -> Evaluation {
+        ip::MetricValues mv = gen.evaluate(g);
+        ip::derive_composites(mv);
+        if (!mv.feasible || !mv.has(Metric::area_delay_product)) return {false, 0.0};
+        return {true, mv.get(Metric::area_delay_product)};
+    };
+
+    const HintSet merged = exp::query_hints(gen, q);
+    std::puts("merged composite hints (objective orientation):");
+    for (std::size_t i = 0; i < gen.space().size(); ++i) {
+        const ParamHints& h = merged.param(i);
+        std::printf("  %-12s importance %5.1f  bias %s\n", gen.space()[i].name.c_str(),
+                    h.importance, h.bias ? std::to_string(*h.bias).c_str() : "--");
+    }
+
+    // Author hints vs estimator hints on the same query.
+    const HintEstimator estimator;
+    HintSet estimated = estimator.estimate(gen.space(), adp_eval).negated_bias();
+
+    GaConfig cfg;
+    cfg.seed = 5;
+    auto run_with = [&](const HintSet& hints, double confidence) {
+        HintSet h = hints;
+        h.set_confidence(confidence);
+        const GaEngine engine{gen.space(), cfg, Direction::minimize, adp_eval, h};
+        return engine.run_many(10);
+    };
+    const MultiRunCurve baseline = run_with(HintSet::none(gen.space()), 0.0);
+    const MultiRunCurve author = run_with(merged, 0.8);
+    const MultiRunCurve nonexpert = run_with(estimated, 0.8);
+
+    std::puts("\nmin area-delay query, 10 runs each:");
+    std::printf("  %-22s mean best %10.1f\n", "baseline GA:", baseline.mean_final_best());
+    std::printf("  %-22s mean best %10.1f\n", "author-guided:", author.mean_final_best());
+    std::printf("  %-22s mean best %10.1f\n",
+                "estimator-guided:", nonexpert.mean_final_best());
+
+    const double target = baseline.mean_final_best();
+    const auto author_cost = author.evals_to_reach(target);
+    const auto base_cost = baseline.evals_to_reach(target);
+    if (author_cost.reached > 0 && base_cost.reached > 0)
+        std::printf("\nevals to reach the baseline's final quality: author-guided %.1f vs"
+                    " baseline %.1f\n",
+                    author_cost.mean_evals, base_cost.mean_evals);
+    return 0;
+}

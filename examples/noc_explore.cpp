@@ -1,0 +1,72 @@
+// NoC exploration: the paper's non-expert workflow end to end.
+//
+// 1. characterize a few random samples of the VC-router space,
+// 2. estimate hints from them (HintEstimator = "synthesizing 80 designs and
+//    observing trends", paper section 4.1),
+// 3. run guided queries for two different goals and print the winners.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/hint_estimator.hpp"
+#include "exp/experiment.hpp"
+#include "noc/router_generator.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+int main()
+{
+    std::puts("== NoC router exploration (non-expert guided) ==\n");
+    const noc::RouterGenerator gen;
+    std::printf("IP: %s, %zu parameters, %.0f configurations\n", gen.name().c_str(),
+                gen.space().size(), gen.space().cardinality());
+
+    // Estimate hints for the frequency metric from 80 random samples.
+    const HintEstimator estimator;
+    const HintSet freq_hints =
+        estimator.estimate(gen.space(), gen.metric_eval(Metric::freq_mhz));
+    std::puts("\nestimated frequency hints (importance / bias):");
+    for (std::size_t i = 0; i < gen.space().size(); ++i) {
+        const ParamHints& h = freq_hints.param(i);
+        std::printf("  %-16s %5.1f  %s\n", gen.space()[i].name.c_str(), h.importance,
+                    h.bias ? std::to_string(*h.bias).c_str() : "--");
+    }
+
+    // Query 1: fastest router.
+    {
+        exp::ExperimentConfig cfg;
+        cfg.runs = 10;
+        exp::Experiment e{gen,
+                          exp::Query::simple("max-freq", Metric::freq_mhz,
+                                             Direction::maximize),
+                          cfg};
+        e.add_engine({"baseline", GuidanceLevel::none, std::nullopt, std::nullopt});
+        e.add_engine({"nautilus", GuidanceLevel::strong, freq_hints, std::nullopt});
+        const auto r = e.run();
+        std::printf("\nmax-frequency query (10 runs):\n");
+        for (const auto& er : r.engines)
+            std::printf("  %-10s mean best %.1f MHz\n", er.spec.label.c_str(),
+                        er.curve.mean_final_best());
+    }
+
+    // Query 2: best area-delay tradeoff with a single guided run; print the
+    // chosen microarchitecture.
+    {
+        const exp::Query q =
+            exp::Query::simple("min-adp", Metric::area_delay_product, Direction::minimize);
+        const HintSet adp_hints = exp::query_hints(gen, q);  // author hints, folded
+        GaConfig cfg;
+        cfg.seed = 7;
+        HintSet strong = adp_hints;
+        strong.set_confidence(guidance_confidence(GuidanceLevel::strong, 0.0));
+        const GaEngine engine{gen.space(), cfg, q.direction, exp::query_eval(gen, q),
+                              strong};
+        const RunResult r = engine.run();
+        const noc::RouterConfig winner = noc::decode_router(gen.space(), r.best_genome);
+        std::printf("\nbest area-delay router found (%zu synthesis jobs):\n  %s\n",
+                    r.distinct_evals, winner.to_string().c_str());
+        std::printf("  area-delay product: %.0f ns*LUTs\n", r.best_eval.value);
+    }
+    return 0;
+}

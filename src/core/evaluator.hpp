@@ -1,0 +1,46 @@
+#pragma once
+// Design-point evaluation with distinct-evaluation accounting.
+//
+// In the paper, the cost of a design-space query is the number of *distinct*
+// design points that must be synthesized/simulated; when the GA revisits a
+// previously synthesized configuration the result is free (section 4.2,
+// Fig. 4 caption).  CachingEvaluator implements exactly this accounting: it
+// memoizes results by genome and charges only cache misses.
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+
+#include "core/fitness.hpp"
+#include "core/genome.hpp"
+
+namespace nautilus {
+
+// Raw evaluation of a design point; typically runs the virtual synthesis
+// model or looks up an offline dataset.  Must be deterministic per genome.
+using EvalFn = std::function<Evaluation(const Genome&)>;
+
+class CachingEvaluator {
+public:
+    explicit CachingEvaluator(EvalFn fn);
+
+    // Returns the memoized evaluation, computing (and charging) on miss.
+    Evaluation evaluate(const Genome& genome);
+
+    // Number of cache misses == synthesis jobs the paper counts.
+    std::size_t distinct_evaluations() const { return distinct_; }
+
+    // All evaluate() calls including cache hits.
+    std::size_t total_calls() const { return calls_; }
+
+    // Forget everything (fresh query on the same IP).
+    void clear();
+
+private:
+    EvalFn fn_;
+    std::unordered_map<Genome, Evaluation, GenomeHash> cache_;
+    std::size_t distinct_ = 0;
+    std::size_t calls_ = 0;
+};
+
+}  // namespace nautilus

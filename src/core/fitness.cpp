@@ -1,0 +1,31 @@
+#include "core/fitness.hpp"
+
+namespace nautilus {
+
+double direction_sign(Direction dir)
+{
+    return dir == Direction::maximize ? 1.0 : -1.0;
+}
+
+const char* direction_name(Direction dir)
+{
+    return dir == Direction::maximize ? "maximize" : "minimize";
+}
+
+bool no_worse(double a, double b, Direction dir)
+{
+    return dir == Direction::maximize ? a >= b : a <= b;
+}
+
+double better_of(double a, double b, Direction dir)
+{
+    return no_worse(a, b, dir) ? a : b;
+}
+
+double worst_value(Direction dir)
+{
+    return dir == Direction::maximize ? -std::numeric_limits<double>::infinity()
+                                      : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace nautilus

@@ -1,0 +1,54 @@
+#pragma once
+// Objective direction and fitness mapping.
+//
+// Evaluations carry the query metric in *natural units* (MHz, LUTs, MSPS/LUT,
+// ...).  The GA internally maximizes a direction-folded fitness score; this
+// header defines that fold plus the handling of infeasible design points
+// (sparse design spaces, paper section 3 "auxiliary settings").
+
+#include <limits>
+#include <string>
+
+namespace nautilus {
+
+enum class Direction { maximize, minimize };
+
+// +1 for maximize, -1 for minimize.
+double direction_sign(Direction dir);
+
+const char* direction_name(Direction dir);
+
+// "a is at least as good as b" in direction `dir`.
+bool no_worse(double a, double b, Direction dir);
+
+// The better of the two values in direction `dir`.
+double better_of(double a, double b, Direction dir);
+
+// Worst representable value for a direction (used to seed best-so-far).
+double worst_value(Direction dir);
+
+// Result of evaluating one design point for one query.
+struct Evaluation {
+    bool feasible = true;
+    double value = 0.0;  // query metric in natural units; meaningless if infeasible
+};
+
+// Folds evaluations into a maximized fitness score.
+class FitnessMapper {
+public:
+    explicit FitnessMapper(Direction dir) : dir_(dir) {}
+
+    Direction direction() const { return dir_; }
+
+    // Infeasible points score below every feasible point.
+    double fitness(const Evaluation& eval) const
+    {
+        if (!eval.feasible) return -std::numeric_limits<double>::infinity();
+        return direction_sign(dir_) * eval.value;
+    }
+
+private:
+    Direction dir_;
+};
+
+}  // namespace nautilus

@@ -1,0 +1,188 @@
+#include "core/ga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nautilus {
+
+void GaConfig::validate() const
+{
+    if (population_size < 2)
+        throw std::invalid_argument("GaConfig: population_size must be >= 2");
+    if (generations == 0) throw std::invalid_argument("GaConfig: generations must be >= 1");
+    if (mutation_rate < 0.0 || mutation_rate > 1.0)
+        throw std::invalid_argument("GaConfig: mutation_rate out of [0, 1]");
+    if (crossover_rate < 0.0 || crossover_rate > 1.0)
+        throw std::invalid_argument("GaConfig: crossover_rate out of [0, 1]");
+    if (elitism >= population_size)
+        throw std::invalid_argument("GaConfig: elitism must be < population_size");
+    if (selection.rank_pressure < 1.0 || selection.rank_pressure > 2.0)
+        throw std::invalid_argument("GaConfig: rank_pressure out of [1, 2]");
+    if (selection.tournament_size == 0)
+        throw std::invalid_argument("GaConfig: tournament_size must be >= 1");
+}
+
+void GaEngine::seed_population(std::vector<Genome> seeds)
+{
+    for (const Genome& g : seeds)
+        if (!g.compatible_with(space_))
+            throw std::invalid_argument(
+                "GaEngine::seed_population: genome incompatible with space");
+    if (seeds.size() > config_.population_size) seeds.resize(config_.population_size);
+    seeds_ = std::move(seeds);
+}
+
+GaEngine::GaEngine(const ParameterSpace& space, GaConfig config, Direction direction,
+                   EvalFn eval, HintSet hints)
+    : space_(space),
+      config_(config),
+      direction_(direction),
+      eval_(std::move(eval)),
+      hints_(std::move(hints))
+{
+    if (space_.empty()) throw std::invalid_argument("GaEngine: empty parameter space");
+    if (!eval_) throw std::invalid_argument("GaEngine: null evaluation function");
+    config_.validate();
+    hints_.validate(space_);
+}
+
+RunResult GaEngine::run() const
+{
+    return run(config_.seed);
+}
+
+RunResult GaEngine::run(std::uint64_t seed) const
+{
+    Rng rng{seed};
+    CachingEvaluator evaluator{eval_};
+    const FitnessMapper mapper{direction_};
+
+    std::vector<Genome> population;
+    population.reserve(config_.population_size);
+    for (const Genome& seed : seeds_) population.push_back(seed);
+    while (population.size() < config_.population_size)
+        population.push_back(Genome::random(space_, rng));
+
+    RunResult result{direction_};
+    result.history.reserve(config_.generations);
+    double best_so_far = worst_value(direction_);
+    bool have_best = false;
+
+    std::vector<Evaluation> evals(config_.population_size);
+    std::vector<double> fitness(config_.population_size);
+    std::size_t stall = 0;
+
+    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        // --- Evaluate ---------------------------------------------------
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            evals[i] = evaluator.evaluate(population[i]);
+            fitness[i] = mapper.fitness(evals[i]);
+        }
+
+        // --- Record statistics ------------------------------------------
+        GenerationStats stats;
+        stats.generation = gen;
+        stats.distinct_evals = evaluator.distinct_evaluations();
+        double gen_best = worst_value(direction_);
+        double gen_worst = direction_ == Direction::maximize
+                               ? std::numeric_limits<double>::infinity()
+                               : -std::numeric_limits<double>::infinity();
+        double sum = 0.0;
+        std::size_t best_index = 0;
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            if (!evals[i].feasible) continue;
+            ++stats.feasible;
+            sum += evals[i].value;
+            if (no_worse(evals[i].value, gen_best, direction_)) {
+                gen_best = evals[i].value;
+                best_index = i;
+            }
+            if (!no_worse(evals[i].value, gen_worst, direction_)) gen_worst = evals[i].value;
+        }
+        bool improved = false;
+        if (stats.feasible > 0) {
+            stats.best = gen_best;
+            stats.worst = gen_worst;
+            stats.mean = sum / static_cast<double>(stats.feasible);
+            if (!have_best || no_worse(gen_best, best_so_far, direction_)) {
+                if (!have_best || !no_worse(best_so_far, gen_best, direction_)) {
+                    result.best_genome = population[best_index];
+                    result.best_eval = evals[best_index];
+                    improved = true;
+                }
+                best_so_far = better_of(gen_best, best_so_far, direction_);
+                have_best = true;
+            }
+        }
+        stats.best_so_far = best_so_far;
+        result.history.push_back(stats);
+        if (have_best)
+            result.curve.append(static_cast<double>(stats.distinct_evals), best_so_far);
+
+        // --- Early termination ---------------------------------------------
+        if (config_.target_value && have_best &&
+            no_worse(best_so_far, *config_.target_value, direction_)) {
+            result.hit_target = true;
+            break;
+        }
+        stall = improved ? 0 : stall + 1;
+        if (config_.stall_generations > 0 && stall >= config_.stall_generations) {
+            result.stalled = true;
+            break;
+        }
+
+        if (gen + 1 == config_.generations) break;
+
+        // --- Breed the next generation -----------------------------------
+        std::vector<Genome> next;
+        next.reserve(config_.population_size);
+
+        // Elitism: carry the best `elitism` members unchanged.
+        const std::vector<std::size_t> order = rank_order(fitness);
+        for (std::size_t e = 0; e < config_.elitism; ++e) next.push_back(population[order[e]]);
+
+        MutationContext ctx;
+        ctx.space = &space_;
+        ctx.hints = &hints_;
+        ctx.mutation_rate = config_.mutation_rate;
+        ctx.generation = gen;
+
+        while (next.size() < config_.population_size) {
+            const std::size_t pa = select_parent(fitness, config_.selection, rng);
+            const std::size_t pb = select_parent(fitness, config_.selection, rng);
+            Genome child_a = population[pa];
+            Genome child_b = population[pb];
+            if (rng.bernoulli(config_.crossover_rate)) {
+                auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
+                child_a = std::move(xa);
+                child_b = std::move(xb);
+            }
+            mutate(child_a, ctx, rng);
+            next.push_back(std::move(child_a));
+            if (next.size() < config_.population_size) {
+                mutate(child_b, ctx, rng);
+                next.push_back(std::move(child_b));
+            }
+        }
+        population = std::move(next);
+    }
+
+    result.distinct_evals = evaluator.distinct_evaluations();
+    return result;
+}
+
+MultiRunCurve GaEngine::run_many(std::size_t count) const
+{
+    if (count == 0) throw std::invalid_argument("GaEngine::run_many: count must be >= 1");
+    MultiRunCurve multi{direction_};
+    Rng seeder{config_.seed};
+    for (std::size_t i = 0; i < count; ++i) {
+        const RunResult r = run(seeder.next_u64());
+        if (!r.curve.empty()) multi.add_run(r.curve);
+    }
+    return multi;
+}
+
+}  // namespace nautilus

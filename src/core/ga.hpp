@@ -1,0 +1,110 @@
+#pragma once
+// The genetic algorithm engine.
+//
+// One engine serves both roles in the paper: with HintSet::none it is the
+// *baseline GA* (PyEvolve-style defaults: population 10, per-gene mutation
+// rate 0.1, 80 generations); with author hints and nonzero confidence it is
+// *Nautilus*.  The evaluation cost model (distinct synthesized designs) is
+// delegated to CachingEvaluator.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/fitness.hpp"
+#include "core/genome.hpp"
+#include "core/hints.hpp"
+#include "core/operators.hpp"
+#include "core/run_stats.hpp"
+#include "core/selection.hpp"
+
+namespace nautilus {
+
+struct GaConfig {
+    std::size_t population_size = 10;   // paper section 4.1
+    std::size_t generations = 80;       // paper section 4.1
+    double mutation_rate = 0.1;         // per-gene, paper section 4.1
+    double crossover_rate = 0.9;
+    CrossoverKind crossover = CrossoverKind::single_point;
+    // Fitness-proportional selection matches the PyEvolve-era baseline the
+    // paper modified; rank/tournament are stronger modern alternatives.
+    SelectionConfig selection{SelectionKind::roulette, 1.8, 2};
+    std::size_t elitism = 1;            // best members copied unchanged
+    std::uint64_t seed = 1;
+
+    // Early termination.  The paper's usage scenario wants "a good design
+    // point that is within some threshold of what the IP generator can
+    // offer" -- once that is met, further synthesis jobs are waste.
+    std::optional<double> target_value;  // stop when best-so-far reaches this
+    // Stop after this many consecutive generations without best-so-far
+    // improvement (0 = run all generations).
+    std::size_t stall_generations = 0;
+
+    void validate() const;  // throws std::invalid_argument on bad settings
+};
+
+struct GenerationStats {
+    std::size_t generation = 0;
+    double best = 0.0;            // best fitness-feasible value this generation
+    double mean = 0.0;            // mean over feasible members
+    double worst = 0.0;
+    std::size_t feasible = 0;     // feasible members this generation
+    double best_so_far = 0.0;     // best value seen in the whole run
+    std::size_t distinct_evals = 0;  // cumulative synthesis jobs
+};
+
+struct RunResult {
+    std::vector<GenerationStats> history;
+    Genome best_genome;
+    Evaluation best_eval;
+    std::size_t distinct_evals = 0;
+    Curve curve;  // best-so-far vs distinct evaluations
+    bool hit_target = false;     // stopped because target_value was reached
+    bool stalled = false;        // stopped by the stall_generations criterion
+
+    RunResult() : curve(Direction::maximize) {}
+    explicit RunResult(Direction dir) : curve(dir) {}
+};
+
+class GaEngine {
+public:
+    // `hints` must validate against `space`; pass HintSet::none(space) for
+    // the baseline GA.  The engine owns no evaluator state between runs:
+    // each run() creates a fresh cache, so costs are per-query as in the
+    // paper.
+    GaEngine(const ParameterSpace& space, GaConfig config, Direction direction, EvalFn eval,
+             HintSet hints);
+
+    const GaConfig& config() const { return config_; }
+    Direction direction() const { return direction_; }
+    const HintSet& hints() const { return hints_; }
+
+    // Seed part of the initial population with known configurations (e.g.
+    // the IP's shipped default, or the best points of a previous query).
+    // At most population_size genomes are used; the rest stay random.
+    // Throws if any genome is incompatible with the space.
+    void seed_population(std::vector<Genome> seeds);
+    const std::vector<Genome>& seeds() const { return seeds_; }
+
+    // Run once with the config seed.
+    RunResult run() const;
+
+    // Run once with an explicit seed (overrides config.seed).
+    RunResult run(std::uint64_t seed) const;
+
+    // `count` independent runs with seeds derived from config.seed, averaged
+    // into a MultiRunCurve (the paper averages 20-40 runs per experiment).
+    MultiRunCurve run_many(std::size_t count) const;
+
+private:
+    const ParameterSpace& space_;
+    GaConfig config_;
+    Direction direction_;
+    EvalFn eval_;
+    HintSet hints_;
+    std::vector<Genome> seeds_;
+};
+
+}  // namespace nautilus

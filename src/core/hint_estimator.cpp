@@ -1,0 +1,163 @@
+#include "core/hint_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/genome.hpp"
+#include "core/rng.hpp"
+
+namespace nautilus {
+
+HintEstimator::HintEstimator(HintEstimatorConfig config) : config_(config)
+{
+    if (config_.samples < 8)
+        throw std::invalid_argument("HintEstimator: need at least 8 samples");
+    if (config_.correlation_floor < 0.0 || config_.correlation_floor >= 1.0)
+        throw std::invalid_argument("HintEstimator: correlation_floor out of [0, 1)");
+}
+
+namespace {
+
+// Average ranks with ties sharing the mean rank.
+std::vector<double> ranks_of(const std::vector<double>& x)
+{
+    const std::size_t n = x.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+        const double mean_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+        for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y)
+{
+    const std::size_t n = x.size();
+    const double mx = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+    const double my = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+double HintEstimator::rank_correlation(const std::vector<double>& x,
+                                       const std::vector<double>& y)
+{
+    if (x.size() != y.size())
+        throw std::invalid_argument("rank_correlation: length mismatch");
+    if (x.size() < 2) return 0.0;
+    return pearson(ranks_of(x), ranks_of(y));
+}
+
+HintSet HintEstimator::estimate(const ParameterSpace& space, const EvalFn& eval) const
+{
+    if (!eval) throw std::invalid_argument("HintEstimator::estimate: null eval");
+    Rng rng{config_.seed};
+
+    std::vector<Genome> samples;
+    std::vector<double> values;
+    samples.reserve(config_.samples);
+    values.reserve(config_.samples);
+    // Draw feasible samples; bound retries so sparse spaces terminate.
+    const std::size_t max_draws = config_.samples * 20;
+    for (std::size_t draw = 0; draw < max_draws && samples.size() < config_.samples; ++draw) {
+        Genome g = Genome::random(space, rng);
+        const Evaluation e = eval(g);
+        if (!e.feasible) continue;
+        samples.push_back(std::move(g));
+        values.push_back(e.value);
+    }
+    if (samples.size() < 8)
+        throw std::runtime_error("HintEstimator::estimate: too few feasible samples");
+
+    HintSet hints = HintSet::none(space);
+    std::vector<double> abs_corr(space.size(), 0.0);
+
+    for (std::size_t p = 0; p < space.size(); ++p) {
+        const bool ordered = space[p].domain.ordered();
+        std::vector<double> xs(samples.size());
+        for (std::size_t s = 0; s < samples.size(); ++s)
+            xs[s] = static_cast<double>(samples[s].gene(p));
+
+        if (ordered) {
+            abs_corr[p] = rank_correlation(xs, values);
+        }
+        else {
+            // Unordered categorical: strength from between-group variance
+            // (correlation ratio eta), sign undefined.
+            const std::size_t k = space[p].domain.cardinality();
+            std::vector<double> group_sum(k, 0.0);
+            std::vector<std::size_t> group_n(k, 0);
+            double mean = 0.0;
+            for (std::size_t s = 0; s < samples.size(); ++s) {
+                group_sum[samples[s].gene(p)] += values[s];
+                ++group_n[samples[s].gene(p)];
+                mean += values[s];
+            }
+            mean /= static_cast<double>(samples.size());
+            double ss_between = 0.0;
+            double ss_total = 0.0;
+            for (std::size_t g = 0; g < k; ++g) {
+                if (group_n[g] == 0) continue;
+                const double gm = group_sum[g] / static_cast<double>(group_n[g]);
+                ss_between += static_cast<double>(group_n[g]) * (gm - mean) * (gm - mean);
+            }
+            for (double v : values) ss_total += (v - mean) * (v - mean);
+            abs_corr[p] = ss_total > 0.0 ? std::sqrt(ss_between / ss_total) : 0.0;
+        }
+    }
+
+    double max_abs = 0.0;
+    for (std::size_t p = 0; p < space.size(); ++p)
+        max_abs = std::max(max_abs, std::abs(abs_corr[p]));
+
+    // Spurious correlations of K independent samples scale like 1/sqrt(K).
+    // Half a standard error keeps weak-but-real trends (the kind a
+    // non-expert would still act on) at the cost of occasionally trusting
+    // noise -- which the GA's stochastic floor tolerates by design.
+    const double noise_floor = std::max(
+        config_.correlation_floor, 0.5 / std::sqrt(static_cast<double>(samples.size())));
+
+    for (std::size_t p = 0; p < space.size(); ++p) {
+        ParamHints& h = hints.param(p);
+        const double corr = abs_corr[p];
+        const double strength = std::abs(corr);
+        if (strength < noise_floor || max_abs == 0.0) {
+            h.importance = 1.0;
+            continue;
+        }
+        // Importance 1..100 from relative correlation strength, square-root
+        // compressed: a parameter whose effect is masked by a dominant one
+        // in the global sample still matters locally.  Decay lets the search
+        // broaden once the dominant parameters are settled (the estimate is
+        // noisy, so never trust it forever).
+        h.importance =
+            std::clamp(1.0 + 99.0 * std::sqrt(strength / max_abs), 1.0, 100.0);
+        h.importance_decay = 0.90;
+        if (space[p].domain.ordered()) h.bias = std::clamp(corr, -1.0, 1.0);
+    }
+    return hints;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,45 @@
+#pragma once
+// Non-expert hint estimation from a small sample of synthesized designs.
+//
+// The paper's NoC hints were produced "by synthesizing 80 designs (less than
+// 0.3% of the design space) and observing trends", i.e. by a non-expert user
+// rather than the IP author (section 4.1).  HintEstimator automates exactly
+// that workflow: draw K random design points, evaluate them, and derive
+// per-parameter importance and bias hints from rank correlations.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/evaluator.hpp"
+#include "core/hints.hpp"
+#include "core/parameter.hpp"
+
+namespace nautilus {
+
+struct HintEstimatorConfig {
+    std::size_t samples = 80;  // the paper's budget
+    std::uint64_t seed = 99;
+    // Correlations with |r| below this floor are treated as noise: the
+    // parameter gets no bias hint and minimum importance.
+    double correlation_floor = 0.05;
+};
+
+class HintEstimator {
+public:
+    explicit HintEstimator(HintEstimatorConfig config = {});
+
+    // Estimate hints for one metric.  `eval` must report the metric in
+    // natural units; infeasible samples are discarded (and resampled).
+    // The returned HintSet has confidence 0; the caller picks the guidance
+    // level.  Biases describe the metric response ("increasing the parameter
+    // increases the metric"), matching author-hint conventions.
+    HintSet estimate(const ParameterSpace& space, const EvalFn& eval) const;
+
+    // Spearman rank correlation between x and y (exposed for tests).
+    static double rank_correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+private:
+    HintEstimatorConfig config_;
+};
+
+}  // namespace nautilus

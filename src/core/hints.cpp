@@ -1,0 +1,159 @@
+#include "core/hints.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nautilus {
+
+HintSet::HintSet(std::vector<ParamHints> params, double confidence)
+    : params_(std::move(params))
+{
+    set_confidence(confidence);
+}
+
+HintSet HintSet::none(const ParameterSpace& space)
+{
+    return HintSet{std::vector<ParamHints>(space.size()), 0.0};
+}
+
+void HintSet::validate(const ParameterSpace& space) const
+{
+    if (params_.size() != space.size())
+        throw std::invalid_argument("HintSet::validate: hint count (" +
+                                    std::to_string(params_.size()) +
+                                    ") != parameter count (" + std::to_string(space.size()) + ")");
+    if (confidence_ < 0.0 || confidence_ > 1.0)
+        throw std::invalid_argument("HintSet::validate: confidence out of [0, 1]");
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        const ParamHints& h = params_[i];
+        const std::string where = " (parameter '" + space[i].name + "')";
+        if (h.importance < 1.0 || h.importance > 100.0)
+            throw std::invalid_argument("HintSet::validate: importance out of [1, 100]" + where);
+        if (h.importance_decay < 0.0 || h.importance_decay > 1.0)
+            throw std::invalid_argument("HintSet::validate: importance_decay out of [0, 1]" +
+                                        where);
+        if (h.bias && h.target)
+            throw std::invalid_argument(
+                "HintSet::validate: bias and target are mutually exclusive" + where);
+        if (h.bias && (*h.bias < -1.0 || *h.bias > 1.0))
+            throw std::invalid_argument("HintSet::validate: bias out of [-1, 1]" + where);
+        if (h.step_scale && (*h.step_scale <= 0.0 || *h.step_scale > 1.0))
+            throw std::invalid_argument("HintSet::validate: step_scale out of (0, 1]" + where);
+        if ((h.bias || h.target) && !space[i].domain.ordered())
+            throw std::invalid_argument(
+                "HintSet::validate: bias/target hint on unordered categorical domain" + where);
+        if (h.target) {
+            const auto& d = space[i].domain;
+            const double lo = d.numeric_value(0);
+            const double hi = d.numeric_value(d.cardinality() - 1);
+            if (*h.target < std::min(lo, hi) || *h.target > std::max(lo, hi))
+                throw std::invalid_argument("HintSet::validate: target outside domain range" +
+                                            where);
+        }
+    }
+}
+
+const ParamHints& HintSet::param(std::size_t i) const
+{
+    if (i >= params_.size()) throw std::out_of_range("HintSet::param: index out of range");
+    return params_[i];
+}
+
+ParamHints& HintSet::param(std::size_t i)
+{
+    if (i >= params_.size()) throw std::out_of_range("HintSet::param: index out of range");
+    return params_[i];
+}
+
+void HintSet::set_confidence(double c)
+{
+    if (c < 0.0 || c > 1.0)
+        throw std::invalid_argument("HintSet::set_confidence: confidence out of [0, 1]");
+    confidence_ = c;
+}
+
+bool HintSet::is_baseline() const
+{
+    if (confidence_ == 0.0) return true;
+    return std::none_of(params_.begin(), params_.end(),
+                        [](const ParamHints& h) { return h.has_any(); });
+}
+
+HintSet HintSet::negated_bias() const
+{
+    HintSet out = *this;
+    for (ParamHints& h : out.params_)
+        if (h.bias) h.bias = -*h.bias;
+    return out;
+}
+
+double HintSet::effective_importance(std::size_t i, std::size_t gen) const
+{
+    const ParamHints& h = param(i);
+    return 1.0 + (h.importance - 1.0) * std::pow(h.importance_decay, static_cast<double>(gen));
+}
+
+HintSet merge_hints(std::span<const WeightedHintSet> components)
+{
+    if (components.empty()) throw std::invalid_argument("merge_hints: no components");
+    for (const auto& c : components) {
+        if (c.hints == nullptr) throw std::invalid_argument("merge_hints: null component");
+        if (c.weight <= 0.0) throw std::invalid_argument("merge_hints: non-positive weight");
+        if (c.hints->size() != components.front().hints->size())
+            throw std::invalid_argument("merge_hints: component size mismatch");
+    }
+
+    const std::size_t n = components.front().hints->size();
+    double total_weight = 0.0;
+    for (const auto& c : components) total_weight += c.weight;
+
+    std::vector<ParamHints> merged(n);
+    double confidence = 0.0;
+    for (const auto& c : components) confidence += c.weight * c.hints->confidence();
+    confidence /= total_weight;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        ParamHints& out = merged[i];
+        double importance = 0.0;
+        double decay = 1.0;
+        double bias_sum = 0.0;
+        bool any_bias = false;
+        std::optional<double> target;
+        bool target_conflict = false;
+        std::optional<double> step;
+
+        for (const auto& c : components) {
+            const ParamHints& h = c.hints->param(i);
+            importance += c.weight * h.importance;
+            decay = std::min(decay, h.importance_decay);
+            if (h.bias) {
+                bias_sum += c.weight * *h.bias;
+                any_bias = true;
+            }
+            if (h.target) {
+                if (target && *target != *h.target) target_conflict = true;
+                target = h.target;
+            }
+            if (h.step_scale) step = step ? std::min(*step, *h.step_scale) : *h.step_scale;
+        }
+
+        out.importance = std::clamp(importance / total_weight, 1.0, 100.0);
+        out.importance_decay = decay;
+        out.step_scale = step;
+        if (target && !target_conflict && !any_bias) {
+            out.target = target;
+        }
+        else if (any_bias && !target) {
+            out.bias = std::clamp(bias_sum / total_weight, -1.0, 1.0);
+        }
+        else if (any_bias && target) {
+            // A bias and a target from different components disagree about
+            // the mechanism; keep the (weaker) bias signal only.
+            out.bias = std::clamp(bias_sum / total_weight, -1.0, 1.0);
+        }
+    }
+    return HintSet{std::move(merged), confidence};
+}
+
+}  // namespace nautilus

@@ -1,0 +1,119 @@
+#pragma once
+// IP author hints (the paper's central contribution, section 3).
+//
+// A HintSet captures what an IP author knows about how one metric responds to
+// the IP's parameters.  Hints are *advisory*: every hint is blended with the
+// baseline uniform behavior through the `confidence` knob, so the guided GA
+// remains stochastic and can always reach any point of the space (paper
+// footnote 1).
+//
+// Hint classes:
+//  * importance (1..100)       -- which genes are worth mutating
+//  * importance_decay (0..1)   -- importance differences fade per generation
+//  * bias (-1..1)              -- monotone correlation of parameter vs metric
+//  * target (domain value)     -- good solutions cluster near this value
+//  * confidence (0..1)         -- global trust in the hints
+//  * auxiliary: step_scale     -- preferred mutation step size ("stepping")
+//    and domain `ordered` flags (declared on ParamDomain) that give
+//    categorical values a meaningful order.
+//
+// Bias and target are mutually exclusive per parameter and require an ordered
+// domain.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/parameter.hpp"
+
+namespace nautilus {
+
+// Author knowledge about one parameter with respect to one metric.
+struct ParamHints {
+    // How strongly this parameter affects the metric (1 = negligible,
+    // 100 = dominant).  Skews gene selection for mutation.
+    double importance = 1.0;
+
+    // Per-generation retention of the importance *difference* from 1.
+    // 1.0 = importance never decays; 0.9 = the excess importance shrinks by
+    // 10% every generation, shifting search from coarse to fine.
+    double importance_decay = 1.0;
+
+    // Correlation between the parameter value and the metric: +1 means
+    // increasing the parameter increases the metric.  Mutually exclusive
+    // with `target`.
+    std::optional<double> bias;
+
+    // Good solutions cluster around this value (in the domain's natural
+    // units).  Mutually exclusive with `bias`.
+    std::optional<double> target;
+
+    // Auxiliary "stepping" hint: preferred mutation step as a fraction of the
+    // domain span (0 = tiny local steps, 1 = jumps across the whole range).
+    // Unset uses the engine default.
+    std::optional<double> step_scale;
+
+    bool has_any() const
+    {
+        return importance != 1.0 || importance_decay != 1.0 || bias.has_value() ||
+               target.has_value() || step_scale.has_value();
+    }
+};
+
+// All hints for one (metric, IP) pair plus the global confidence knob.
+class HintSet {
+public:
+    HintSet() = default;
+    HintSet(std::vector<ParamHints> params, double confidence);
+
+    // No guidance: behaves exactly like the baseline GA.
+    static HintSet none(const ParameterSpace& space);
+
+    // Throws std::invalid_argument when any hint value is out of range, the
+    // vector length mismatches the space, bias/target are both set, or a
+    // bias/target hint is attached to an unordered categorical domain.
+    void validate(const ParameterSpace& space) const;
+
+    std::size_t size() const { return params_.size(); }
+    const ParamHints& param(std::size_t i) const;
+    ParamHints& param(std::size_t i);
+
+    double confidence() const { return confidence_; }
+    void set_confidence(double c);
+
+    // True when no hint deviates from defaults or confidence is zero, i.e.
+    // the guided GA degenerates to the baseline.
+    bool is_baseline() const;
+
+    // Copy with every bias negated; used when the query *minimizes* a metric
+    // whose hints were authored as "effect on the metric".
+    HintSet negated_bias() const;
+
+    // Effective importance of parameter `i` at generation `gen`:
+    //   1 + (importance - 1) * decay^gen
+    double effective_importance(std::size_t i, std::size_t gen) const;
+
+    const std::vector<ParamHints>& params() const { return params_; }
+
+private:
+    std::vector<ParamHints> params_;
+    double confidence_ = 0.0;
+};
+
+// One component of a composite-metric hint merge.
+struct WeightedHintSet {
+    const HintSet* hints = nullptr;
+    // Direction fold already applied by the caller: bias here means "effect
+    // on the composite objective when the parameter increases".
+    double weight = 1.0;
+};
+
+// Merge hints for composite metrics (e.g. throughput-per-LUT merges the
+// throughput hints with negated-LUT hints).  Importance and bias combine as
+// weighted means; decay takes the minimum (fastest decay wins); a target
+// survives only if no other component disagrees about that parameter;
+// confidence is the weighted mean.
+HintSet merge_hints(std::span<const WeightedHintSet> components);
+
+}  // namespace nautilus

@@ -1,0 +1,225 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nautilus {
+
+namespace {
+
+// Shared proposal move: mutate a copy of `current` with the hint-aware
+// operator; guarantee at least one gene changes (a no-op proposal wastes a
+// step without costing an evaluation, biasing budget accounting).
+Genome propose(const Genome& current, const MutationContext& ctx, Rng& rng)
+{
+    Genome next = current;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        if (mutate(next, ctx, rng) > 0) return next;
+    }
+    // Degenerate space (all single-value domains): return unchanged.
+    return next;
+}
+
+void check_engine_args(const ParameterSpace& space, const EvalFn& eval,
+                       const HintSet& hints)
+{
+    if (space.empty()) throw std::invalid_argument("local search: empty parameter space");
+    if (!eval) throw std::invalid_argument("local search: null evaluation function");
+    hints.validate(space);
+}
+
+}  // namespace
+
+void AnnealingConfig::validate() const
+{
+    if (max_distinct_evals == 0)
+        throw std::invalid_argument("AnnealingConfig: max_distinct_evals must be >= 1");
+    if (cooling <= 0.0 || cooling >= 1.0)
+        throw std::invalid_argument("AnnealingConfig: cooling out of (0, 1)");
+    if (steps_per_temperature == 0)
+        throw std::invalid_argument("AnnealingConfig: steps_per_temperature must be >= 1");
+    if (mutation_rate <= 0.0 || mutation_rate > 1.0)
+        throw std::invalid_argument("AnnealingConfig: mutation_rate out of (0, 1]");
+    if (initial_temperature < 0.0)
+        throw std::invalid_argument("AnnealingConfig: negative initial temperature");
+}
+
+SimulatedAnnealing::SimulatedAnnealing(const ParameterSpace& space, AnnealingConfig config,
+                                       Direction direction, EvalFn eval, HintSet hints)
+    : space_(space),
+      config_(config),
+      direction_(direction),
+      eval_(std::move(eval)),
+      hints_(std::move(hints))
+{
+    config_.validate();
+    check_engine_args(space_, eval_, hints_);
+}
+
+Curve SimulatedAnnealing::run(std::uint64_t seed) const
+{
+    Rng rng{seed};
+    CachingEvaluator evaluator{eval_};
+    const FitnessMapper mapper{direction_};
+    Curve curve{direction_};
+
+    MutationContext ctx;
+    ctx.space = &space_;
+    ctx.hints = &hints_;
+    ctx.mutation_rate = config_.mutation_rate;
+
+    // Start from a feasible random point (bounded retries).
+    Genome current = Genome::random(space_, rng);
+    Evaluation current_eval = evaluator.evaluate(current);
+    for (int tries = 0;
+         !current_eval.feasible && tries < 200 &&
+         evaluator.distinct_evaluations() < config_.max_distinct_evals;
+         ++tries) {
+        current = Genome::random(space_, rng);
+        current_eval = evaluator.evaluate(current);
+    }
+    if (!current_eval.feasible) return curve;
+
+    double best = current_eval.value;
+    curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
+
+    // Auto temperature: a few probe moves estimate the cost scale.
+    double temperature = config_.initial_temperature;
+    if (temperature == 0.0) {
+        double spread = 0.0;
+        Genome probe = current;
+        for (int i = 0;
+             i < 8 && evaluator.distinct_evaluations() < config_.max_distinct_evals; ++i) {
+            probe = propose(probe, ctx, rng);
+            const Evaluation e = evaluator.evaluate(probe);
+            if (e.feasible)
+                spread = std::max(spread, std::abs(e.value - current_eval.value));
+        }
+        temperature = spread > 0.0 ? spread : std::abs(best) * 0.1 + 1.0;
+    }
+
+    std::size_t step = 0;
+    while (evaluator.distinct_evaluations() < config_.max_distinct_evals) {
+        const Genome candidate = propose(current, ctx, rng);
+        const Evaluation cand_eval = evaluator.evaluate(candidate);
+        const double delta = mapper.fitness(cand_eval) - mapper.fitness(current_eval);
+        const bool accept =
+            delta >= 0.0 ||
+            (std::isfinite(delta) && rng.bernoulli(std::exp(delta / temperature)));
+        if (accept && cand_eval.feasible) {
+            current = candidate;
+            current_eval = cand_eval;
+            if (no_worse(cand_eval.value, best, direction_)) {
+                best = better_of(cand_eval.value, best, direction_);
+                curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
+            }
+        }
+        if (++step % config_.steps_per_temperature == 0)
+            temperature = std::max(temperature * config_.cooling, 1e-12);
+    }
+    return curve;
+}
+
+MultiRunCurve SimulatedAnnealing::run_many(std::size_t count) const
+{
+    if (count == 0)
+        throw std::invalid_argument("SimulatedAnnealing::run_many: count must be >= 1");
+    MultiRunCurve multi{direction_};
+    Rng seeder{config_.seed};
+    for (std::size_t i = 0; i < count; ++i) {
+        Curve c = run(seeder.next_u64());
+        if (!c.empty()) multi.add_run(std::move(c));
+    }
+    return multi;
+}
+
+void HillClimbConfig::validate() const
+{
+    if (max_distinct_evals == 0)
+        throw std::invalid_argument("HillClimbConfig: max_distinct_evals must be >= 1");
+    if (patience == 0) throw std::invalid_argument("HillClimbConfig: patience must be >= 1");
+    if (mutation_rate <= 0.0 || mutation_rate > 1.0)
+        throw std::invalid_argument("HillClimbConfig: mutation_rate out of (0, 1]");
+}
+
+HillClimber::HillClimber(const ParameterSpace& space, HillClimbConfig config,
+                         Direction direction, EvalFn eval, HintSet hints)
+    : space_(space),
+      config_(config),
+      direction_(direction),
+      eval_(std::move(eval)),
+      hints_(std::move(hints))
+{
+    config_.validate();
+    check_engine_args(space_, eval_, hints_);
+}
+
+Curve HillClimber::run(std::uint64_t seed) const
+{
+    Rng rng{seed};
+    CachingEvaluator evaluator{eval_};
+    Curve curve{direction_};
+
+    MutationContext ctx;
+    ctx.space = &space_;
+    ctx.hints = &hints_;
+    ctx.mutation_rate = config_.mutation_rate;
+
+    double best = worst_value(direction_);
+    bool have_best = false;
+
+    Genome current = Genome::random(space_, rng);
+    Evaluation current_eval = evaluator.evaluate(current);
+    std::size_t stale = 0;
+
+    auto note = [&](const Evaluation& e) {
+        if (!e.feasible) return;
+        if (!have_best || no_worse(e.value, best, direction_)) {
+            best = better_of(e.value, best, direction_);
+            have_best = true;
+            curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
+        }
+    };
+    note(current_eval);
+
+    while (evaluator.distinct_evaluations() < config_.max_distinct_evals) {
+        if (stale >= config_.patience || !current_eval.feasible) {
+            current = Genome::random(space_, rng);
+            current_eval = evaluator.evaluate(current);
+            note(current_eval);
+            stale = 0;
+            continue;
+        }
+        const Genome candidate = propose(current, ctx, rng);
+        const Evaluation cand_eval = evaluator.evaluate(candidate);
+        if (cand_eval.feasible &&
+            no_worse(cand_eval.value, current_eval.value, direction_)) {
+            const bool strictly =
+                !no_worse(current_eval.value, cand_eval.value, direction_);
+            current = candidate;
+            current_eval = cand_eval;
+            note(cand_eval);
+            stale = strictly ? 0 : stale + 1;
+        }
+        else {
+            ++stale;
+        }
+    }
+    return curve;
+}
+
+MultiRunCurve HillClimber::run_many(std::size_t count) const
+{
+    if (count == 0)
+        throw std::invalid_argument("HillClimber::run_many: count must be >= 1");
+    MultiRunCurve multi{direction_};
+    Rng seeder{config_.seed};
+    for (std::size_t i = 0; i < count; ++i) {
+        Curve c = run(seeder.next_u64());
+        if (!c.empty()) multi.add_run(std::move(c));
+    }
+    return multi;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,51 @@
+#include "core/nautilus.hpp"
+
+#include <stdexcept>
+
+namespace nautilus {
+
+namespace {
+constexpr double k_weak_confidence = 0.45;
+constexpr double k_strong_confidence = 0.8;
+}  // namespace
+
+const char* guidance_name(GuidanceLevel level)
+{
+    switch (level) {
+    case GuidanceLevel::none: return "baseline";
+    case GuidanceLevel::weak: return "weakly guided";
+    case GuidanceLevel::strong: return "strongly guided";
+    case GuidanceLevel::custom: return "custom";
+    }
+    return "?";
+}
+
+double guidance_confidence(GuidanceLevel level, double fallback)
+{
+    switch (level) {
+    case GuidanceLevel::none: return 0.0;
+    case GuidanceLevel::weak: return k_weak_confidence;
+    case GuidanceLevel::strong: return k_strong_confidence;
+    case GuidanceLevel::custom: return fallback;
+    }
+    throw std::logic_error("guidance_confidence: unknown level");
+}
+
+HintSet apply_guidance(const HintSet& author_hints, Direction direction, GuidanceLevel level)
+{
+    HintSet hints = direction == Direction::minimize ? author_hints.negated_bias()
+                                                     : author_hints;
+    hints.set_confidence(guidance_confidence(level, author_hints.confidence()));
+    return hints;
+}
+
+NautilusEngine::NautilusEngine(const ParameterSpace& space, GaConfig config,
+                               Direction direction, EvalFn eval, const HintSet& author_hints,
+                               GuidanceLevel level)
+    : engine_(space, config, direction, std::move(eval),
+              apply_guidance(author_hints, direction, level)),
+      level_(level)
+{
+}
+
+}  // namespace nautilus

@@ -1,0 +1,53 @@
+#pragma once
+// NautilusEngine: author-guided GA with named guidance levels.
+//
+// The paper compares "weakly guided" and "strongly guided" Nautilus variants
+// that differ *only* in the confidence hint (Fig. 4 footnote 2).  This header
+// provides those presets and a thin wrapper that folds query direction into
+// the author's metric-relative hints.
+
+#include <cstdint>
+
+#include "core/ga.hpp"
+
+namespace nautilus {
+
+enum class GuidanceLevel {
+    none,    // baseline GA: hints ignored entirely
+    weak,    // low confidence: gentle skew, mostly stochastic
+    strong,  // high confidence: directed search, still never deterministic
+    custom,  // use the HintSet's own confidence
+};
+
+const char* guidance_name(GuidanceLevel level);
+
+// Confidence value used for a preset level (custom returns `fallback`).
+double guidance_confidence(GuidanceLevel level, double fallback);
+
+// Prepare an author HintSet for a query:
+//  * bias hints are authored as "effect on the metric when the parameter
+//    increases"; for a minimizing query the effective bias flips sign;
+//  * the confidence is overridden by the guidance level (except custom).
+HintSet apply_guidance(const HintSet& author_hints, Direction direction, GuidanceLevel level);
+
+// Convenience constructor for a guided engine.  Equivalent to GaEngine with
+// apply_guidance()-processed hints.
+class NautilusEngine {
+public:
+    NautilusEngine(const ParameterSpace& space, GaConfig config, Direction direction,
+                   EvalFn eval, const HintSet& author_hints,
+                   GuidanceLevel level = GuidanceLevel::strong);
+
+    const GaEngine& engine() const { return engine_; }
+    GuidanceLevel level() const { return level_; }
+
+    RunResult run() const { return engine_.run(); }
+    RunResult run(std::uint64_t seed) const { return engine_.run(seed); }
+    MultiRunCurve run_many(std::size_t count) const { return engine_.run_many(count); }
+
+private:
+    GaEngine engine_;
+    GuidanceLevel level_;
+};
+
+}  // namespace nautilus

@@ -1,0 +1,248 @@
+#include "core/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nautilus {
+
+void MultiObjectiveConfig::validate() const
+{
+    if (population_size < 4)
+        throw std::invalid_argument("MultiObjectiveConfig: population_size must be >= 4");
+    if (generations == 0)
+        throw std::invalid_argument("MultiObjectiveConfig: generations must be >= 1");
+    if (mutation_rate < 0.0 || mutation_rate > 1.0)
+        throw std::invalid_argument("MultiObjectiveConfig: mutation_rate out of [0, 1]");
+    if (crossover_rate < 0.0 || crossover_rate > 1.0)
+        throw std::invalid_argument("MultiObjectiveConfig: crossover_rate out of [0, 1]");
+}
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    std::span<const ObjectivePoint> points, std::span<const Direction> directions)
+{
+    const std::size_t n = points.size();
+    std::vector<std::vector<std::size_t>> dominated_by(n);  // i dominates these
+    std::vector<std::size_t> domination_count(n, 0);
+    std::vector<std::vector<std::size_t>> fronts;
+
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            if (dominates(points[i], points[j], directions))
+                dominated_by[i].push_back(j);
+            else if (dominates(points[j], points[i], directions))
+                ++domination_count[i];
+        }
+        if (domination_count[i] == 0) current.push_back(i);
+    }
+
+    while (!current.empty()) {
+        fronts.push_back(current);
+        std::vector<std::size_t> next;
+        for (std::size_t i : current) {
+            for (std::size_t j : dominated_by[i]) {
+                if (--domination_count[j] == 0) next.push_back(j);
+            }
+        }
+        current = std::move(next);
+    }
+    return fronts;
+}
+
+std::vector<double> crowding_distance(std::span<const ObjectivePoint> points,
+                                      std::span<const std::size_t> front_indices,
+                                      std::span<const Direction> directions)
+{
+    const std::size_t m = front_indices.size();
+    std::vector<double> distance(m, 0.0);
+    if (m <= 2) {
+        std::fill(distance.begin(), distance.end(),
+                  std::numeric_limits<double>::infinity());
+        return distance;
+    }
+
+    std::vector<std::size_t> order(m);
+    for (std::size_t obj = 0; obj < directions.size(); ++obj) {
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return points[front_indices[a]].values[obj] <
+                   points[front_indices[b]].values[obj];
+        });
+        const double lo = points[front_indices[order.front()]].values[obj];
+        const double hi = points[front_indices[order.back()]].values[obj];
+        distance[order.front()] = std::numeric_limits<double>::infinity();
+        distance[order.back()] = std::numeric_limits<double>::infinity();
+        if (hi <= lo) continue;  // degenerate objective: no spread
+        for (std::size_t k = 1; k + 1 < m; ++k) {
+            const double gap = points[front_indices[order[k + 1]]].values[obj] -
+                               points[front_indices[order[k - 1]]].values[obj];
+            distance[order[k]] += gap / (hi - lo);
+        }
+    }
+    return distance;
+}
+
+Nsga2Engine::Nsga2Engine(const ParameterSpace& space, MultiObjectiveConfig config,
+                         std::vector<Direction> directions, MultiEvalFn eval,
+                         HintSet hints)
+    : space_(space),
+      config_(config),
+      directions_(std::move(directions)),
+      eval_(std::move(eval)),
+      hints_(std::move(hints))
+{
+    if (space_.empty()) throw std::invalid_argument("Nsga2Engine: empty parameter space");
+    if (directions_.empty())
+        throw std::invalid_argument("Nsga2Engine: need at least one objective");
+    if (!eval_) throw std::invalid_argument("Nsga2Engine: null evaluation function");
+    config_.validate();
+    hints_.validate(space_);
+}
+
+MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
+{
+    Rng rng{seed};
+
+    // Memoized evaluation with distinct counting (the paper's cost model).
+    std::unordered_map<Genome, std::optional<std::vector<double>>, GenomeHash> cache;
+    std::size_t distinct = 0;
+    auto evaluate = [&](const Genome& g) -> const std::optional<std::vector<double>>& {
+        auto it = cache.find(g);
+        if (it == cache.end()) {
+            auto values = eval_(g);
+            if (values && values->size() != directions_.size())
+                throw std::runtime_error("Nsga2Engine: objective arity mismatch");
+            it = cache.emplace(g, std::move(values)).first;
+            ++distinct;
+        }
+        return it->second;
+    };
+
+    struct Member {
+        Genome genome;
+        std::vector<double> values;  // feasible members only join the pool
+    };
+
+    // Archive of every feasible point seen (for the final front).
+    std::vector<Member> archive;
+
+    auto to_points = [&](const std::vector<Member>& pool) {
+        std::vector<ObjectivePoint> pts;
+        pts.reserve(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i) pts.push_back({i, pool[i].values});
+        return pts;
+    };
+
+    // Initial population (feasible members only; bounded resampling).
+    std::vector<Member> population;
+    std::size_t draws = 0;
+    while (population.size() < config_.population_size &&
+           draws < config_.population_size * 50) {
+        ++draws;
+        Genome g = Genome::random(space_, rng);
+        const auto& values = evaluate(g);
+        if (values) population.push_back({std::move(g), *values});
+    }
+    if (population.size() < 4) return {{}, distinct};
+    for (const Member& m : population) archive.push_back(m);
+
+    MutationContext ctx;
+    ctx.space = &space_;
+    ctx.hints = &hints_;
+    ctx.mutation_rate = config_.mutation_rate;
+
+    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        ctx.generation = gen;
+
+        // Rank the current pool.
+        const auto points = to_points(population);
+        const auto fronts = non_dominated_sort(points, directions_);
+        std::vector<std::size_t> rank(population.size(), 0);
+        std::vector<double> crowd(population.size(), 0.0);
+        for (std::size_t f = 0; f < fronts.size(); ++f) {
+            const auto dist = crowding_distance(points, fronts[f], directions_);
+            for (std::size_t k = 0; k < fronts[f].size(); ++k) {
+                rank[fronts[f][k]] = f;
+                crowd[fronts[f][k]] = dist[k];
+            }
+        }
+
+        // Binary tournament on (rank, crowding).
+        auto select = [&]() -> const Member& {
+            const std::size_t a = rng.index(population.size());
+            const std::size_t b = rng.index(population.size());
+            if (rank[a] != rank[b]) return population[rank[a] < rank[b] ? a : b];
+            return population[crowd[a] >= crowd[b] ? a : b];
+        };
+
+        // Breed offspring (bounded attempts so sparse spaces terminate).
+        std::vector<Member> offspring;
+        offspring.reserve(config_.population_size);
+        std::size_t attempts = 0;
+        while (offspring.size() < config_.population_size &&
+               attempts++ < config_.population_size * 50) {
+            Genome child_a = select().genome;
+            Genome child_b = select().genome;
+            if (rng.bernoulli(config_.crossover_rate)) {
+                auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
+                child_a = std::move(xa);
+                child_b = std::move(xb);
+            }
+            for (Genome* child : {&child_a, &child_b}) {
+                if (offspring.size() >= config_.population_size) break;
+                mutate(*child, ctx, rng);
+                const auto& values = evaluate(*child);
+                if (values) {
+                    offspring.push_back({*child, *values});
+                    archive.push_back(offspring.back());
+                }
+            }
+        }
+
+        // Environmental selection over parents + offspring.
+        std::vector<Member> pool = std::move(population);
+        pool.insert(pool.end(), offspring.begin(), offspring.end());
+        const auto pool_points = to_points(pool);
+        const auto pool_fronts = non_dominated_sort(pool_points, directions_);
+
+        population.clear();
+        for (const auto& front : pool_fronts) {
+            if (population.size() + front.size() <= config_.population_size) {
+                for (std::size_t idx : front) population.push_back(pool[idx]);
+            }
+            else {
+                // Fill the remainder by descending crowding distance.
+                const auto dist = crowding_distance(pool_points, front, directions_);
+                std::vector<std::size_t> order(front.size());
+                std::iota(order.begin(), order.end(), std::size_t{0});
+                std::sort(order.begin(), order.end(),
+                          [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+                for (std::size_t k : order) {
+                    if (population.size() >= config_.population_size) break;
+                    population.push_back(pool[front[k]]);
+                }
+            }
+            if (population.size() >= config_.population_size) break;
+        }
+    }
+
+    // Final front over the whole archive.
+    std::vector<ObjectivePoint> archive_points;
+    archive_points.reserve(archive.size());
+    for (std::size_t i = 0; i < archive.size(); ++i)
+        archive_points.push_back({i, archive[i].values});
+    const auto front_idx = pareto_front(archive_points, directions_);
+
+    MultiObjectiveResult result;
+    result.distinct_evals = distinct;
+    result.front.reserve(front_idx.size());
+    for (std::size_t idx : front_idx)
+        result.front.push_back({archive[idx].genome, archive[idx].values});
+    return result;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,84 @@
+#pragma once
+// NSGA-II style multi-objective guided GA.
+//
+// The paper's related work contrasts Nautilus's query-at-a-time model with
+// active-learning methods that map the whole Pareto-optimal set.  This
+// engine covers the middle ground natively: a non-dominated-sorting GA
+// (fast non-dominated sort + crowding distance, Deb et al. 2002) that
+// shares Nautilus's genome representation, hint-aware mutation and
+// distinct-evaluation cost accounting, so an IP author's hints accelerate
+// frontier mapping the same way they accelerate single-metric queries.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/hints.hpp"
+#include "core/operators.hpp"
+#include "core/pareto.hpp"
+
+namespace nautilus {
+
+// Multi-objective evaluation: objective values in natural units, or nullopt
+// for infeasible configurations.  Must be deterministic per genome.
+using MultiEvalFn = std::function<std::optional<std::vector<double>>(const Genome&)>;
+
+struct MultiObjectiveConfig {
+    std::size_t population_size = 24;
+    std::size_t generations = 40;
+    double mutation_rate = 0.1;
+    double crossover_rate = 0.9;
+    CrossoverKind crossover = CrossoverKind::single_point;
+    std::uint64_t seed = 1;
+
+    void validate() const;
+};
+
+struct FrontPoint {
+    Genome genome;
+    std::vector<double> values;
+};
+
+struct MultiObjectiveResult {
+    // Non-dominated set over everything evaluated during the run.
+    std::vector<FrontPoint> front;
+    std::size_t distinct_evals = 0;
+};
+
+class Nsga2Engine {
+public:
+    // `directions` gives the optimization sense per objective; `hints` uses
+    // the usual conventions (bias > 0 favors upward moves) -- pass
+    // HintSet::none for the unguided variant.
+    Nsga2Engine(const ParameterSpace& space, MultiObjectiveConfig config,
+                std::vector<Direction> directions, MultiEvalFn eval, HintSet hints);
+
+    const MultiObjectiveConfig& config() const { return config_; }
+    std::span<const Direction> directions() const { return directions_; }
+
+    MultiObjectiveResult run(std::uint64_t seed) const;
+    MultiObjectiveResult run() const { return run(config_.seed); }
+
+private:
+    const ParameterSpace& space_;
+    MultiObjectiveConfig config_;
+    std::vector<Direction> directions_;
+    MultiEvalFn eval_;
+    HintSet hints_;
+};
+
+// Fast non-dominated sort: partitions `points` into fronts (rank 0 = the
+// Pareto front).  Exposed for testing.
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    std::span<const ObjectivePoint> points, std::span<const Direction> directions);
+
+// Crowding distance of each member within one front (same index order as
+// `front_indices`).  Boundary points get +infinity.  Exposed for testing.
+std::vector<double> crowding_distance(std::span<const ObjectivePoint> points,
+                                      std::span<const std::size_t> front_indices,
+                                      std::span<const Direction> directions);
+
+}  // namespace nautilus

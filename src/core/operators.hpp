@@ -1,0 +1,61 @@
+#pragma once
+// Genetic operators: hint-aware mutation and crossover.
+//
+// The baseline behavior (HintSet::none) matches a PyEvolve-style integer GA:
+// each gene mutates independently with probability `mutation_rate` to a
+// uniformly random different value; crossover is single-point.
+//
+// Hints modify the two stochastic choices of mutation:
+//  * *which* gene mutates  -- importance (+ decay) skews per-gene mutation
+//    probability while preserving the expected number of mutations;
+//  * *what value* it takes -- bias tilts the step direction, target
+//    concentrates values near a region, step_scale controls step size.
+// Every modification is blended with the uniform baseline through the
+// confidence knob c:  guided = (1-c) * uniform + c * directed.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/hints.hpp"
+#include "core/parameter.hpp"
+#include "core/rng.hpp"
+
+namespace nautilus {
+
+// Everything mutation needs to know; cheap to construct per generation.
+struct MutationContext {
+    const ParameterSpace* space = nullptr;
+    const HintSet* hints = nullptr;  // already direction-folded
+    double mutation_rate = 0.1;      // baseline per-gene probability
+    std::size_t generation = 0;      // for importance decay
+};
+
+// Per-gene mutation probabilities for this generation.  With no hints every
+// entry equals mutation_rate; with importance hints the probabilities are
+// skewed by (blended) normalized effective importance, preserving the mean
+// so the overall mutation pressure matches the baseline.  Capped at 0.95.
+std::vector<double> gene_mutation_probabilities(const MutationContext& ctx);
+
+// Probability distribution over the value indices a mutating gene may take,
+// given its current value.  The current index always gets probability 0 (a
+// mutation must change the gene); for single-value domains the result is
+// all-zero.  Exposed for direct property testing.
+std::vector<double> value_distribution(const ParamDomain& domain, const ParamHints& hints,
+                                       double confidence, std::uint32_t current);
+
+// Mutate `genome` in place; returns the number of genes changed.
+std::size_t mutate(Genome& genome, const MutationContext& ctx, Rng& rng);
+
+enum class CrossoverKind { single_point, two_point, uniform };
+
+const char* crossover_name(CrossoverKind kind);
+
+// Produce two children from two parents.  Parents must have equal, nonzero
+// size.  single_point/two_point exchange contiguous gene runs; uniform picks
+// each gene from either parent with probability 1/2.
+std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverKind kind,
+                                    Rng& rng);
+
+}  // namespace nautilus

@@ -1,0 +1,180 @@
+#include "core/parameter.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nautilus {
+
+ParamDomain ParamDomain::int_range(std::int64_t lo, std::int64_t hi, std::int64_t step)
+{
+    if (step <= 0) throw std::invalid_argument("ParamDomain::int_range: step must be positive");
+    if (lo > hi) throw std::invalid_argument("ParamDomain::int_range: lo > hi");
+    ParamDomain d;
+    d.kind_ = DomainKind::integer_range;
+    d.ordered_ = true;
+    d.lo_ = lo;
+    d.hi_ = hi;
+    d.step_ = step;
+    return d;
+}
+
+ParamDomain ParamDomain::pow2(int lo_exp, int hi_exp)
+{
+    if (lo_exp > hi_exp) throw std::invalid_argument("ParamDomain::pow2: lo_exp > hi_exp");
+    if (lo_exp < 0 || hi_exp > 62)
+        throw std::invalid_argument("ParamDomain::pow2: exponent out of [0, 62]");
+    ParamDomain d;
+    d.kind_ = DomainKind::pow2_range;
+    d.ordered_ = true;
+    d.lo_ = lo_exp;
+    d.hi_ = hi_exp;
+    d.step_ = 1;
+    return d;
+}
+
+ParamDomain ParamDomain::categorical(std::vector<std::string> names, bool ordered)
+{
+    if (names.empty()) throw std::invalid_argument("ParamDomain::categorical: empty value set");
+    for (std::size_t i = 0; i < names.size(); ++i)
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            if (names[i] == names[j])
+                throw std::invalid_argument("ParamDomain::categorical: duplicate value name '" +
+                                            names[i] + "'");
+    ParamDomain d;
+    d.kind_ = DomainKind::categorical;
+    d.ordered_ = ordered;
+    d.names_ = std::move(names);
+    return d;
+}
+
+ParamDomain ParamDomain::boolean()
+{
+    ParamDomain d;
+    d.kind_ = DomainKind::boolean_flag;
+    d.ordered_ = true;
+    d.lo_ = 0;
+    d.hi_ = 1;
+    return d;
+}
+
+std::size_t ParamDomain::cardinality() const
+{
+    switch (kind_) {
+    case DomainKind::integer_range:
+        return static_cast<std::size_t>((hi_ - lo_) / step_) + 1;
+    case DomainKind::pow2_range:
+        return static_cast<std::size_t>(hi_ - lo_) + 1;
+    case DomainKind::categorical:
+        return names_.size();
+    case DomainKind::boolean_flag:
+        return 2;
+    }
+    return 0;
+}
+
+double ParamDomain::numeric_value(std::size_t i) const
+{
+    if (i >= cardinality())
+        throw std::out_of_range("ParamDomain::numeric_value: index out of range");
+    switch (kind_) {
+    case DomainKind::integer_range:
+        return static_cast<double>(lo_ + static_cast<std::int64_t>(i) * step_);
+    case DomainKind::pow2_range:
+        return std::ldexp(1.0, static_cast<int>(lo_ + static_cast<std::int64_t>(i)));
+    case DomainKind::categorical:
+        return static_cast<double>(i);
+    case DomainKind::boolean_flag:
+        return static_cast<double>(i);
+    }
+    return 0.0;
+}
+
+std::string ParamDomain::value_name(std::size_t i) const
+{
+    if (i >= cardinality())
+        throw std::out_of_range("ParamDomain::value_name: index out of range");
+    switch (kind_) {
+    case DomainKind::integer_range:
+    case DomainKind::pow2_range:
+        return std::to_string(static_cast<std::int64_t>(numeric_value(i)));
+    case DomainKind::categorical:
+        return names_[i];
+    case DomainKind::boolean_flag:
+        return i == 0 ? "false" : "true";
+    }
+    return {};
+}
+
+std::size_t ParamDomain::nearest_index(double v) const
+{
+    const std::size_t n = cardinality();
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dist = std::abs(numeric_value(i) - v);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<std::size_t> ParamDomain::index_of(std::string_view name) const
+{
+    const std::size_t n = cardinality();
+    for (std::size_t i = 0; i < n; ++i)
+        if (value_name(i) == name) return i;
+    return std::nullopt;
+}
+
+std::size_t ParameterSpace::add(Parameter param)
+{
+    if (param.name.empty())
+        throw std::invalid_argument("ParameterSpace::add: empty parameter name");
+    if (index_of(param.name))
+        throw std::invalid_argument("ParameterSpace::add: duplicate parameter '" + param.name +
+                                    "'");
+    params_.push_back(std::move(param));
+    return params_.size() - 1;
+}
+
+std::size_t ParameterSpace::add(std::string name, ParamDomain domain, std::string description)
+{
+    return add(Parameter{std::move(name), std::move(domain), std::move(description)});
+}
+
+const Parameter& ParameterSpace::at(std::size_t i) const
+{
+    if (i >= params_.size()) throw std::out_of_range("ParameterSpace::at: index out of range");
+    return params_[i];
+}
+
+std::optional<std::size_t> ParameterSpace::index_of(std::string_view name) const
+{
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        if (params_[i].name == name) return i;
+    return std::nullopt;
+}
+
+double ParameterSpace::cardinality() const
+{
+    double total = params_.empty() ? 0.0 : 1.0;
+    for (const auto& p : params_) total *= static_cast<double>(p.domain.cardinality());
+    return total;
+}
+
+std::optional<std::size_t> ParameterSpace::exact_cardinality() const
+{
+    if (params_.empty()) return 0;
+    std::size_t total = 1;
+    for (const auto& p : params_) {
+        const std::size_t card = p.domain.cardinality();
+        if (total > std::numeric_limits<std::size_t>::max() / card) return std::nullopt;
+        total *= card;
+    }
+    return total;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,101 @@
+#pragma once
+// Parameter domains and parameter spaces.
+//
+// An IP generator exposes a set of named parameters; each parameter draws its
+// value from a finite domain.  Internally every domain is addressed by a
+// *value index* in [0, cardinality).  Genomes store value indices, which makes
+// genetic operators uniform across domain kinds; `numeric_value()` maps an
+// index back to the natural (physical) value used by hints and models.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nautilus {
+
+enum class DomainKind {
+    integer_range,  // lo, lo+step, ..., <= hi
+    pow2_range,     // 2^lo_exp ... 2^hi_exp
+    categorical,    // named values; may carry an author-declared ordering
+    boolean_flag,   // false, true
+};
+
+// A finite, ordered set of values a parameter can take.
+class ParamDomain {
+public:
+    static ParamDomain int_range(std::int64_t lo, std::int64_t hi, std::int64_t step = 1);
+    static ParamDomain pow2(int lo_exp, int hi_exp);
+    // `ordered` declares that the listed order is meaningful with respect to
+    // typical metrics (an "auxiliary" Nautilus hint, paper section 3); bias
+    // and target hints are only valid on ordered domains.
+    static ParamDomain categorical(std::vector<std::string> names, bool ordered = false);
+    static ParamDomain boolean();
+
+    DomainKind kind() const { return kind_; }
+    std::size_t cardinality() const;
+    bool ordered() const { return ordered_; }
+
+    // Natural numeric value of index `i` (2^k for pow2, lo+i*step for ranges,
+    // 0/1 for booleans, the index itself for categoricals).
+    double numeric_value(std::size_t i) const;
+
+    // Display name of value `i` ("128", "true", "matrix", ...).
+    std::string value_name(std::size_t i) const;
+
+    // Index whose numeric value is closest to `v` (used by target hints).
+    std::size_t nearest_index(double v) const;
+
+    // Index of a categorical value by name, if present.
+    std::optional<std::size_t> index_of(std::string_view name) const;
+
+    bool operator==(const ParamDomain& other) const = default;
+
+private:
+    ParamDomain() = default;
+
+    DomainKind kind_ = DomainKind::integer_range;
+    bool ordered_ = true;
+    std::int64_t lo_ = 0;
+    std::int64_t hi_ = 0;
+    std::int64_t step_ = 1;
+    std::vector<std::string> names_;  // categorical only
+};
+
+struct Parameter {
+    std::string name;
+    ParamDomain domain;
+    std::string description;
+};
+
+// An ordered collection of parameters; defines the design space shape.
+class ParameterSpace {
+public:
+    // Returns the index of the added parameter. Throws on duplicate names.
+    std::size_t add(Parameter param);
+    std::size_t add(std::string name, ParamDomain domain, std::string description = "");
+
+    std::size_t size() const { return params_.size(); }
+    bool empty() const { return params_.empty(); }
+
+    const Parameter& at(std::size_t i) const;
+    const Parameter& operator[](std::size_t i) const { return at(i); }
+
+    std::optional<std::size_t> index_of(std::string_view name) const;
+
+    // Number of distinct configurations (product of cardinalities), as a
+    // double because real IP spaces overflow 64 bits.
+    double cardinality() const;
+
+    // Total configurations if they fit in size_t; nullopt otherwise.
+    std::optional<std::size_t> exact_cardinality() const;
+
+    auto begin() const { return params_.begin(); }
+    auto end() const { return params_.end(); }
+
+private:
+    std::vector<Parameter> params_;
+};
+
+}  // namespace nautilus

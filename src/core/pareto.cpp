@@ -1,0 +1,131 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nautilus {
+
+namespace {
+
+void check_arity(const ObjectivePoint& p, std::span<const Direction> directions,
+                 const char* where)
+{
+    if (p.values.size() != directions.size())
+        throw std::invalid_argument(std::string(where) + ": objective arity mismatch");
+}
+
+}  // namespace
+
+bool dominates(const ObjectivePoint& a, const ObjectivePoint& b,
+               std::span<const Direction> directions)
+{
+    check_arity(a, directions, "dominates");
+    check_arity(b, directions, "dominates");
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < directions.size(); ++i) {
+        if (!no_worse(a.values[i], b.values[i], directions[i])) return false;
+        if (!no_worse(b.values[i], a.values[i], directions[i])) strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(std::span<const ObjectivePoint> points,
+                                      std::span<const Direction> directions)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (i == j) continue;
+            if (dominates(points[j], points[i], directions)) dominated = true;
+            // Duplicate points: keep only the first occurrence.
+            if (!dominated && j < i && points[j].values == points[i].values)
+                dominated = true;
+        }
+        if (!dominated) front.push_back(i);
+    }
+    return front;
+}
+
+double hypervolume_2d(std::span<const ObjectivePoint> front,
+                      std::span<const Direction> directions,
+                      const ObjectivePoint& reference)
+{
+    if (directions.size() != 2)
+        throw std::invalid_argument("hypervolume_2d: exactly two objectives required");
+    check_arity(reference, directions, "hypervolume_2d");
+    if (front.empty()) return 0.0;
+
+    // Fold both objectives into maximize orientation relative to reference.
+    struct Folded {
+        double x;
+        double y;
+    };
+    std::vector<Folded> pts;
+    pts.reserve(front.size());
+    for (const auto& p : front) {
+        check_arity(p, directions, "hypervolume_2d");
+        const double x =
+            direction_sign(directions[0]) * (p.values[0] - reference.values[0]);
+        const double y =
+            direction_sign(directions[1]) * (p.values[1] - reference.values[1]);
+        if (x < 0.0 || y < 0.0)
+            throw std::invalid_argument(
+                "hypervolume_2d: reference must be dominated by every front point");
+        pts.push_back({x, y});
+    }
+    // Sweep by descending x; accumulate rectangles above the best-so-far y.
+    std::sort(pts.begin(), pts.end(), [](const Folded& a, const Folded& b) {
+        return a.x > b.x || (a.x == b.x && a.y > b.y);
+    });
+    double volume = 0.0;
+    double prev_x = pts.front().x;
+    double best_y = 0.0;
+    // First rectangle spans from the largest x to the next distinct x.
+    for (const Folded& p : pts) {
+        if (p.x < prev_x) {
+            // close the strip [p.x, prev_x] at height best_y
+            volume += (prev_x - p.x) * best_y;
+            prev_x = p.x;
+        }
+        best_y = std::max(best_y, p.y);
+    }
+    volume += prev_x * best_y;  // final strip down to the reference x
+    return volume;
+}
+
+double front_coverage(std::span<const ObjectivePoint> approximation,
+                      std::span<const ObjectivePoint> reference,
+                      std::span<const Direction> directions)
+{
+    if (reference.empty()) throw std::invalid_argument("front_coverage: empty reference");
+    std::size_t covered = 0;
+    for (const auto& ref : reference) {
+        for (const auto& approx : approximation) {
+            const bool matches = approx.values == ref.values;
+            if (matches || dominates(approx, ref, directions)) {
+                ++covered;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(covered) / static_cast<double>(reference.size());
+}
+
+double weighted_sum(const ObjectivePoint& point, std::span<const Direction> directions,
+                    std::span<const double> weights, std::span<const double> scales)
+{
+    check_arity(point, directions, "weighted_sum");
+    if (weights.size() != directions.size() || scales.size() != directions.size())
+        throw std::invalid_argument("weighted_sum: weights/scales arity mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < directions.size(); ++i) {
+        if (weights[i] < 0.0) throw std::invalid_argument("weighted_sum: negative weight");
+        if (scales[i] <= 0.0)
+            throw std::invalid_argument("weighted_sum: non-positive scale");
+        total += weights[i] * direction_sign(directions[i]) * point.values[i] / scales[i];
+    }
+    return total;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,58 @@
+#pragma once
+// Multi-objective utilities: dominance, Pareto fronts, hypervolume.
+//
+// The paper's related-work section contrasts Nautilus with active-learning
+// methods that model the *entire* Pareto-optimal set; Nautilus instead
+// answers one query at a time.  These utilities bridge the two views: they
+// extract true fronts from characterized datasets (ground truth for
+// evaluation) and score how well a set of query-driven search results covers
+// that front (the weighted-sum sweep strategy of bench_pareto_front).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/fitness.hpp"
+
+namespace nautilus {
+
+// One candidate in objective space.  `values[i]` is objective i in natural
+// units; `directions[i]` (shared, external) says which way is better.
+struct ObjectivePoint {
+    std::size_t tag = 0;           // caller-defined identity (dataset index, ...)
+    std::vector<double> values;
+};
+
+// True if `a` dominates `b`: no worse in every objective, strictly better in
+// at least one.  Both must have the same arity as `directions`.
+bool dominates(const ObjectivePoint& a, const ObjectivePoint& b,
+               std::span<const Direction> directions);
+
+// Indices of the non-dominated members of `points`.  O(n^2) scan with an
+// early-exit fast path; fine for the tens of thousands of points the paper's
+// datasets hold.
+std::vector<std::size_t> pareto_front(std::span<const ObjectivePoint> points,
+                                      std::span<const Direction> directions);
+
+// 2-D hypervolume (area dominated relative to `reference`, which must be
+// dominated by every point).  Objectives are internally folded so that
+// larger is better.  Throws unless exactly two objectives.
+double hypervolume_2d(std::span<const ObjectivePoint> front,
+                      std::span<const Direction> directions,
+                      const ObjectivePoint& reference);
+
+// Coverage of an approximation set versus a reference front in [0, 1]:
+// the fraction of reference points that are dominated-or-matched by some
+// approximation point.
+double front_coverage(std::span<const ObjectivePoint> approximation,
+                      std::span<const ObjectivePoint> reference,
+                      std::span<const Direction> directions);
+
+// Scalarize objectives into a single maximized fitness with non-negative
+// weights (weighted-sum method).  Values are first normalized by the given
+// per-objective scales (natural-unit magnitudes, must be positive) and
+// direction-folded.
+double weighted_sum(const ObjectivePoint& point, std::span<const Direction> directions,
+                    std::span<const double> weights, std::span<const double> scales);
+
+}  // namespace nautilus

@@ -1,0 +1,66 @@
+#include "core/random_search.hpp"
+
+#include <stdexcept>
+
+#include "core/genome.hpp"
+
+namespace nautilus {
+
+RandomSearch::RandomSearch(const ParameterSpace& space, RandomSearchConfig config,
+                           Direction direction, EvalFn eval)
+    : space_(space), config_(config), direction_(direction), eval_(std::move(eval))
+{
+    if (space_.empty()) throw std::invalid_argument("RandomSearch: empty parameter space");
+    if (!eval_) throw std::invalid_argument("RandomSearch: null evaluation function");
+    if (config_.max_distinct_evals == 0)
+        throw std::invalid_argument("RandomSearch: max_distinct_evals must be >= 1");
+}
+
+Curve RandomSearch::run(std::uint64_t seed) const
+{
+    Rng rng{seed};
+    CachingEvaluator evaluator{eval_};
+    Curve curve{direction_};
+    double best = worst_value(direction_);
+    bool have_best = false;
+
+    // Bound total draws so tiny spaces (where every point is soon cached)
+    // terminate even if the distinct budget exceeds the space size.
+    const std::size_t max_draws = config_.max_distinct_evals * 50;
+    for (std::size_t draw = 0;
+         draw < max_draws && evaluator.distinct_evaluations() < config_.max_distinct_evals;
+         ++draw) {
+        const Genome g = Genome::random(space_, rng);
+        const std::size_t before = evaluator.distinct_evaluations();
+        const Evaluation e = evaluator.evaluate(g);
+        if (evaluator.distinct_evaluations() == before) continue;  // revisit, free
+        if (!e.feasible) continue;
+        if (!have_best || no_worse(e.value, best, direction_)) {
+            best = better_of(e.value, best, direction_);
+            have_best = true;
+            curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
+        }
+    }
+    return curve;
+}
+
+MultiRunCurve RandomSearch::run_many(std::size_t count) const
+{
+    if (count == 0) throw std::invalid_argument("RandomSearch::run_many: count must be >= 1");
+    MultiRunCurve multi{direction_};
+    Rng seeder{config_.seed};
+    for (std::size_t i = 0; i < count; ++i) {
+        Curve c = run(seeder.next_u64());
+        if (!c.empty()) multi.add_run(std::move(c));
+    }
+    return multi;
+}
+
+double RandomSearch::expected_draws(double hit_probability)
+{
+    if (hit_probability <= 0.0 || hit_probability > 1.0)
+        throw std::invalid_argument("RandomSearch::expected_draws: probability out of (0, 1]");
+    return 1.0 / hit_probability;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,147 @@
+#include "core/run_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nautilus {
+
+void Curve::append(double evals, double best)
+{
+    if (!points_.empty()) {
+        if (evals < points_.back().evals)
+            throw std::invalid_argument("Curve::append: evaluation count decreased");
+        if (!no_worse(best, points_.back().best, dir_))
+            throw std::invalid_argument("Curve::append: best-so-far regressed");
+        if (evals == points_.back().evals) {
+            points_.back().best = best;  // same x: keep the newer (better) value
+            return;
+        }
+    }
+    points_.push_back({evals, best});
+}
+
+double Curve::final_evals() const
+{
+    if (points_.empty()) throw std::logic_error("Curve::final_evals: empty curve");
+    return points_.back().evals;
+}
+
+double Curve::final_best() const
+{
+    if (points_.empty()) throw std::logic_error("Curve::final_best: empty curve");
+    return points_.back().best;
+}
+
+std::optional<double> Curve::value_at(double evals) const
+{
+    if (points_.empty() || evals < points_.front().evals) return std::nullopt;
+    // Last point with point.evals <= evals.
+    auto it = std::upper_bound(points_.begin(), points_.end(), evals,
+                               [](double e, const CurvePoint& p) { return e < p.evals; });
+    return std::prev(it)->best;
+}
+
+std::optional<double> Curve::evals_to_reach(double threshold) const
+{
+    for (const CurvePoint& p : points_)
+        if (no_worse(p.best, threshold, dir_)) return p.evals;
+    return std::nullopt;
+}
+
+void MultiRunCurve::add_run(Curve curve)
+{
+    if (curve.direction() != dir_)
+        throw std::invalid_argument("MultiRunCurve::add_run: direction mismatch");
+    if (curve.empty()) throw std::invalid_argument("MultiRunCurve::add_run: empty curve");
+    runs_.push_back(std::move(curve));
+}
+
+const Curve& MultiRunCurve::run(std::size_t i) const
+{
+    if (i >= runs_.size()) throw std::out_of_range("MultiRunCurve::run: index out of range");
+    return runs_[i];
+}
+
+std::vector<CurvePoint> MultiRunCurve::mean_curve(const std::vector<double>& grid) const
+{
+    std::vector<CurvePoint> out;
+    out.reserve(grid.size());
+    for (double g : grid) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (const Curve& run : runs_) {
+            const auto v = run.value_at(g);
+            if (v) {
+                sum += *v;
+                ++count;
+            }
+        }
+        if (count > 0) out.push_back({g, sum / static_cast<double>(count)});
+    }
+    return out;
+}
+
+std::vector<double> MultiRunCurve::default_grid(std::size_t points) const
+{
+    if (runs_.empty() || points < 2) return {};
+    double max_evals = 0.0;
+    for (const Curve& run : runs_) max_evals = std::max(max_evals, run.final_evals());
+    std::vector<double> grid(points);
+    for (std::size_t i = 0; i < points; ++i)
+        grid[i] = max_evals * static_cast<double>(i) / static_cast<double>(points - 1);
+    return grid;
+}
+
+MultiRunCurve::Convergence MultiRunCurve::evals_to_reach(double threshold) const
+{
+    Convergence c;
+    c.runs = runs_.size();
+    double sum = 0.0;
+    for (const Curve& run : runs_) {
+        const auto e = run.evals_to_reach(threshold);
+        if (e) {
+            sum += *e;
+            ++c.reached;
+        }
+    }
+    c.mean_evals = c.reached > 0 ? sum / static_cast<double>(c.reached) : 0.0;
+    return c;
+}
+
+std::optional<double> MultiRunCurve::mean_curve_crossing(double threshold,
+                                                         std::size_t grid_points) const
+{
+    const std::vector<CurvePoint> mean = mean_curve(default_grid(grid_points));
+    for (const CurvePoint& p : mean)
+        if (no_worse(p.best, threshold, dir_)) return p.evals;
+    return std::nullopt;
+}
+
+double MultiRunCurve::mean_final_best() const
+{
+    if (runs_.empty()) throw std::logic_error("MultiRunCurve::mean_final_best: no runs");
+    double sum = 0.0;
+    for (const Curve& run : runs_) sum += run.final_best();
+    return sum / static_cast<double>(runs_.size());
+}
+
+double MultiRunCurve::best_final_best() const
+{
+    if (runs_.empty()) throw std::logic_error("MultiRunCurve::best_final_best: no runs");
+    double best = worst_value(dir_);
+    for (const Curve& run : runs_) best = better_of(best, run.final_best(), dir_);
+    return best;
+}
+
+std::optional<double> speedup_at_threshold(const MultiRunCurve& baseline,
+                                           const MultiRunCurve& guided, double threshold)
+{
+    const auto b = baseline.evals_to_reach(threshold);
+    const auto g = guided.evals_to_reach(threshold);
+    if (b.reached * 2 < b.runs || g.reached * 2 < g.runs) return std::nullopt;
+    if (g.mean_evals <= 0.0) return std::nullopt;
+    return b.mean_evals / g.mean_evals;
+}
+
+}  // namespace nautilus

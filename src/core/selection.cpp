@@ -1,0 +1,105 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nautilus {
+
+const char* selection_name(SelectionKind kind)
+{
+    switch (kind) {
+    case SelectionKind::rank: return "rank";
+    case SelectionKind::tournament: return "tournament";
+    case SelectionKind::roulette: return "roulette";
+    }
+    return "?";
+}
+
+std::vector<std::size_t> rank_order(std::span<const double> fitness)
+{
+    std::vector<std::size_t> order(fitness.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return fitness[a] > fitness[b]; });
+    return order;
+}
+
+namespace {
+
+// Weight floor of roulette selection relative to the population fitness
+// span: higher values weaken selection pressure.  0.45 calibrates the
+// engine's unguided convergence to PyEvolve-era baseline behavior.
+constexpr double k_roulette_floor = 0.45;
+
+std::size_t select_rank(std::span<const double> fitness, double pressure, Rng& rng)
+{
+    const std::size_t n = fitness.size();
+    if (n == 1) return 0;
+    const std::vector<std::size_t> order = rank_order(fitness);
+    // Linear ranking: best rank r=0 gets weight `pressure`, worst gets
+    // 2 - pressure, interpolating linearly.
+    std::vector<double> weights(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double frac = static_cast<double>(r) / static_cast<double>(n - 1);
+        weights[r] = pressure + ((2.0 - pressure) - pressure) * frac;
+    }
+    const std::size_t pick = rng.weighted_index(weights);
+    return order[pick];
+}
+
+std::size_t select_tournament(std::span<const double> fitness, std::size_t k, Rng& rng)
+{
+    const std::size_t n = fitness.size();
+    std::size_t best = rng.index(n);
+    for (std::size_t i = 1; i < std::max<std::size_t>(k, 1); ++i) {
+        const std::size_t challenger = rng.index(n);
+        if (fitness[challenger] > fitness[best]) best = challenger;
+    }
+    return best;
+}
+
+std::size_t select_roulette(std::span<const double> fitness, Rng& rng)
+{
+    // Shift scores so the worst finite score maps to a small positive weight;
+    // -inf (infeasible) maps to zero.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (double f : fitness) {
+        if (!std::isfinite(f)) continue;
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    if (!std::isfinite(lo)) {
+        // Entire population infeasible: fall back to uniform.
+        return rng.index(fitness.size());
+    }
+    const double span = hi - lo;
+    const double floor_weight = span > 0.0 ? span * k_roulette_floor : 1.0;
+    std::vector<double> weights(fitness.size(), 0.0);
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+        if (std::isfinite(fitness[i])) weights[i] = (fitness[i] - lo) + floor_weight;
+    return rng.weighted_index(weights);
+}
+
+}  // namespace
+
+std::size_t select_parent(std::span<const double> fitness, const SelectionConfig& config,
+                          Rng& rng)
+{
+    if (fitness.empty()) throw std::invalid_argument("select_parent: empty population");
+    if (config.rank_pressure < 1.0 || config.rank_pressure > 2.0)
+        throw std::invalid_argument("select_parent: rank_pressure out of [1, 2]");
+    switch (config.kind) {
+    case SelectionKind::rank: return select_rank(fitness, config.rank_pressure, rng);
+    case SelectionKind::tournament:
+        return select_tournament(fitness, config.tournament_size, rng);
+    case SelectionKind::roulette: return select_roulette(fitness, rng);
+    }
+    throw std::logic_error("select_parent: unknown selection kind");
+}
+
+}  // namespace nautilus

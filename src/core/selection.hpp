@@ -1,0 +1,34 @@
+#pragma once
+// Parent selection strategies.
+//
+// All strategies take the population's direction-folded fitness scores
+// (higher is better; -inf marks infeasible points) and return the index of a
+// selected parent.  Rank selection is the engine default (robust to fitness
+// scaling, matching PyEvolve's default ranking behavior).
+
+#include <cstddef>
+#include <span>
+
+#include "core/rng.hpp"
+
+namespace nautilus {
+
+enum class SelectionKind { rank, tournament, roulette };
+
+const char* selection_name(SelectionKind kind);
+
+struct SelectionConfig {
+    SelectionKind kind = SelectionKind::rank;
+    // Linear-ranking pressure in [1, 2]: expected copies of the best member.
+    double rank_pressure = 1.8;
+    std::size_t tournament_size = 2;
+};
+
+// Select one parent index.  `fitness` must be nonempty.
+std::size_t select_parent(std::span<const double> fitness, const SelectionConfig& config,
+                          Rng& rng);
+
+// Indices of `fitness` sorted best-first (ties broken by lower index).
+std::vector<std::size_t> rank_order(std::span<const double> fitness);
+
+}  // namespace nautilus

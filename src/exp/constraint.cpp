@@ -1,0 +1,74 @@
+#include "exp/constraint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nautilus::exp {
+
+double Constraint::violation(double value) const
+{
+    if (limit == 0.0) {
+        // Degenerate normalization; treat as satisfied iff on the right side.
+        const bool ok = bound == Bound::upper ? value <= 0.0 : value >= 0.0;
+        return ok ? 0.0 : 1.0;
+    }
+    const double rel = (value - limit) / std::abs(limit);
+    if (bound == Bound::upper) return rel > 0.0 ? rel : 0.0;
+    return rel < 0.0 ? -rel : 0.0;
+}
+
+EvalFn constrained_eval(const ip::IpGenerator& generator, ip::Metric objective,
+                        Direction direction, std::vector<Constraint> constraints,
+                        ConstraintMode mode, double penalty_weight)
+{
+    if (penalty_weight < 0.0)
+        throw std::invalid_argument("constrained_eval: negative penalty weight");
+    return [&generator, objective, direction, constraints = std::move(constraints), mode,
+            penalty_weight](const Genome& genome) -> Evaluation {
+        const ip::MetricValues values = generator.evaluate(genome);
+        if (!values.feasible) return {false, 0.0};
+        const auto obj = values.try_get(objective);
+        if (!obj) return {false, 0.0};
+
+        double total_violation = 0.0;
+        for (const Constraint& c : constraints) {
+            const auto v = values.try_get(c.metric);
+            if (!v) return {false, 0.0};  // unconstrained metric missing: reject
+            total_violation += c.violation(*v);
+        }
+        if (total_violation == 0.0) return {true, *obj};
+        if (mode == ConstraintMode::hard) return {false, 0.0};
+
+        // Penalty: push the objective toward "worse" proportionally.
+        const double magnitude = std::max(std::abs(*obj), 1e-9);
+        const double penalty = magnitude * penalty_weight * total_violation;
+        const double penalized =
+            *obj - direction_sign(direction) * penalty;
+        return {true, penalized};
+    };
+}
+
+double constraint_satisfaction_rate(const ip::Dataset& dataset,
+                                    std::span<const Constraint> constraints)
+{
+    std::size_t feasible = 0;
+    std::size_t satisfied = 0;
+    for (const auto& entry : dataset) {
+        if (!entry.values.feasible) continue;
+        ++feasible;
+        bool ok = true;
+        for (const Constraint& c : constraints) {
+            const auto v = entry.values.try_get(c.metric);
+            if (!v || !c.satisfied(*v)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) ++satisfied;
+    }
+    if (feasible == 0)
+        throw std::invalid_argument("constraint_satisfaction_rate: no feasible entries");
+    return static_cast<double>(satisfied) / static_cast<double>(feasible);
+}
+
+}  // namespace nautilus::exp

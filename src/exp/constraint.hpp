@@ -1,0 +1,52 @@
+#pragma once
+// Constrained queries.
+//
+// The paper (section 2, fitness function) notes the fitness can "constrain
+// the algorithm to only explore specific portions of the solution space
+// (e.g., by assigning very low scores to solutions lying in regions of the
+// design space that are not of interest or should be avoided)".  This header
+// implements that mechanism for metric bounds: "maximize freq_mhz subject to
+// area_luts <= 4000".
+//
+// Two enforcement modes:
+//  * hard    -- violating points are reported infeasible (the GA's -inf
+//               fitness), exactly the "very low scores" device;
+//  * penalty -- the objective is degraded proportionally to the relative
+//               violation, leaving a gradient back toward the feasible
+//               region (useful when feasible points are rare).
+
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "ip/dataset.hpp"
+#include "ip/ip_generator.hpp"
+
+namespace nautilus::exp {
+
+struct Constraint {
+    ip::Metric metric = ip::Metric::area_luts;
+    enum class Bound { upper, lower } bound = Bound::upper;
+    double limit = 0.0;
+
+    // Relative violation in [0, inf): 0 when satisfied.
+    double violation(double value) const;
+    bool satisfied(double value) const { return violation(value) == 0.0; }
+};
+
+enum class ConstraintMode { hard, penalty };
+
+// Evaluation function for `objective` under `constraints`.
+// In penalty mode the returned value is worsened by
+//   |objective| * penalty_weight * total_relative_violation
+// in the direction that reduces fitness.
+EvalFn constrained_eval(const ip::IpGenerator& generator, ip::Metric objective,
+                        Direction direction, std::vector<Constraint> constraints,
+                        ConstraintMode mode, double penalty_weight = 2.0);
+
+// Fraction of `dataset` entries that satisfy every constraint (among
+// feasible entries); gauges how hard the constrained query is.
+double constraint_satisfaction_rate(const ip::Dataset& dataset,
+                                    std::span<const Constraint> constraints);
+
+}  // namespace nautilus::exp

@@ -1,0 +1,49 @@
+#include "exp/query.hpp"
+
+#include <stdexcept>
+
+namespace nautilus::exp {
+
+Query Query::simple(std::string name, ip::Metric metric, Direction direction)
+{
+    Query q;
+    q.name = std::move(name);
+    q.metric = metric;
+    q.direction = direction;
+    return q;
+}
+
+HintSet query_hints(const ip::IpGenerator& generator, const Query& query)
+{
+    if (query.hint_components.empty()) {
+        HintSet hints = generator.author_hints(query.metric);
+        hints.validate(generator.space());
+        if (query.direction == Direction::minimize) hints = hints.negated_bias();
+        hints.set_confidence(0.0);
+        return hints;
+    }
+
+    // Fold each component into objective orientation, then merge.
+    std::vector<HintSet> folded;
+    folded.reserve(query.hint_components.size());
+    for (const auto& comp : query.hint_components) {
+        HintSet h = generator.author_hints(comp.metric);
+        h.validate(generator.space());
+        if (comp.direction == Direction::minimize) h = h.negated_bias();
+        folded.push_back(std::move(h));
+    }
+    std::vector<WeightedHintSet> weighted;
+    weighted.reserve(folded.size());
+    for (std::size_t i = 0; i < folded.size(); ++i)
+        weighted.push_back({&folded[i], query.hint_components[i].weight});
+    HintSet merged = merge_hints(weighted);
+    merged.set_confidence(0.0);
+    return merged;
+}
+
+EvalFn query_eval(const ip::IpGenerator& generator, const Query& query)
+{
+    return generator.metric_eval(query.metric);
+}
+
+}  // namespace nautilus::exp

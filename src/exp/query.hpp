@@ -1,0 +1,45 @@
+#pragma once
+// Optimization queries against an IP generator.
+//
+// A query names the metric to optimize and its direction (e.g. "maximize
+// freq_mhz", "minimize area_delay_product").  For composite metrics the
+// query also lists the hint components so author hints of the constituent
+// metrics can be merged (paper section 4.2: the area-delay query
+// "incorporates hints related to the importance and bias of IP parameters
+// that affect area").
+
+#include <string>
+#include <vector>
+
+#include "core/hints.hpp"
+#include "ip/ip_generator.hpp"
+
+namespace nautilus::exp {
+
+struct Query {
+    std::string name;
+    ip::Metric metric = ip::Metric::area_luts;
+    Direction direction = Direction::minimize;
+
+    // Hint sources.  Empty means "use author_hints(metric) directly".
+    struct HintComponent {
+        ip::Metric metric;
+        Direction direction;  // how this component enters the objective
+        double weight = 1.0;
+    };
+    std::vector<HintComponent> hint_components;
+
+    static Query simple(std::string name, ip::Metric metric, Direction direction);
+};
+
+// The effective hints for a query, in *objective orientation*: bias > 0
+// means "increasing this parameter improves the query objective".  Single-
+// metric queries fold the author's metric-oriented bias by the query
+// direction; composite queries fold and merge each component.  Confidence is
+// left at 0 -- the caller applies a guidance level.
+HintSet query_hints(const ip::IpGenerator& generator, const Query& query);
+
+// Evaluation function for the query metric.
+EvalFn query_eval(const ip::IpGenerator& generator, const Query& query);
+
+}  // namespace nautilus::exp

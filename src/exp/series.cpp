@@ -1,0 +1,163 @@
+#include "exp/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace nautilus::exp {
+
+double series_value_at(const std::vector<CurvePoint>& points, double x)
+{
+    double value = std::numeric_limits<double>::quiet_NaN();
+    for (const CurvePoint& p : points) {
+        if (p.evals > x) break;
+        value = p.best;
+    }
+    return value;
+}
+
+namespace {
+
+std::string format_value(double v)
+{
+    if (std::isnan(v)) return "-";
+    std::ostringstream out;
+    const double mag = std::abs(v);
+    if (mag != 0.0 && (mag >= 100000.0 || mag < 0.01))
+        out << std::scientific << std::setprecision(3) << v;
+    else if (mag >= 100.0)
+        out << std::fixed << std::setprecision(1) << v;
+    else
+        out << std::fixed << std::setprecision(3) << v;
+    return out.str();
+}
+
+double axis_transform(double v, bool log_scale)
+{
+    return log_scale ? std::log10(std::max(v, 1e-12)) : v;
+}
+
+}  // namespace
+
+void print_series_table(std::ostream& out, const std::string& x_label,
+                        const std::string& y_label, const std::vector<double>& grid,
+                        const std::vector<LabeledSeries>& series)
+{
+    constexpr int col = 16;
+    out << "  [" << y_label << "]\n";
+    out << "  " << std::setw(col) << std::left << x_label;
+    for (const auto& s : series) out << std::setw(col) << std::left << s.label;
+    out << '\n';
+    for (double x : grid) {
+        out << "  " << std::setw(col) << std::left << format_value(x);
+        for (const auto& s : series)
+            out << std::setw(col) << std::left << format_value(series_value_at(s.points, x));
+        out << '\n';
+    }
+}
+
+void print_ascii_chart(std::ostream& out, const std::string& title,
+                       const std::vector<LabeledSeries>& series, int width, int height)
+{
+    static constexpr char glyphs[] = {'B', 'N', 'S', 'R', 'o', 'x', '+', '#'};
+
+    double x_max = 0.0;
+    double y_min = std::numeric_limits<double>::infinity();
+    double y_max = -std::numeric_limits<double>::infinity();
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            x_max = std::max(x_max, p.evals);
+            y_min = std::min(y_min, p.best);
+            y_max = std::max(y_max, p.best);
+        }
+    }
+    if (!(y_max > y_min)) {
+        y_max = y_min + 1.0;
+        y_min -= 1.0;
+    }
+    if (x_max <= 0.0) x_max = 1.0;
+
+    std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                    std::string(static_cast<std::size_t>(width), ' '));
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char glyph = glyphs[si % sizeof(glyphs)];
+        for (int cx = 0; cx < width; ++cx) {
+            const double x = x_max * (cx + 0.5) / width;
+            const double v = series_value_at(series[si].points, x);
+            if (std::isnan(v)) continue;
+            const double frac = (v - y_min) / (y_max - y_min);
+            int cy = static_cast<int>(std::lround((1.0 - frac) * (height - 1)));
+            cy = std::clamp(cy, 0, height - 1);
+            canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = glyph;
+        }
+    }
+
+    out << "  " << title << '\n';
+    out << "  " << format_value(y_max) << '\n';
+    for (const auto& row : canvas) out << "  |" << row << '\n';
+    out << "  " << format_value(y_min) << " +" << std::string(width, '-') << "> "
+        << format_value(x_max) << " evals\n";
+    out << "  legend:";
+    for (std::size_t si = 0; si < series.size(); ++si)
+        out << "  [" << glyphs[si % sizeof(glyphs)] << "] " << series[si].label;
+    out << '\n';
+}
+
+void print_scatter(std::ostream& out, const std::string& title, const std::string& x_label,
+                   const std::string& y_label, const std::vector<ScatterGroup>& groups,
+                   const ScatterOptions& options)
+{
+    double x_min = std::numeric_limits<double>::infinity();
+    double x_max = -x_min;
+    double y_min = x_min;
+    double y_max = -x_min;
+    for (const auto& g : groups) {
+        for (const auto& [x, y] : g.points) {
+            x_min = std::min(x_min, axis_transform(x, options.log_x));
+            x_max = std::max(x_max, axis_transform(x, options.log_x));
+            y_min = std::min(y_min, axis_transform(y, options.log_y));
+            y_max = std::max(y_max, axis_transform(y, options.log_y));
+        }
+    }
+    if (!(x_max > x_min)) x_max = x_min + 1.0;
+    if (!(y_max > y_min)) y_max = y_min + 1.0;
+
+    const int w = options.width;
+    const int h = options.height;
+    std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                    std::string(static_cast<std::size_t>(w), ' '));
+    for (const auto& g : groups) {
+        for (const auto& [x, y] : g.points) {
+            const double fx =
+                (axis_transform(x, options.log_x) - x_min) / (x_max - x_min);
+            const double fy =
+                (axis_transform(y, options.log_y) - y_min) / (y_max - y_min);
+            int cx = static_cast<int>(std::lround(fx * (w - 1)));
+            int cy = static_cast<int>(std::lround((1.0 - fy) * (h - 1)));
+            cx = std::clamp(cx, 0, w - 1);
+            cy = std::clamp(cy, 0, h - 1);
+            canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = g.glyph;
+        }
+    }
+
+    auto axis_value = [](double v, bool log_scale) {
+        return log_scale ? std::pow(10.0, v) : v;
+    };
+    out << "  " << title << '\n';
+    out << "  y: " << y_label << (options.log_y ? " (log)" : "") << ", top "
+        << format_value(axis_value(y_max, options.log_y)) << ", bottom "
+        << format_value(axis_value(y_min, options.log_y)) << '\n';
+    for (const auto& row : canvas) out << "  |" << row << '\n';
+    out << "  +" << std::string(w, '-') << ">\n";
+    out << "  x: " << x_label << (options.log_x ? " (log)" : "") << ", left "
+        << format_value(axis_value(x_min, options.log_x)) << ", right "
+        << format_value(axis_value(x_max, options.log_x)) << '\n';
+    out << "  legend:";
+    for (const auto& g : groups) out << "  [" << g.glyph << "] " << g.label;
+    out << '\n';
+}
+
+}  // namespace nautilus::exp

@@ -1,0 +1,56 @@
+#pragma once
+// Rendering of convergence series: aligned tables and ASCII charts.
+//
+// The bench binaries regenerate the paper's figures as text: a table of the
+// mean best-so-far value sampled on a common evaluation grid (one column per
+// engine), plus an ASCII chart for quick visual comparison of the curve
+// shapes.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/run_stats.hpp"
+
+namespace nautilus::exp {
+
+struct LabeledSeries {
+    std::string label;
+    std::vector<CurvePoint> points;
+};
+
+// Table: first column = x (evaluations), one column per series.  Series are
+// step-interpolated onto the union grid of x values in `grid`.
+void print_series_table(std::ostream& out, const std::string& x_label,
+                        const std::string& y_label, const std::vector<double>& grid,
+                        const std::vector<LabeledSeries>& series);
+
+// ASCII chart (x = evaluations, y = metric), one glyph per series.
+void print_ascii_chart(std::ostream& out, const std::string& title,
+                       const std::vector<LabeledSeries>& series, int width = 72,
+                       int height = 20);
+
+// Scatter rendering for the motivation figures (Figs. 1-2): log or linear
+// axes, one glyph per group.
+struct ScatterGroup {
+    std::string label;
+    char glyph = '*';
+    std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct ScatterOptions {
+    bool log_x = false;
+    bool log_y = false;
+    int width = 72;
+    int height = 24;
+};
+
+void print_scatter(std::ostream& out, const std::string& title, const std::string& x_label,
+                   const std::string& y_label, const std::vector<ScatterGroup>& groups,
+                   const ScatterOptions& options = {});
+
+// Helper: value of a mean-curve at x by step interpolation (last point with
+// point.evals <= x); NaN before the first point.
+double series_value_at(const std::vector<CurvePoint>& points, double x);
+
+}  // namespace nautilus::exp

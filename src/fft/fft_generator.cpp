@@ -1,0 +1,123 @@
+#include "fft/fft_generator.hpp"
+
+#include "core/rng.hpp"
+
+namespace nautilus::fft {
+
+using ip::Metric;
+
+FftGenerator::FftGenerator(synth::FpgaTech tech, bool measure_snr)
+    : space_(make_fft_space()), synth_(std::move(tech)), measure_snr_(measure_snr)
+{
+}
+
+std::vector<Metric> FftGenerator::metrics() const
+{
+    std::vector<Metric> m{Metric::area_luts, Metric::ffs,
+                          Metric::brams,     Metric::dsps,
+                          Metric::freq_mhz,  Metric::throughput_msps,
+                          Metric::throughput_per_lut};
+    if (measure_snr_) m.push_back(Metric::snr_db);
+    return m;
+}
+
+double FftGenerator::snr_for(const FftConfig& config) const
+{
+    std::uint64_t key = 0x534e52ull;  // "SNR"
+    key = hash_combine(key, static_cast<std::uint64_t>(config.log2n));
+    key = hash_combine(key, static_cast<std::uint64_t>(config.data_width));
+    key = hash_combine(key, static_cast<std::uint64_t>(config.twiddle_width));
+    key = hash_combine(key, static_cast<std::uint64_t>(config.scaling));
+    const auto it = snr_cache_.find(key);
+    if (it != snr_cache_.end()) return it->second;
+
+    FixedFftConfig fc;
+    fc.n = config.n();
+    fc.data_width = config.data_width;
+    fc.twiddle_width = config.twiddle_width;
+    fc.scaling = config.scaling;
+    const double snr = measure_snr_db(fc, /*seed=*/key, /*trials=*/1);
+    snr_cache_.emplace(key, snr);
+    return snr;
+}
+
+ip::MetricValues FftGenerator::evaluate(const Genome& genome) const
+{
+    const FftConfig config = decode_fft(space_, genome);
+    if (!config.feasible()) return ip::MetricValues::infeasible_point();
+
+    const synth::SynthResult r = synth_.synthesize(fft_descriptor(config, synth_.tech()));
+    ip::MetricValues mv;
+    mv.set(Metric::area_luts, r.luts);
+    mv.set(Metric::ffs, r.ffs);
+    mv.set(Metric::brams, r.brams);
+    mv.set(Metric::dsps, r.dsps);
+    mv.set(Metric::freq_mhz, r.fmax_mhz);
+    mv.set(Metric::throughput_msps, fft_throughput_msps(config, r.fmax_mhz));
+    if (measure_snr_) mv.set(Metric::snr_db, snr_for(config));
+    ip::derive_composites(mv);
+    return mv;
+}
+
+HintSet FftGenerator::author_hints(Metric metric) const
+{
+    HintSet hints = HintSet::none(space_);
+    auto set = [&](std::size_t gene, double importance, std::optional<double> bias,
+                   std::optional<double> target = std::nullopt) {
+        ParamHints& h = hints.param(gene);
+        h.importance = importance;
+        h.bias = bias;
+        h.target = target;
+        // Expert hints use the decay hint: focus on dominant parameters
+        // first, then broaden for fine-tuning (paper section 3).
+        if (importance >= 50.0) h.importance_decay = 0.96;
+    };
+
+    switch (metric) {
+    case Metric::area_luts:
+        // Expert knowledge: size and parallelism dominate LUT count; narrow
+        // datapaths shrink every adder.
+        set(fft_gene::log2n, 85.0, +0.6);
+        set(fft_gene::streaming_width, 90.0, +0.8);
+        set(fft_gene::data_width, 70.0, +0.7);
+        set(fft_gene::twiddle_width, 30.0, +0.3);
+        set(fft_gene::radix, 25.0, +0.2);
+        set(fft_gene::scaling, 15.0, +0.2);
+        break;
+    case Metric::freq_mhz:
+        set(fft_gene::data_width, 80.0, -0.7);
+        set(fft_gene::twiddle_width, 45.0, -0.4);
+        set(fft_gene::radix, 40.0, -0.4);
+        set(fft_gene::scaling, 20.0, -0.2);
+        set(fft_gene::log2n, 15.0, -0.1);
+        break;
+    case Metric::throughput_msps:
+        // Streaming width sets samples/cycle; clock effects are secondary.
+        set(fft_gene::streaming_width, 95.0, +0.9);
+        set(fft_gene::data_width, 40.0, -0.4);
+        set(fft_gene::radix, 25.0, -0.2);
+        break;
+    case Metric::throughput_per_lut: {
+        // Efficiency peaks at moderate parallelism with lean datapaths: the
+        // expert points at a target region rather than a monotone direction.
+        set(fft_gene::streaming_width, 80.0, std::nullopt, /*target=*/16.0);
+        set(fft_gene::data_width, 75.0, -0.7);
+        set(fft_gene::log2n, 70.0, -0.6);
+        set(fft_gene::twiddle_width, 35.0, -0.3);
+        set(fft_gene::radix, 45.0, +0.4);
+        set(fft_gene::scaling, 10.0, std::nullopt);
+        break;
+    }
+    case Metric::snr_db:
+        set(fft_gene::data_width, 90.0, +0.9);
+        set(fft_gene::twiddle_width, 60.0, +0.5);
+        set(fft_gene::scaling, 70.0, +0.7);
+        set(fft_gene::log2n, 40.0, -0.4);
+        break;
+    default:
+        break;
+    }
+    return hints;
+}
+
+}  // namespace nautilus::fft

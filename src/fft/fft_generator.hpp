@@ -1,0 +1,42 @@
+#pragma once
+// FftGenerator: the Spiral-style "FFT" IP generator of the paper.
+//
+// Characterizes each configuration with hardware metrics (LUTs, fmax),
+// domain metrics (throughput in MSPS, fixed-point SNR measured by actually
+// running the quantized transform) and composites (throughput-per-LUT).
+// Ships *expert* author hints -- the paper's FFT hints came from a member of
+// the Spiral development team (section 4.1).
+
+#include <memory>
+#include <unordered_map>
+
+#include "fft/fft_model.hpp"
+#include "ip/ip_generator.hpp"
+
+namespace nautilus::fft {
+
+class FftGenerator final : public ip::IpGenerator {
+public:
+    explicit FftGenerator(synth::FpgaTech tech = synth::FpgaTech::virtex6_lx760t(),
+                          bool measure_snr = true);
+
+    std::string name() const override { return "spiral-fft"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<ip::Metric> metrics() const override;
+    ip::MetricValues evaluate(const Genome& genome) const override;
+    HintSet author_hints(ip::Metric metric) const override;
+
+    const synth::VirtualSynthesizer& synthesizer() const { return synth_; }
+
+private:
+    // SNR depends only on (n, data_width, twiddle_width, scaling); cache so
+    // dataset enumeration does not rerun identical transforms.
+    double snr_for(const FftConfig& config) const;
+
+    ParameterSpace space_;
+    synth::VirtualSynthesizer synth_;
+    bool measure_snr_;
+    mutable std::unordered_map<std::uint64_t, double> snr_cache_;
+};
+
+}  // namespace nautilus::fft

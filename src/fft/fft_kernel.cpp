@@ -1,0 +1,155 @@
+#include "fft/fft_kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace nautilus::fft {
+
+const char* scaling_name(ScalingMode mode)
+{
+    switch (mode) {
+    case ScalingMode::none: return "none";
+    case ScalingMode::per_stage: return "per_stage";
+    case ScalingMode::block_fp: return "block_fp";
+    }
+    return "?";
+}
+
+namespace {
+
+bool is_pow2(std::size_t n)
+{
+    return n >= 2 && (n & (n - 1)) == 0;
+}
+
+// Bit-reversal permutation shared by both kernels.
+template <typename T>
+void bit_reverse(std::vector<T>& data)
+{
+    const std::size_t n = data.size();
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+}
+
+}  // namespace
+
+void fft_reference(std::vector<std::complex<double>>& data)
+{
+    const std::size_t n = data.size();
+    if (!is_pow2(n)) throw std::invalid_argument("fft_reference: size must be a power of 2");
+    bit_reverse(data);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+        const std::complex<double> wn{std::cos(angle), std::sin(angle)};
+        for (std::size_t block = 0; block < n; block += len) {
+            std::complex<double> w{1.0, 0.0};
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[block + k];
+                const std::complex<double> t = w * data[block + k + len / 2];
+                data[block + k] = u + t;
+                data[block + k + len / 2] = u - t;
+                w *= wn;
+            }
+        }
+    }
+}
+
+FixedFftResult fft_fixed(const FixedFftConfig& config,
+                         const std::vector<std::complex<double>>& input)
+{
+    const std::size_t n = input.size();
+    if (!is_pow2(n)) throw std::invalid_argument("fft_fixed: size must be a power of 2");
+    if (static_cast<std::size_t>(config.n) != n)
+        throw std::invalid_argument("fft_fixed: config.n mismatches input size");
+    const int dw = config.data_width;
+    const int tw = config.twiddle_width;
+
+    std::vector<CFix> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = cquantize(input[i], dw);
+    bit_reverse(data);
+
+    FixedFftResult result;
+    bool overflowed = false;
+
+    const std::int64_t block_fp_limit = fixed_max(dw) / 2;
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        // Block floating point: pre-shift the whole block when any value is
+        // large enough that the coming butterfly could overflow.
+        if (config.scaling == ScalingMode::block_fp) {
+            std::int64_t peak = 0;
+            for (const CFix& v : data) {
+                peak = std::max(peak, std::abs(v.re));
+                peak = std::max(peak, std::abs(v.im));
+            }
+            if (peak > block_fp_limit) {
+                for (CFix& v : data) v = cshift_down(v);
+                ++result.total_shifts;
+            }
+        }
+
+        const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+        for (std::size_t block = 0; block < n; block += len) {
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                // Twiddle quantized from the ROM value (models a tw-bit ROM).
+                const double a = angle * static_cast<double>(k);
+                const CFix w = {quantize(std::cos(a), tw), quantize(std::sin(a), tw)};
+
+                const CFix u = data[block + k];
+                const CFix t = cmul(data[block + k + len / 2], w, dw, tw, &overflowed);
+                CFix hi = cadd(u, t, dw, &overflowed);
+                CFix lo = csub(u, t, dw, &overflowed);
+                if (config.scaling == ScalingMode::per_stage) {
+                    hi = cshift_down(hi);
+                    lo = cshift_down(lo);
+                }
+                data[block + k] = hi;
+                data[block + k + len / 2] = lo;
+                if (overflowed) {
+                    ++result.overflow_count;
+                    overflowed = false;
+                }
+            }
+        }
+        if (config.scaling == ScalingMode::per_stage) ++result.total_shifts;
+    }
+
+    // Denormalize: undo the scaling shifts so output compares directly with
+    // the unscaled reference.
+    const double comp = std::ldexp(1.0, result.total_shifts);
+    result.output.resize(n);
+    for (std::size_t i = 0; i < n; ++i) result.output[i] = cfix_to_complex(data[i], dw) * comp;
+    return result;
+}
+
+double measure_snr_db(const FixedFftConfig& config, std::uint64_t seed, int trials)
+{
+    if (trials < 1) throw std::invalid_argument("measure_snr_db: trials must be >= 1");
+    Rng rng{seed};
+    double signal = 0.0;
+    double noise = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<std::complex<double>> input(static_cast<std::size_t>(config.n));
+        for (auto& v : input) v = {rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)};
+
+        std::vector<std::complex<double>> ref = input;
+        fft_reference(ref);
+        const FixedFftResult fixed = fft_fixed(config, input);
+
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            signal += std::norm(ref[i]);
+            noise += std::norm(ref[i] - fixed.output[i]);
+        }
+    }
+    if (noise <= 0.0) return 200.0;  // bit-exact within measurement; report a ceiling
+    return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace nautilus::fft

@@ -1,0 +1,51 @@
+#pragma once
+// FFT kernels: double-precision reference and bit-accurate fixed point.
+//
+// The fixed-point kernel is the functional substrate behind the FFT IP's SNR
+// metric: instead of fitting a curve, we *run* the quantized transform the
+// generated hardware would compute and measure its SNR against the
+// double-precision reference.  Supported scaling modes mirror common
+// streaming-FFT options:
+//   none       -- full-range arithmetic, saturating on overflow
+//   per_stage  -- divide by 2 after every stage (unconditional, no overflow)
+//   block_fp   -- block floating point: shift only when the block grows,
+//                 tracking a shared exponent
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "fft/fixed_point.hpp"
+
+namespace nautilus::fft {
+
+enum class ScalingMode : std::uint8_t { none, per_stage, block_fp };
+
+const char* scaling_name(ScalingMode mode);
+
+// In-place iterative radix-2 DIT FFT; size must be a power of two >= 2.
+void fft_reference(std::vector<std::complex<double>>& data);
+
+struct FixedFftConfig {
+    int n = 64;              // transform size (power of two)
+    int data_width = 16;     // datapath word width
+    int twiddle_width = 16;  // twiddle ROM word width
+    ScalingMode scaling = ScalingMode::per_stage;
+};
+
+struct FixedFftResult {
+    std::vector<std::complex<double>> output;  // denormalized to match the reference
+    int total_shifts = 0;                      // stages of /2 applied (compensated in output)
+    std::size_t overflow_count = 0;            // saturation events
+};
+
+// Run the fixed-point FFT on `input` (magnitudes should be < 1).
+FixedFftResult fft_fixed(const FixedFftConfig& config,
+                         const std::vector<std::complex<double>>& input);
+
+// SNR in dB of the fixed-point transform vs the reference, averaged over
+// `trials` deterministic pseudo-random inputs.
+double measure_snr_db(const FixedFftConfig& config, std::uint64_t seed = 42,
+                      int trials = 2);
+
+}  // namespace nautilus::fft

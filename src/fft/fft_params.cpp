@@ -1,0 +1,78 @@
+#include "fft/fft_params.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace nautilus::fft {
+
+int FftConfig::log2_radix() const
+{
+    switch (radix) {
+    case 2: return 1;
+    case 4: return 2;
+    case 8: return 3;
+    default: throw std::invalid_argument("FftConfig: radix must be 2, 4 or 8");
+    }
+}
+
+bool FftConfig::feasible() const
+{
+    if (radix != 2 && radix != 4 && radix != 8) return false;
+    if (log2n % log2_radix() != 0) return false;
+    if (streaming_width < radix) return false;
+    return true;
+}
+
+std::uint64_t FftConfig::config_key() const
+{
+    std::uint64_t h = 0x53706972616cfful;  // "Spiral"
+    h = hash_combine(h, static_cast<std::uint64_t>(log2n));
+    h = hash_combine(h, static_cast<std::uint64_t>(streaming_width));
+    h = hash_combine(h, static_cast<std::uint64_t>(radix));
+    h = hash_combine(h, static_cast<std::uint64_t>(data_width));
+    h = hash_combine(h, static_cast<std::uint64_t>(twiddle_width));
+    h = hash_combine(h, static_cast<std::uint64_t>(scaling));
+    return h;
+}
+
+std::string FftConfig::to_string() const
+{
+    std::ostringstream out;
+    out << "fft{n=" << n() << " w=" << streaming_width << " r=" << radix
+        << " dw=" << data_width << " tw=" << twiddle_width
+        << " scale=" << scaling_name(scaling) << "}";
+    return out.str();
+}
+
+ParameterSpace make_fft_space()
+{
+    ParameterSpace space;
+    space.add("log2n", ParamDomain::int_range(6, 12), "transform size exponent (n = 2^k)");
+    space.add("streaming_width", ParamDomain::pow2(1, 5), "complex samples per cycle");
+    space.add("radix", ParamDomain::pow2(1, 3), "butterfly radix");
+    space.add("data_width", ParamDomain::int_range(8, 26, 2), "datapath word width");
+    space.add("twiddle_width", ParamDomain::int_range(8, 18, 2), "twiddle ROM word width");
+    space.add("scaling",
+              ParamDomain::categorical({"none", "per_stage", "block_fp"}, /*ordered=*/true),
+              "overflow scaling strategy (ordered by SNR at large n)");
+    return space;
+}
+
+FftConfig decode_fft(const ParameterSpace& space, const Genome& genome)
+{
+    if (!genome.compatible_with(space) || space.size() != fft_gene::count)
+        throw std::invalid_argument("decode_fft: genome/space mismatch");
+    FftConfig c;
+    c.log2n = static_cast<int>(genome.numeric_value(space, fft_gene::log2n));
+    c.streaming_width =
+        static_cast<int>(genome.numeric_value(space, fft_gene::streaming_width));
+    c.radix = static_cast<int>(genome.numeric_value(space, fft_gene::radix));
+    c.data_width = static_cast<int>(genome.numeric_value(space, fft_gene::data_width));
+    c.twiddle_width = static_cast<int>(genome.numeric_value(space, fft_gene::twiddle_width));
+    c.scaling = static_cast<ScalingMode>(genome.gene(fft_gene::scaling));
+    return c;
+}
+
+}  // namespace nautilus::fft

@@ -1,0 +1,58 @@
+#pragma once
+// The streaming FFT parameter space ("FFT" IP of the paper).
+//
+// Models the user-visible knobs of a Spiral-style streaming FFT generator.
+// The paper's FFT dataset varies 6 parameters for ~12,000 design instances;
+// this space matches: 7 x 5 x 3 x 10 x 6 x 3 = 18,900 raw points of which
+// ~10,800 satisfy the architectural feasibility rules (radix must divide the
+// transform size; the streaming width must cover one butterfly) -- the
+// "sparsely populated design spaces that include infeasible points" case of
+// paper section 3.
+
+#include <cstdint>
+#include <string>
+
+#include "core/genome.hpp"
+#include "core/parameter.hpp"
+#include "fft/fft_kernel.hpp"
+
+namespace nautilus::fft {
+
+struct FftConfig {
+    int log2n = 6;          // transform size n = 2^log2n, 64..4096
+    int streaming_width = 2;  // complex samples per cycle, 2..32
+    int radix = 2;          // butterfly radix, {2, 4, 8}
+    int data_width = 16;    // datapath bits, 8..26
+    int twiddle_width = 16; // twiddle ROM bits, 8..18
+    ScalingMode scaling = ScalingMode::per_stage;
+
+    int n() const { return 1 << log2n; }
+    int log2_radix() const;
+    // Pipeline stages of radix-r butterfly columns.
+    int stages() const { return log2n / log2_radix(); }
+    // Butterflies per stage column.
+    int butterflies_per_stage() const { return streaming_width / radix; }
+
+    // Architectural feasibility: log2n divisible by log2(radix) and
+    // streaming width >= radix.
+    bool feasible() const;
+
+    std::uint64_t config_key() const;
+    std::string to_string() const;
+};
+
+namespace fft_gene {
+inline constexpr std::size_t log2n = 0;
+inline constexpr std::size_t streaming_width = 1;
+inline constexpr std::size_t radix = 2;
+inline constexpr std::size_t data_width = 3;
+inline constexpr std::size_t twiddle_width = 4;
+inline constexpr std::size_t scaling = 5;
+inline constexpr std::size_t count = 6;
+}  // namespace fft_gene
+
+ParameterSpace make_fft_space();
+
+FftConfig decode_fft(const ParameterSpace& space, const Genome& genome);
+
+}  // namespace nautilus::fft

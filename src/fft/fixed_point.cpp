@@ -1,0 +1,109 @@
+#include "fft/fixed_point.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nautilus::fft {
+
+namespace {
+
+void check_width(int width)
+{
+    if (width < 2 || width > 32)
+        throw std::invalid_argument("fixed_point: width out of [2, 32]");
+}
+
+}  // namespace
+
+std::int64_t fixed_max(int width)
+{
+    check_width(width);
+    return (std::int64_t{1} << (width - 1)) - 1;
+}
+
+std::int64_t fixed_min(int width)
+{
+    check_width(width);
+    return -(std::int64_t{1} << (width - 1));
+}
+
+std::int64_t saturate(std::int64_t value, int width, bool* overflowed)
+{
+    const std::int64_t hi = fixed_max(width);
+    const std::int64_t lo = fixed_min(width);
+    if (value > hi) {
+        if (overflowed) *overflowed = true;
+        return hi;
+    }
+    if (value < lo) {
+        if (overflowed) *overflowed = true;
+        return lo;
+    }
+    return value;
+}
+
+std::int64_t quantize(double value, int width)
+{
+    check_width(width);
+    const double scale = std::ldexp(1.0, width - 1);
+    const double scaled = std::nearbyint(value * scale);
+    // Clamp through saturate to handle +1.0 and out-of-range inputs.
+    return saturate(static_cast<std::int64_t>(scaled), width);
+}
+
+double to_double(std::int64_t value, int width)
+{
+    check_width(width);
+    return static_cast<double>(value) * std::ldexp(1.0, -(width - 1));
+}
+
+std::int64_t mul_round(std::int64_t a, std::int64_t b, int shift)
+{
+    if (shift < 0 || shift > 62) throw std::invalid_argument("mul_round: bad shift");
+    const std::int64_t product = a * b;
+    const std::int64_t half = shift > 0 ? (std::int64_t{1} << (shift - 1)) : 0;
+    return (product + half) >> shift;
+}
+
+CFix cmul(const CFix& a, const CFix& w, int data_width, int twiddle_width, bool* overflowed)
+{
+    check_width(data_width);
+    check_width(twiddle_width);
+    // Twiddle is Q1.(tw-1): renormalize the product back to data format by
+    // shifting out the twiddle fraction bits.
+    const int shift = twiddle_width - 1;
+    const std::int64_t re = mul_round(a.re, w.re, shift) - mul_round(a.im, w.im, shift);
+    const std::int64_t im = mul_round(a.re, w.im, shift) + mul_round(a.im, w.re, shift);
+    return CFix{saturate(re, data_width, overflowed), saturate(im, data_width, overflowed)};
+}
+
+CFix cadd(const CFix& a, const CFix& b, int data_width, bool* overflowed)
+{
+    return CFix{saturate(a.re + b.re, data_width, overflowed),
+                saturate(a.im + b.im, data_width, overflowed)};
+}
+
+CFix csub(const CFix& a, const CFix& b, int data_width, bool* overflowed)
+{
+    return CFix{saturate(a.re - b.re, data_width, overflowed),
+                saturate(a.im - b.im, data_width, overflowed)};
+}
+
+CFix cshift_down(const CFix& a)
+{
+    // Arithmetic shift with round-to-nearest (matches a hardware
+    // truncate-with-carry-in scaler).
+    return CFix{(a.re + 1) >> 1, (a.im + 1) >> 1};
+}
+
+CFix cquantize(const std::complex<double>& value, int width)
+{
+    return CFix{quantize(value.real(), width), quantize(value.imag(), width)};
+}
+
+std::complex<double> cfix_to_complex(const CFix& value, int width)
+{
+    return {to_double(value.re, width), to_double(value.im, width)};
+}
+
+}  // namespace nautilus::fft

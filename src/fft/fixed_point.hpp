@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-point arithmetic primitives for the FFT datapath model.
+//
+// Values are signed two's-complement with a configurable total width; the
+// binary point sits so that representable magnitudes are < 1 at width w
+// (Q1.(w-1) format), matching how streaming FFT datapaths normalize data.
+// Saturation and round-to-nearest model real RTL behavior, which is what
+// makes the SNR metric respond to data/twiddle width and scaling mode.
+
+#include <complex>
+#include <cstdint>
+
+namespace nautilus::fft {
+
+// Signed saturation bounds for a `width`-bit word (2 <= width <= 32).
+std::int64_t fixed_max(int width);
+std::int64_t fixed_min(int width);
+
+// Clamp into the representable range; counts as "overflow" when clamped.
+std::int64_t saturate(std::int64_t value, int width, bool* overflowed = nullptr);
+
+// Quantize a real number in Q1.(width-1): round-to-nearest, then saturate.
+std::int64_t quantize(double value, int width);
+
+// Back to floating point.
+double to_double(std::int64_t value, int width);
+
+// Fixed-point complex sample.
+struct CFix {
+    std::int64_t re = 0;
+    std::int64_t im = 0;
+};
+
+// (a * b) >> shift with round-to-nearest (add half before the shift).
+std::int64_t mul_round(std::int64_t a, std::int64_t b, int shift);
+
+// Complex multiply of a data sample by a twiddle factor.
+//   data:    Q1.(data_width-1)
+//   twiddle: Q1.(twiddle_width-1)
+// The result is renormalized to data format and saturated.
+CFix cmul(const CFix& a, const CFix& w, int data_width, int twiddle_width,
+          bool* overflowed = nullptr);
+
+// Saturating complex add/sub in data format.
+CFix cadd(const CFix& a, const CFix& b, int data_width, bool* overflowed = nullptr);
+CFix csub(const CFix& a, const CFix& b, int data_width, bool* overflowed = nullptr);
+
+// Arithmetic right shift by one with rounding (per-stage scaling step).
+CFix cshift_down(const CFix& a);
+
+// Quantize a double-precision complex value into data format.
+CFix cquantize(const std::complex<double>& value, int width);
+std::complex<double> cfix_to_complex(const CFix& value, int width);
+
+}  // namespace nautilus::fft

@@ -1,0 +1,118 @@
+#include "ip/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/hint_estimator.hpp"
+
+namespace nautilus::ip {
+
+std::vector<ParameterEffect> main_effects(const Dataset& dataset,
+                                          const IpGenerator& generator, Metric metric)
+{
+    const ParameterSpace& space = generator.space();
+    if (dataset.empty()) throw std::invalid_argument("main_effects: empty dataset");
+
+    std::vector<ParameterEffect> effects(space.size());
+    for (std::size_t p = 0; p < space.size(); ++p) {
+        const std::size_t card = space[p].domain.cardinality();
+        effects[p].param = p;
+        effects[p].mean_by_value.assign(card, 0.0);
+        effects[p].count_by_value.assign(card, 0);
+    }
+
+    for (const auto& entry : dataset) {
+        if (!entry.values.feasible) continue;
+        const auto v = entry.values.try_get(metric);
+        if (!v) continue;
+        for (std::size_t p = 0; p < space.size(); ++p) {
+            const std::uint32_t idx = entry.genome.gene(p);
+            effects[p].mean_by_value[idx] += *v;
+            ++effects[p].count_by_value[idx];
+        }
+    }
+
+    for (std::size_t p = 0; p < space.size(); ++p) {
+        ParameterEffect& e = effects[p];
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        std::vector<double> xs;
+        std::vector<double> ys;
+        for (std::size_t i = 0; i < e.mean_by_value.size(); ++i) {
+            if (e.count_by_value[i] == 0) continue;
+            e.mean_by_value[i] /= static_cast<double>(e.count_by_value[i]);
+            lo = std::min(lo, e.mean_by_value[i]);
+            hi = std::max(hi, e.mean_by_value[i]);
+            xs.push_back(static_cast<double>(i));
+            ys.push_back(e.mean_by_value[i]);
+        }
+        if (xs.empty())
+            throw std::invalid_argument("main_effects: no feasible values for metric");
+        e.effect_range = hi - lo;
+        if (generator.space()[p].domain.ordered() && xs.size() >= 2)
+            e.trend = HintEstimator::rank_correlation(xs, ys);
+    }
+    return effects;
+}
+
+void print_sensitivity_report(std::ostream& out, const IpGenerator& generator,
+                              Metric metric, const std::vector<ParameterEffect>& effects)
+{
+    const ParameterSpace& space = generator.space();
+    std::vector<std::size_t> order(effects.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return effects[a].effect_range > effects[b].effect_range;
+    });
+
+    out << "  sensitivity of " << metric_name(metric) << " (" << metric_unit(metric)
+        << "), parameters by descending main-effect range:\n";
+    out << "  " << std::setw(18) << std::left << "parameter" << std::setw(14) << "effect"
+        << std::setw(10) << "trend"
+        << "mean by value\n";
+    for (std::size_t rank : order) {
+        const ParameterEffect& e = effects[rank];
+        out << "  " << std::setw(18) << std::left << space[e.param].name;
+        out << std::setw(14) << std::left << std::fixed << std::setprecision(2)
+            << e.effect_range;
+        out << std::setw(10) << std::left << std::setprecision(2) << e.trend;
+        for (std::size_t i = 0; i < e.mean_by_value.size(); ++i) {
+            if (e.count_by_value[i] == 0)
+                out << " --";
+            else
+                out << ' ' << std::setprecision(0) << e.mean_by_value[i];
+        }
+        out << '\n';
+    }
+}
+
+HintSet effects_to_hints(const IpGenerator& generator,
+                         const std::vector<ParameterEffect>& effects)
+{
+    const ParameterSpace& space = generator.space();
+    if (effects.size() != space.size())
+        throw std::invalid_argument("effects_to_hints: effects/space size mismatch");
+    HintSet hints = HintSet::none(space);
+
+    double max_range = 0.0;
+    for (const auto& e : effects) max_range = std::max(max_range, e.effect_range);
+    if (max_range <= 0.0) return hints;
+
+    for (std::size_t p = 0; p < space.size(); ++p) {
+        const ParameterEffect& e = effects[p];
+        ParamHints& h = hints.param(p);
+        const double rel = e.effect_range / max_range;
+        if (rel < 0.02) continue;  // negligible leverage
+        h.importance = std::clamp(1.0 + 99.0 * std::sqrt(rel), 1.0, 100.0);
+        h.importance_decay = 0.95;
+        if (space[p].domain.ordered() && std::abs(e.trend) > 0.2)
+            h.bias = std::clamp(e.trend, -1.0, 1.0);
+    }
+    return hints;
+}
+
+}  // namespace nautilus::ip

@@ -1,0 +1,48 @@
+#pragma once
+// Design-space sensitivity analysis.
+//
+// The paper suggests that, lacking an expert, "an IP user could try sweeping
+// each IP parameter independently and then observe how the various metrics
+// of interest respond to estimate approximate hint values" (section 3).
+// This module implements that analysis over a characterized dataset: per-
+// parameter main effects (mean metric per parameter value), the effect range
+// each parameter commands, and a printable report.  It also converts the
+// analysis into a HintSet -- a dataset-backed alternative to HintEstimator's
+// sample-based estimation.
+
+#include <iosfwd>
+
+#include "core/hints.hpp"
+#include "ip/dataset.hpp"
+
+namespace nautilus::ip {
+
+struct ParameterEffect {
+    std::size_t param = 0;
+    // Mean metric value over feasible entries, per parameter value index.
+    std::vector<double> mean_by_value;
+    // Feasible sample count per value index.
+    std::vector<std::size_t> count_by_value;
+    // max(mean) - min(mean): the leverage this parameter has on the metric.
+    double effect_range = 0.0;
+    // Sign of the trend from first to last value for ordered domains
+    // (Spearman correlation of value index vs mean); 0 for unordered.
+    double trend = 0.0;
+};
+
+// Main effect of every parameter of `generator` on `metric` over `dataset`.
+std::vector<ParameterEffect> main_effects(const Dataset& dataset,
+                                          const IpGenerator& generator, Metric metric);
+
+// Human-readable sensitivity table (one row per parameter, sorted by
+// descending effect range).
+void print_sensitivity_report(std::ostream& out, const IpGenerator& generator,
+                              Metric metric,
+                              const std::vector<ParameterEffect>& effects);
+
+// Derive hints from main effects: importance scales with relative effect
+// range, bias with the trend (ordered domains only).  Confidence left at 0.
+HintSet effects_to_hints(const IpGenerator& generator,
+                         const std::vector<ParameterEffect>& effects);
+
+}  // namespace nautilus::ip

@@ -1,0 +1,80 @@
+#pragma once
+// Offline-characterized design-space datasets.
+//
+// The paper's methodology (section 4.1) characterizes a large slice of each
+// IP's design space offline and then runs search experiments against the
+// stored results.  Dataset mirrors that: enumerate (or sample) a generator,
+// store the metric values, answer best/percentile queries, and serve as a
+// lookup-table evaluator.  CSV round-tripping lets long characterizations be
+// cached on disk.
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "ip/ip_generator.hpp"
+
+namespace nautilus::ip {
+
+struct DatasetEntry {
+    Genome genome;
+    MetricValues values;
+};
+
+class Dataset {
+public:
+    // Characterize the full space (throws if larger than `max_points`).
+    static Dataset enumerate(const IpGenerator& generator,
+                             std::size_t max_points = 2'000'000);
+
+    // Characterize `count` distinct uniformly sampled points.
+    static Dataset sample(const IpGenerator& generator, std::size_t count,
+                          std::uint64_t seed);
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t feasible_count() const;
+
+    const DatasetEntry& entry(std::size_t i) const;
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+    // Best feasible value of `metric` in `dir` over the dataset.
+    double best(Metric metric, Direction dir) const;
+    // The entry achieving it.
+    const DatasetEntry& best_entry(Metric metric, Direction dir) const;
+
+    // Value v such that a design with metric-value at least as good as v is
+    // in the best `top_fraction` of feasible points (e.g. 0.01 = "top 1%").
+    double percentile_threshold(Metric metric, Direction dir, double top_fraction) const;
+
+    // "Design solution score" of a value: the percentage of feasible dataset
+    // points that the value ties or beats (100 = the best point; Fig. 3's
+    // y-axis).
+    double quality_percent(Metric metric, Direction dir, double value) const;
+
+    // Fraction of feasible points at least as good as `value` (footnote 3's
+    // random-sampling hit probability).
+    double hit_fraction(Metric metric, Direction dir, double value) const;
+
+    // Lookup-table evaluator: exact-match genome lookup.  Genomes absent
+    // from the dataset fall back to `fallback` when provided, otherwise they
+    // are reported infeasible.
+    EvalFn lookup_eval(Metric metric, EvalFn fallback = nullptr) const;
+
+    // CSV: header "param..;feasible;metric.." then one row per entry.
+    void save_csv(std::ostream& out, const IpGenerator& generator) const;
+    static Dataset load_csv(std::istream& in, const IpGenerator& generator);
+
+private:
+    std::vector<DatasetEntry> entries_;
+    // metric -> sorted feasible values, built lazily per metric.
+    mutable std::vector<std::pair<Metric, std::vector<double>>> sorted_cache_;
+
+    const std::vector<double>& sorted_values(Metric metric) const;
+};
+
+}  // namespace nautilus::ip

@@ -1,0 +1,21 @@
+#include "ip/ip_generator.hpp"
+
+namespace nautilus::ip {
+
+HintSet IpGenerator::author_hints(Metric) const
+{
+    return HintSet::none(space());
+}
+
+EvalFn IpGenerator::metric_eval(Metric metric) const
+{
+    return [this, metric](const Genome& genome) -> Evaluation {
+        const MetricValues values = evaluate(genome);
+        if (!values.feasible) return Evaluation{false, 0.0};
+        const auto v = values.try_get(metric);
+        if (!v) return Evaluation{false, 0.0};
+        return Evaluation{true, *v};
+    };
+}
+
+}  // namespace nautilus::ip

@@ -1,0 +1,47 @@
+#pragma once
+// The IP generator interface.
+//
+// A parameterized IP generator is a "software-driven active object" (paper
+// section 1): it exposes a parameter space, produces a characterized design
+// for any configuration, and -- the Nautilus addition -- ships author hints
+// describing how parameters relate to each metric.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/genome.hpp"
+#include "core/hints.hpp"
+#include "core/parameter.hpp"
+#include "ip/metrics.hpp"
+
+namespace nautilus::ip {
+
+class IpGenerator {
+public:
+    virtual ~IpGenerator() = default;
+
+    virtual std::string name() const = 0;
+    virtual const ParameterSpace& space() const = 0;
+
+    // Metrics this generator characterizes (composites included).
+    virtual std::vector<Metric> metrics() const = 0;
+
+    // Generate + virtually synthesize one configuration.  Must be
+    // deterministic per genome.  Infeasible configurations return
+    // MetricValues::infeasible_point().
+    virtual MetricValues evaluate(const Genome& genome) const = 0;
+
+    // Author hints for one metric, in metric orientation: bias > 0 means
+    // "increasing this parameter increases the metric".  The base
+    // implementation returns no hints (Nautilus then degenerates to the
+    // baseline GA, paper section 3).
+    virtual HintSet author_hints(Metric metric) const;
+
+    // Adapter: evaluation function for a single metric, as consumed by the
+    // search engines.  Missing metrics make the point infeasible.
+    EvalFn metric_eval(Metric metric) const;
+};
+
+}  // namespace nautilus::ip

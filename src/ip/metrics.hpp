@@ -1,0 +1,74 @@
+#pragma once
+// Metric identities and per-design metric values.
+//
+// An IP generator characterizes each design point with a set of metrics:
+// hardware implementation metrics (area, frequency), IP-domain metrics
+// (throughput, SNR, bisection bandwidth) and composite metrics
+// (throughput-per-LUT, area-delay product) -- paper section 4.1.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fitness.hpp"
+
+namespace nautilus::ip {
+
+enum class Metric {
+    area_luts,           // equivalent LUTs
+    ffs,                 // flip-flops
+    brams,               // block RAM primitives
+    dsps,                // DSP blocks
+    freq_mhz,            // maximum clock frequency
+    period_ns,           // clock period (1000 / fmax)
+    power_mw,            // total power (ASIC studies)
+    area_mm2,            // silicon area (ASIC studies)
+    throughput_msps,     // million samples per second (FFT)
+    snr_db,              // fixed-point signal-to-noise ratio (FFT)
+    bisection_gbps,      // peak network bisection bandwidth (NoC networks)
+    area_delay_product,  // clock period x LUTs (Fig. 5)
+    throughput_per_lut,  // MSPS / LUTs (Fig. 7)
+    latency_ns,          // zero-load packet latency (NoC networks)
+    saturation_injection,  // saturation rate, flits/cycle/endpoint (NoC)
+};
+
+inline constexpr std::size_t k_metric_count = 15;
+
+const char* metric_name(Metric m);
+const char* metric_unit(Metric m);
+
+// The direction in which the metric usually improves (freq: maximize,
+// area: minimize, ...).  Queries may override.
+Direction metric_default_direction(Metric m);
+
+// Parse by name; nullopt for unknown strings.
+std::optional<Metric> metric_from_name(const std::string& name);
+
+// Metric values for one evaluated design point.
+class MetricValues {
+public:
+    bool feasible = true;
+
+    void set(Metric m, double value);
+    bool has(Metric m) const;
+    // Throws std::out_of_range when absent.
+    double get(Metric m) const;
+    std::optional<double> try_get(Metric m) const;
+
+    const std::vector<std::pair<Metric, double>>& items() const { return values_; }
+
+    // Marks the point infeasible and clears values.
+    static MetricValues infeasible_point();
+
+private:
+    std::vector<std::pair<Metric, double>> values_;
+};
+
+// Fill in composite metrics from their components when present:
+//   area_delay_product  = period_ns * area_luts
+//   throughput_per_lut  = throughput_msps / area_luts
+//   period_ns           = 1000 / freq_mhz
+void derive_composites(MetricValues& values);
+
+}  // namespace nautilus::ip

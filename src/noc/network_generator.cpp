@@ -1,0 +1,137 @@
+#include "noc/network_generator.hpp"
+
+#include <stdexcept>
+
+namespace nautilus::noc {
+
+using ip::Metric;
+
+ParameterSpace make_network_space()
+{
+    std::vector<std::string> families;
+    for (int k = 0; k < k_topology_count; ++k)
+        families.emplace_back(topology_name(static_cast<TopologyKind>(k)));
+
+    ParameterSpace space;
+    space.add("topology", ParamDomain::categorical(families, /*ordered=*/false),
+              "network topology family");
+    space.add("flit_width", ParamDomain::pow2(5, 9), "flit width in bits");
+    space.add("num_vcs", ParamDomain::pow2(0, 2), "virtual channels per port");
+    space.add("buffer_depth", ParamDomain::pow2(1, 4), "flit buffer depth per VC");
+    space.add("pipeline_stages", ParamDomain::int_range(1, 3), "router pipeline depth");
+    return space;
+}
+
+NetworkGenerator::NetworkGenerator(int endpoints, synth::AsicTech tech)
+    : space_(make_network_space()), model_(std::move(tech)), endpoints_(endpoints)
+{
+    // Characterize every family's graph once (routing-derived hop counts and
+    // channel loads are per-topology, independent of the router config).
+    traffic_.reserve(k_topology_count);
+    for (int k = 0; k < k_topology_count; ++k) {
+        const TopologyGraph graph =
+            TopologyGraph::build(make_topology(static_cast<TopologyKind>(k), endpoints_));
+        traffic_.push_back(analyze_uniform_traffic(graph));
+    }
+}
+
+const TrafficAnalysis& NetworkGenerator::traffic(TopologyKind kind) const
+{
+    return traffic_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<Metric> NetworkGenerator::metrics() const
+{
+    return {Metric::area_mm2,       Metric::power_mw,
+            Metric::freq_mhz,       Metric::bisection_gbps,
+            Metric::latency_ns,     Metric::saturation_injection};
+}
+
+NetworkConfig NetworkGenerator::decode(const Genome& genome) const
+{
+    if (!genome.compatible_with(space_))
+        throw std::invalid_argument("NetworkGenerator::decode: incompatible genome");
+    NetworkConfig c;
+    c.topology = make_topology(
+        static_cast<TopologyKind>(genome.gene(network_gene::topology)), endpoints_);
+    c.router.flit_width =
+        static_cast<int>(genome.numeric_value(space_, network_gene::flit_width));
+    c.router.num_vcs = static_cast<int>(genome.numeric_value(space_, network_gene::num_vcs));
+    c.router.buffer_depth =
+        static_cast<int>(genome.numeric_value(space_, network_gene::buffer_depth));
+    c.router.pipeline_stages =
+        static_cast<int>(genome.numeric_value(space_, network_gene::pipeline_stages));
+    // Fixed micro-architecture for the network study.
+    c.router.vc_alloc = AllocatorKind::separable_input;
+    c.router.sw_alloc = AllocatorKind::separable_input;
+    c.router.speculative = false;
+    c.router.crossbar = CrossbarKind::mux;
+    c.router.routing = RoutingKind::dor_xy;
+    return c;
+}
+
+ip::MetricValues NetworkGenerator::evaluate(const Genome& genome) const
+{
+    const NetworkConfig config = decode(genome);
+    const NetworkResult r = model_.evaluate(config);
+    const TrafficAnalysis& t = traffic(config.topology.kind);
+    ip::MetricValues mv;
+    mv.set(Metric::area_mm2, r.area_mm2);
+    mv.set(Metric::power_mw, r.power_mw);
+    mv.set(Metric::freq_mhz, r.fmax_mhz);
+    mv.set(Metric::bisection_gbps, r.bisection_gbps);
+    // Zero-load latency of a 512-bit packet, in wall-clock ns at the
+    // achieved frequency.
+    const double cycles = zero_load_latency_cycles(t, config.router.pipeline_stages, 512,
+                                                   config.router.flit_width);
+    mv.set(Metric::latency_ns, cycles * 1000.0 / r.fmax_mhz);
+    mv.set(Metric::saturation_injection, t.saturation_injection);
+    return mv;
+}
+
+HintSet NetworkGenerator::author_hints(Metric metric) const
+{
+    HintSet hints = HintSet::none(space_);
+    auto set = [&](std::size_t gene, double importance, std::optional<double> bias) {
+        hints.param(gene).importance = importance;
+        hints.param(gene).bias = bias;
+    };
+    switch (metric) {
+    case Metric::bisection_gbps:
+        // Topology family is decisive but unordered: importance only.
+        set(network_gene::topology, 90.0, std::nullopt);
+        set(network_gene::flit_width, 85.0, +0.9);
+        set(network_gene::pipeline_stages, 35.0, +0.4);
+        set(network_gene::num_vcs, 15.0, -0.1);
+        break;
+    case Metric::area_mm2:
+        set(network_gene::flit_width, 90.0, +0.8);
+        set(network_gene::topology, 70.0, std::nullopt);
+        set(network_gene::buffer_depth, 55.0, +0.6);
+        set(network_gene::num_vcs, 55.0, +0.6);
+        set(network_gene::pipeline_stages, 10.0, +0.1);
+        break;
+    case Metric::power_mw:
+        set(network_gene::flit_width, 85.0, +0.8);
+        set(network_gene::topology, 70.0, std::nullopt);
+        set(network_gene::num_vcs, 50.0, +0.5);
+        set(network_gene::buffer_depth, 45.0, +0.5);
+        set(network_gene::pipeline_stages, 30.0, +0.3);
+        break;
+    case Metric::latency_ns:
+        // Serialization dominates: wider flits cut cycles faster than they
+        // cost clock; hop count is a topology property.
+        set(network_gene::topology, 80.0, std::nullopt);
+        set(network_gene::flit_width, 70.0, -0.5);
+        set(network_gene::pipeline_stages, 40.0, +0.3);
+        break;
+    case Metric::saturation_injection:
+        set(network_gene::topology, 95.0, std::nullopt);
+        break;
+    default:
+        break;
+    }
+    return hints;
+}
+
+}  // namespace nautilus::noc

@@ -1,0 +1,53 @@
+#pragma once
+// NetworkGenerator: IP generator over (topology x router) NoC configurations.
+//
+// The design space behind the paper's Fig. 2 motivation study: all
+// functionally interchangeable 64-endpoint networks, spanning 2-3 orders of
+// magnitude in area, power and performance.
+
+#include "ip/ip_generator.hpp"
+#include "noc/network_model.hpp"
+#include "noc/traffic.hpp"
+
+namespace nautilus::noc {
+
+class NetworkGenerator final : public ip::IpGenerator {
+public:
+    explicit NetworkGenerator(int endpoints = 64,
+                              synth::AsicTech tech = synth::AsicTech::commercial_65nm());
+
+    std::string name() const override { return "connect-noc"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<ip::Metric> metrics() const override;
+    ip::MetricValues evaluate(const Genome& genome) const override;
+    HintSet author_hints(ip::Metric metric) const override;
+
+    int endpoints() const { return endpoints_; }
+
+    // Decode helper used by the Fig. 2 bench to label scatter points.
+    NetworkConfig decode(const Genome& genome) const;
+
+    // Measured uniform-traffic analysis of one topology family (computed
+    // once per family from the explicit graph).
+    const TrafficAnalysis& traffic(TopologyKind kind) const;
+
+private:
+    ParameterSpace space_;
+    NetworkModel model_;
+    int endpoints_;
+    std::vector<TrafficAnalysis> traffic_;  // indexed by TopologyKind
+};
+
+// Gene index constants for the network space.
+namespace network_gene {
+inline constexpr std::size_t topology = 0;
+inline constexpr std::size_t flit_width = 1;
+inline constexpr std::size_t num_vcs = 2;
+inline constexpr std::size_t buffer_depth = 3;
+inline constexpr std::size_t pipeline_stages = 4;
+inline constexpr std::size_t count = 5;
+}  // namespace network_gene
+
+ParameterSpace make_network_space();
+
+}  // namespace nautilus::noc

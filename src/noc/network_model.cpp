@@ -1,0 +1,43 @@
+#include "noc/network_model.hpp"
+
+#include "core/rng.hpp"
+
+namespace nautilus::noc {
+
+std::uint64_t NetworkConfig::config_key() const
+{
+    std::uint64_t h = router.config_key();
+    h = hash_combine(h, static_cast<std::uint64_t>(topology.kind));
+    h = hash_combine(h, static_cast<std::uint64_t>(topology.endpoints));
+    return h;
+}
+
+NetworkModel::NetworkModel(synth::AsicTech tech) : synth_(std::move(tech)) {}
+
+NetworkResult NetworkModel::evaluate(const NetworkConfig& config) const
+{
+    RouterConfig router = config.router;
+    router.num_ports = config.topology.router_radix;
+
+    // One router, replicated across the network.
+    synth::DesignDescriptor d = router_descriptor(router);
+    d.config_key = config.config_key();
+    d.resources = d.resources.scaled(static_cast<double>(config.topology.num_routers));
+
+    const double wire_bit_mm = static_cast<double>(config.topology.total_channels) *
+                               static_cast<double>(router.flit_width) *
+                               config.topology.avg_channel_mm;
+
+    const synth::SynthResult r = synth_.synthesize(d, wire_bit_mm);
+
+    NetworkResult out;
+    out.area_mm2 = r.area_mm2;
+    out.power_mw = r.power_mw;
+    out.fmax_mhz = r.fmax_mhz;
+    // Gbps = channels x bits x GHz.
+    out.bisection_gbps = static_cast<double>(config.topology.bisection_channels) *
+                         static_cast<double>(router.flit_width) * (r.fmax_mhz / 1000.0);
+    return out;
+}
+
+}  // namespace nautilus::noc

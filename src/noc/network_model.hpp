@@ -1,0 +1,42 @@
+#pragma once
+// Whole-network area / power / performance model (CONNECT study, Fig. 2).
+//
+// A network configuration is a topology family plus a router configuration
+// (the router radix is dictated by the topology).  Characterization targets
+// a 65 nm ASIC flow: total logic area from the per-router model, wiring area
+// and power from the channel population, and peak bisection bandwidth from
+// the bisection channel count, flit width and achieved clock.
+
+#include "noc/router_model.hpp"
+#include "noc/topology.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nautilus::noc {
+
+struct NetworkConfig {
+    TopologyInfo topology;
+    RouterConfig router;  // num_ports is overwritten with the topology radix
+
+    std::uint64_t config_key() const;
+};
+
+struct NetworkResult {
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+    double fmax_mhz = 0.0;
+    double bisection_gbps = 0.0;  // peak bisection bandwidth
+};
+
+class NetworkModel {
+public:
+    explicit NetworkModel(synth::AsicTech tech = synth::AsicTech::commercial_65nm());
+
+    NetworkResult evaluate(const NetworkConfig& config) const;
+
+    const synth::AsicSynthesizer& synthesizer() const { return synth_; }
+
+private:
+    synth::AsicSynthesizer synth_;
+};
+
+}  // namespace nautilus::noc

@@ -1,0 +1,88 @@
+#include "noc/router_generator.hpp"
+
+namespace nautilus::noc {
+
+using ip::Metric;
+
+RouterGenerator::RouterGenerator(synth::FpgaTech tech, int num_ports)
+    : space_(make_router_space()), synth_(std::move(tech)), num_ports_(num_ports)
+{
+}
+
+std::vector<Metric> RouterGenerator::metrics() const
+{
+    return {Metric::area_luts, Metric::ffs,       Metric::freq_mhz,
+            Metric::period_ns, Metric::area_delay_product};
+}
+
+ip::MetricValues RouterGenerator::evaluate(const Genome& genome) const
+{
+    const RouterConfig config = decode_router(space_, genome, num_ports_);
+    const synth::SynthResult r = synth_.synthesize(router_descriptor(config));
+    ip::MetricValues mv;
+    mv.set(Metric::area_luts, r.luts);
+    mv.set(Metric::ffs, r.ffs);
+    mv.set(Metric::freq_mhz, r.fmax_mhz);
+    mv.set(Metric::period_ns, r.period_ns);
+    ip::derive_composites(mv);
+    return mv;
+}
+
+HintSet RouterGenerator::author_hints(Metric metric) const
+{
+    HintSet hints = HintSet::none(space_);
+    auto set = [&](std::size_t gene, double importance, std::optional<double> bias,
+                   std::optional<double> decay = std::nullopt) {
+        ParamHints& h = hints.param(gene);
+        h.importance = importance;
+        h.bias = bias;
+        // Default decay mirrors the expert practice of focusing on dominant
+        // parameters first, then broadening (paper section 3).
+        h.importance_decay = decay.value_or(importance >= 50.0 ? 0.96 : 1.0);
+    };
+
+    switch (metric) {
+    case Metric::freq_mhz:
+        // Pipelining dominates; everything that deepens a stage hurts.
+        set(router_gene::pipeline_stages, 90.0, +0.9);
+        set(router_gene::num_vcs, 60.0, -0.5);
+        set(router_gene::vc_alloc, 50.0, -0.6);
+        set(router_gene::sw_alloc, 45.0, -0.5);
+        set(router_gene::routing, 30.0, -0.4);
+        set(router_gene::crossbar, 25.0, -0.4);
+        set(router_gene::buffer_depth, 20.0, -0.2);
+        set(router_gene::speculative, 20.0, -0.3);
+        set(router_gene::flit_width, 15.0, -0.2);
+        break;
+    case Metric::area_luts:
+        // Storage and datapath width dominate area.
+        set(router_gene::flit_width, 95.0, +0.8);
+        set(router_gene::buffer_depth, 80.0, +0.7);
+        set(router_gene::num_vcs, 75.0, +0.7);
+        set(router_gene::vc_alloc, 35.0, +0.4);
+        set(router_gene::sw_alloc, 30.0, +0.3);
+        set(router_gene::routing, 25.0, +0.3);
+        set(router_gene::crossbar, 30.0, -0.5);  // tristate shrinks the crossbar
+        set(router_gene::pipeline_stages, 15.0, +0.15);
+        set(router_gene::speculative, 10.0, +0.1);
+        break;
+    case Metric::period_ns:
+        // Inverse of frequency.
+        hints = author_hints(Metric::freq_mhz).negated_bias();
+        break;
+    case Metric::area_delay_product: {
+        // Merge of area (weight: area spans a wider relative range) and
+        // period hints, both in metric orientation.
+        const HintSet area = author_hints(Metric::area_luts);
+        const HintSet period = author_hints(Metric::period_ns);
+        const std::vector<WeightedHintSet> parts{{&area, 0.6}, {&period, 0.4}};
+        hints = merge_hints(parts);
+        break;
+    }
+    default:
+        break;  // no hints for metrics this IP does not target
+    }
+    return hints;
+}
+
+}  // namespace nautilus::noc

@@ -1,0 +1,36 @@
+#pragma once
+// RouterGenerator: the "NoC" IP generator of the paper's evaluation.
+//
+// Wraps the VC-router model in the IpGenerator interface and ships author
+// hints for the hardware metrics.  In the paper's methodology, the NoC hints
+// are *estimated by a non-expert* from 80 synthesized samples; use
+// HintEstimator for that workflow, or author_hints() for the packaged
+// author knowledge.
+
+#include "ip/ip_generator.hpp"
+#include "noc/router_model.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nautilus::noc {
+
+class RouterGenerator final : public ip::IpGenerator {
+public:
+    explicit RouterGenerator(synth::FpgaTech tech = synth::FpgaTech::virtex6_lx760t(),
+                             int num_ports = 5);
+
+    std::string name() const override { return "vc-router"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<ip::Metric> metrics() const override;
+    ip::MetricValues evaluate(const Genome& genome) const override;
+    HintSet author_hints(ip::Metric metric) const override;
+
+    int num_ports() const { return num_ports_; }
+    const synth::VirtualSynthesizer& synthesizer() const { return synth_; }
+
+private:
+    ParameterSpace space_;
+    synth::VirtualSynthesizer synth_;
+    int num_ports_;
+};
+
+}  // namespace nautilus::noc

@@ -1,0 +1,111 @@
+#include "noc/router_params.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace nautilus::noc {
+
+const char* allocator_name(AllocatorKind k)
+{
+    switch (k) {
+    case AllocatorKind::round_robin: return "round_robin";
+    case AllocatorKind::separable_input: return "separable_input";
+    case AllocatorKind::separable_output: return "separable_output";
+    case AllocatorKind::wavefront: return "wavefront";
+    }
+    return "?";
+}
+
+const char* crossbar_name(CrossbarKind k)
+{
+    switch (k) {
+    case CrossbarKind::mux: return "mux";
+    case CrossbarKind::tristate: return "tristate";
+    }
+    return "?";
+}
+
+const char* routing_name(RoutingKind k)
+{
+    switch (k) {
+    case RoutingKind::dor_xy: return "dor_xy";
+    case RoutingKind::west_first: return "west_first";
+    case RoutingKind::adaptive: return "adaptive";
+    }
+    return "?";
+}
+
+std::uint64_t RouterConfig::config_key() const
+{
+    std::uint64_t h = 0x6f63526f75746572ull;  // "ocRouter"
+    h = hash_combine(h, static_cast<std::uint64_t>(num_ports));
+    h = hash_combine(h, static_cast<std::uint64_t>(num_vcs));
+    h = hash_combine(h, static_cast<std::uint64_t>(buffer_depth));
+    h = hash_combine(h, static_cast<std::uint64_t>(flit_width));
+    h = hash_combine(h, static_cast<std::uint64_t>(vc_alloc));
+    h = hash_combine(h, static_cast<std::uint64_t>(sw_alloc));
+    h = hash_combine(h, static_cast<std::uint64_t>(pipeline_stages));
+    h = hash_combine(h, static_cast<std::uint64_t>(speculative));
+    h = hash_combine(h, static_cast<std::uint64_t>(crossbar));
+    h = hash_combine(h, static_cast<std::uint64_t>(routing));
+    return h;
+}
+
+std::string RouterConfig::to_string() const
+{
+    std::ostringstream out;
+    out << "router{ports=" << num_ports << " vcs=" << num_vcs << " depth=" << buffer_depth
+        << " width=" << flit_width << " va=" << allocator_name(vc_alloc)
+        << " sa=" << allocator_name(sw_alloc) << " pipe=" << pipeline_stages
+        << " spec=" << (speculative ? "y" : "n") << " xbar=" << crossbar_name(crossbar)
+        << " route=" << routing_name(routing) << "}";
+    return out.str();
+}
+
+ParameterSpace make_router_space()
+{
+    const std::vector<std::string> allocators{"round_robin", "separable_input",
+                                              "separable_output", "wavefront"};
+    ParameterSpace space;
+    space.add("num_vcs", ParamDomain::pow2(0, 2), "virtual channels per port");
+    space.add("buffer_depth", ParamDomain::pow2(1, 5), "flit buffer depth per VC");
+    space.add("flit_width", ParamDomain::pow2(5, 8), "flit width in bits");
+    space.add("vc_alloc", ParamDomain::categorical(allocators, /*ordered=*/true),
+              "VC allocator microarchitecture (ordered by area/delay)");
+    space.add("sw_alloc", ParamDomain::categorical(allocators, /*ordered=*/true),
+              "switch allocator microarchitecture (ordered by area/delay)");
+    space.add("pipeline_stages", ParamDomain::int_range(1, 3), "router pipeline depth");
+    space.add("speculative", ParamDomain::boolean(), "speculative switch allocation");
+    space.add("crossbar", ParamDomain::categorical({"mux", "tristate"}, /*ordered=*/true),
+              "crossbar implementation (ordered by delay)");
+    space.add("routing",
+              ParamDomain::categorical({"dor_xy", "west_first", "adaptive"},
+                                       /*ordered=*/true),
+              "routing function (ordered by logic complexity)");
+    return space;
+}
+
+RouterConfig decode_router(const ParameterSpace& space, const Genome& genome, int num_ports)
+{
+    if (!genome.compatible_with(space) || space.size() != router_gene::count)
+        throw std::invalid_argument("decode_router: genome/space mismatch");
+    if (num_ports < 2) throw std::invalid_argument("decode_router: num_ports must be >= 2");
+    RouterConfig c;
+    c.num_ports = num_ports;
+    c.num_vcs = static_cast<int>(genome.numeric_value(space, router_gene::num_vcs));
+    c.buffer_depth =
+        static_cast<int>(genome.numeric_value(space, router_gene::buffer_depth));
+    c.flit_width = static_cast<int>(genome.numeric_value(space, router_gene::flit_width));
+    c.vc_alloc = static_cast<AllocatorKind>(genome.gene(router_gene::vc_alloc));
+    c.sw_alloc = static_cast<AllocatorKind>(genome.gene(router_gene::sw_alloc));
+    c.pipeline_stages =
+        static_cast<int>(genome.numeric_value(space, router_gene::pipeline_stages));
+    c.speculative = genome.gene(router_gene::speculative) != 0;
+    c.crossbar = static_cast<CrossbarKind>(genome.gene(router_gene::crossbar));
+    c.routing = static_cast<RoutingKind>(genome.gene(router_gene::routing));
+    return c;
+}
+
+}  // namespace nautilus::noc

@@ -1,0 +1,84 @@
+#pragma once
+// The virtual-channel router parameter space ("NoC" IP of the paper).
+//
+// Models the user-visible knobs of a state-of-the-art VC router in the style
+// of the Stanford open-source NoC router (Becker 2012).  The paper's NoC
+// dataset varies 9 parameters yielding ~30,000 design instances; this space
+// matches that: 3*5*4*4*4*3*2*2*3 = 34,560 points.
+
+#include <cstdint>
+#include <string>
+
+#include "core/genome.hpp"
+#include "core/parameter.hpp"
+
+namespace nautilus::noc {
+
+// Allocator microarchitectures, ordered cheapest/fastest-clock first.  The
+// ordering is itself an "auxiliary" author hint (paper section 3: "order
+// different allocator options with respect to clock frequency or area").
+enum class AllocatorKind : std::uint8_t {
+    round_robin,      // simple RR arbiter tree
+    separable_input,  // separable, input-first
+    separable_output, // separable, output-first
+    wavefront,        // wavefront allocator (best matching, biggest/slowest)
+};
+
+enum class CrossbarKind : std::uint8_t {
+    mux,      // LUT mux tree: bigger, faster
+    tristate, // shared-line style: smaller, slower
+};
+
+enum class RoutingKind : std::uint8_t {
+    dor_xy,      // dimension-ordered
+    west_first,  // partially adaptive (turn model)
+    adaptive,    // fully adaptive (needs more VC state + deeper logic)
+};
+
+const char* allocator_name(AllocatorKind k);
+const char* crossbar_name(CrossbarKind k);
+const char* routing_name(RoutingKind k);
+
+// A fully decoded router configuration.
+struct RouterConfig {
+    int num_ports = 5;           // fixed for the single-router study (mesh router)
+    int num_vcs = 2;             // virtual channels per port
+    int buffer_depth = 8;        // flits per VC
+    int flit_width = 64;         // bits
+    AllocatorKind vc_alloc = AllocatorKind::round_robin;
+    AllocatorKind sw_alloc = AllocatorKind::round_robin;
+    int pipeline_stages = 2;     // 1..3
+    bool speculative = false;    // speculative switch allocation
+    CrossbarKind crossbar = CrossbarKind::mux;
+    RoutingKind routing = RoutingKind::dor_xy;
+
+    // Stable key for deterministic synthesis noise.
+    std::uint64_t config_key() const;
+
+    std::string to_string() const;
+};
+
+// Index constants for the 9 genes of the router space.
+namespace router_gene {
+inline constexpr std::size_t num_vcs = 0;
+inline constexpr std::size_t buffer_depth = 1;
+inline constexpr std::size_t flit_width = 2;
+inline constexpr std::size_t vc_alloc = 3;
+inline constexpr std::size_t sw_alloc = 4;
+inline constexpr std::size_t pipeline_stages = 5;
+inline constexpr std::size_t speculative = 6;
+inline constexpr std::size_t crossbar = 7;
+inline constexpr std::size_t routing = 8;
+inline constexpr std::size_t count = 9;
+}  // namespace router_gene
+
+// The 9-parameter space: vcs {1,2,4}, depth {2..32}, width {32..256},
+// vc/sw allocator x4, pipeline {1..3}, speculation, crossbar x2, routing x3.
+ParameterSpace make_router_space();
+
+// Decode a genome of the router space; `num_ports` stays a fixed parameter
+// of the study (5 for the paper's single-router dataset).
+RouterConfig decode_router(const ParameterSpace& space, const Genome& genome,
+                           int num_ports = 5);
+
+}  // namespace nautilus::noc

@@ -1,0 +1,167 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace nautilus::noc {
+
+const char* topology_name(TopologyKind kind)
+{
+    switch (kind) {
+    case TopologyKind::ring: return "ring";
+    case TopologyKind::double_ring: return "double_ring";
+    case TopologyKind::conc_ring: return "conc_ring";
+    case TopologyKind::conc_double_ring: return "conc_double_ring";
+    case TopologyKind::mesh: return "mesh";
+    case TopologyKind::torus: return "torus";
+    case TopologyKind::fat_tree: return "fat_tree";
+    case TopologyKind::butterfly: return "butterfly";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr double k_tile_pitch_mm = 0.9;  // endpoint tile pitch at 65 nm
+
+bool is_square(int n)
+{
+    const int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+    return r * r == n;
+}
+
+bool is_power_of(int n, int base)
+{
+    while (n > 1) {
+        if (n % base != 0) return false;
+        n /= base;
+    }
+    return n == 1;
+}
+
+}  // namespace
+
+TopologyInfo make_topology(TopologyKind kind, int endpoints)
+{
+    if (endpoints < 4) throw std::invalid_argument("make_topology: need >= 4 endpoints");
+    TopologyInfo t;
+    t.kind = kind;
+    t.endpoints = endpoints;
+
+    switch (kind) {
+    case TopologyKind::ring: {
+        if (endpoints % 2 != 0)
+            throw std::invalid_argument("make_topology: ring needs an even endpoint count");
+        t.concentration = 1;
+        t.num_routers = endpoints;
+        t.router_radix = 3;  // two ring ports + one local
+        t.total_channels = 2 * t.num_routers;
+        t.bisection_channels = 4;  // two links cut, both directions
+        t.avg_channel_mm = k_tile_pitch_mm;
+        t.avg_hops = endpoints / 4.0;
+        break;
+    }
+    case TopologyKind::double_ring: {
+        if (endpoints % 2 != 0)
+            throw std::invalid_argument("make_topology: ring needs an even endpoint count");
+        t.concentration = 1;
+        t.num_routers = endpoints;
+        t.router_radix = 5;  // two ports per ring + local
+        t.total_channels = 4 * t.num_routers;
+        t.bisection_channels = 8;
+        t.avg_channel_mm = k_tile_pitch_mm;
+        t.avg_hops = endpoints / 4.0;
+        break;
+    }
+    case TopologyKind::conc_ring: {
+        if (endpoints % 4 != 0)
+            throw std::invalid_argument("make_topology: concentration requires multiple of 4");
+        t.concentration = 4;
+        t.num_routers = endpoints / 4;
+        t.router_radix = 2 + 4;
+        t.total_channels = 2 * t.num_routers;
+        t.bisection_channels = 4;
+        t.avg_channel_mm = 2.0 * k_tile_pitch_mm;  // routers are farther apart
+        t.avg_hops = t.num_routers / 4.0;
+        break;
+    }
+    case TopologyKind::conc_double_ring: {
+        if (endpoints % 4 != 0)
+            throw std::invalid_argument("make_topology: concentration requires multiple of 4");
+        t.concentration = 4;
+        t.num_routers = endpoints / 4;
+        t.router_radix = 4 + 4;
+        t.total_channels = 4 * t.num_routers;
+        t.bisection_channels = 8;
+        t.avg_channel_mm = 2.0 * k_tile_pitch_mm;
+        t.avg_hops = t.num_routers / 4.0;
+        break;
+    }
+    case TopologyKind::mesh: {
+        if (!is_square(endpoints))
+            throw std::invalid_argument("make_topology: mesh needs a square endpoint count");
+        const int side = static_cast<int>(std::lround(std::sqrt(endpoints)));
+        t.concentration = 1;
+        t.num_routers = endpoints;
+        t.router_radix = 5;
+        t.total_channels = 2 * 2 * side * (side - 1);
+        t.bisection_channels = 2 * side;
+        t.avg_channel_mm = k_tile_pitch_mm;
+        t.avg_hops = 2.0 * side / 3.0;
+        break;
+    }
+    case TopologyKind::torus: {
+        if (!is_square(endpoints))
+            throw std::invalid_argument("make_topology: torus needs a square endpoint count");
+        const int side = static_cast<int>(std::lround(std::sqrt(endpoints)));
+        t.concentration = 1;
+        t.num_routers = endpoints;
+        t.router_radix = 5;
+        t.total_channels = 2 * 2 * side * side;
+        t.bisection_channels = 4 * side;
+        t.avg_channel_mm = 2.0 * k_tile_pitch_mm;  // folded torus doubles link length
+        t.avg_hops = side / 2.0;
+        break;
+    }
+    case TopologyKind::fat_tree: {
+        if (!is_power_of(endpoints, 4))
+            throw std::invalid_argument("make_topology: fat tree needs a power-of-4 count");
+        // 4-ary n-tree: n levels of endpoints/4 radix-8 switches.
+        const int levels = static_cast<int>(std::lround(std::log2(endpoints) / 2.0));
+        t.concentration = 4;
+        t.num_routers = levels * endpoints / 4;
+        t.router_radix = 8;
+        t.total_channels = 2 * (levels - 1) * endpoints + 2 * endpoints;
+        t.bisection_channels = 2 * endpoints;  // full bisection
+        t.avg_channel_mm = 3.0 * k_tile_pitch_mm;  // long upper-level links
+        t.avg_hops = 2.0 * levels * 0.75;
+        break;
+    }
+    case TopologyKind::butterfly: {
+        if (!is_power_of(endpoints, 4))
+            throw std::invalid_argument("make_topology: butterfly needs a power-of-4 count");
+        const int stages = static_cast<int>(std::lround(std::log2(endpoints) / 2.0));
+        t.concentration = 4;
+        t.num_routers = stages * endpoints / 4;
+        t.router_radix = 8;  // 4 in + 4 out
+        t.total_channels = (stages - 1) * endpoints + 2 * endpoints;
+        t.bisection_channels = endpoints;  // unidirectional network
+        t.avg_channel_mm = 2.5 * k_tile_pitch_mm;
+        t.avg_hops = stages;
+        break;
+    }
+    }
+    return t;
+}
+
+std::vector<TopologyInfo> all_topologies(int endpoints)
+{
+    std::vector<TopologyInfo> out;
+    out.reserve(k_topology_count);
+    for (int k = 0; k < k_topology_count; ++k)
+        out.push_back(make_topology(static_cast<TopologyKind>(k), endpoints));
+    return out;
+}
+
+}  // namespace nautilus::noc

@@ -1,0 +1,49 @@
+#pragma once
+// Network topology families (the CONNECT study of Fig. 2).
+//
+// Eight families matching the paper's legend: ring, double ring, their
+// concentrated variants, mesh, torus, fat tree and butterfly.  For a given
+// endpoint count each family determines the router count and radix, the
+// channel population, and the bisection width that drives peak bandwidth.
+
+#include <string>
+#include <vector>
+
+namespace nautilus::noc {
+
+enum class TopologyKind {
+    ring,
+    double_ring,
+    conc_ring,         // concentrated ring (4 endpoints per router)
+    conc_double_ring,  // concentrated double ring
+    mesh,
+    torus,
+    fat_tree,
+    butterfly,
+};
+
+inline constexpr int k_topology_count = 8;
+
+const char* topology_name(TopologyKind kind);
+
+struct TopologyInfo {
+    TopologyKind kind = TopologyKind::ring;
+    int endpoints = 0;
+    int concentration = 1;     // endpoints attached per router
+    int num_routers = 0;
+    int router_radix = 0;      // total ports (network + local)
+    int total_channels = 0;    // unidirectional inter-router channels
+    int bisection_channels = 0;  // unidirectional channels crossing the bisection
+    double avg_channel_mm = 1.0; // physical length estimate for wiring cost
+    double avg_hops = 1.0;       // average routing distance (reporting)
+};
+
+// Build the topology for `endpoints` endpoints.  Mesh/torus require a square
+// endpoint count; fat tree and butterfly require a power of 4; rings accept
+// any even count.  Throws std::invalid_argument otherwise.
+TopologyInfo make_topology(TopologyKind kind, int endpoints);
+
+// All eight families instantiated at `endpoints` (64 for the Fig. 2 study).
+std::vector<TopologyInfo> all_topologies(int endpoints);
+
+}  // namespace nautilus::noc

@@ -1,0 +1,40 @@
+#include "synth/resources.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nautilus::synth {
+
+Resources& Resources::operator+=(const Resources& other)
+{
+    luts += other.luts;
+    ffs += other.ffs;
+    lutram_bits += other.lutram_bits;
+    bram_bits += other.bram_bits;
+    dsps += other.dsps;
+    return *this;
+}
+
+Resources Resources::scaled(double factor) const
+{
+    if (factor < 0.0) throw std::invalid_argument("Resources::scaled: negative factor");
+    Resources r = *this;
+    r.luts *= factor;
+    r.ffs *= factor;
+    r.lutram_bits *= factor;
+    r.bram_bits *= factor;
+    r.dsps *= factor;
+    return r;
+}
+
+double Resources::equivalent_luts(const FpgaTech& tech) const
+{
+    return luts + std::ceil(lutram_bits / tech.lutram_bits_per_lut);
+}
+
+double Resources::bram_blocks(const FpgaTech& tech) const
+{
+    return std::ceil(bram_bits / (tech.bram_kbits * 1024.0));
+}
+
+}  // namespace nautilus::synth

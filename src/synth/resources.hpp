@@ -1,0 +1,39 @@
+#pragma once
+// Resource descriptors: what an IP model hands to the virtual synthesizer.
+//
+// IP microarchitecture models (noc/, fft/) express their implementation cost
+// as raw resource counts; the synthesizer maps memory bits onto LUT-RAM or
+// block RAM and applies technology factors and noise.
+
+#include "synth/tech.hpp"
+
+namespace nautilus::synth {
+
+struct Resources {
+    double luts = 0.0;         // logic LUTs
+    double ffs = 0.0;          // flip-flops
+    double lutram_bits = 0.0;  // shallow memories (mapped to distributed RAM)
+    double bram_bits = 0.0;    // deep memories (mapped to block RAM)
+    double dsps = 0.0;         // hard multiplier blocks
+
+    Resources& operator+=(const Resources& other);
+    friend Resources operator+(Resources a, const Resources& b)
+    {
+        a += b;
+        return a;
+    }
+
+    // Multiply every count (replicating a block n times).
+    Resources scaled(double factor) const;
+
+    // Logic LUTs plus LUT-RAM mapped into LUTs for the given technology;
+    // the "Area (LUTs)" axis of the paper's figures.
+    double equivalent_luts(const FpgaTech& tech) const;
+
+    // Block-RAM primitives consumed.
+    double bram_blocks(const FpgaTech& tech) const;
+
+    bool operator==(const Resources&) const = default;
+};
+
+}  // namespace nautilus::synth

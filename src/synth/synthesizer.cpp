@@ -1,0 +1,115 @@
+#include "synth/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace nautilus::synth {
+
+double noise_factor(std::uint64_t key, std::uint64_t salt, double amplitude)
+{
+    if (amplitude < 0.0 || amplitude >= 1.0)
+        throw std::invalid_argument("noise_factor: amplitude out of [0, 1)");
+    if (amplitude == 0.0) return 1.0;
+    const std::uint64_t h = hash_combine(mix64(key), salt);
+    // Map the hash to (-1, 1).
+    const double u = (static_cast<double>(h >> 11) * 0x1.0p-53) * 2.0 - 1.0;
+    return 1.0 + amplitude * u;
+}
+
+namespace {
+
+constexpr std::uint64_t k_area_salt = 0xa5ea5a17ull;
+constexpr std::uint64_t k_timing_salt = 0x7171e0ffull;
+
+void check_descriptor(const DesignDescriptor& design)
+{
+    if (design.paths.empty())
+        throw std::invalid_argument("synthesize: design has no timing paths");
+    if (design.toggle_rate < 0.0 || design.toggle_rate > 1.0)
+        throw std::invalid_argument("synthesize: toggle_rate out of [0, 1]");
+    const Resources& r = design.resources;
+    if (r.luts < 0 || r.ffs < 0 || r.lutram_bits < 0 || r.bram_bits < 0 || r.dsps < 0)
+        throw std::invalid_argument("synthesize: negative resource count");
+}
+
+}  // namespace
+
+VirtualSynthesizer::VirtualSynthesizer(FpgaTech tech, double area_noise, double timing_noise)
+    : tech_(std::move(tech)), area_noise_(area_noise), timing_noise_(timing_noise)
+{
+}
+
+SynthResult VirtualSynthesizer::synthesize(const DesignDescriptor& design) const
+{
+    check_descriptor(design);
+    SynthResult out;
+    const double an = noise_factor(design.config_key, k_area_salt, area_noise_);
+    const double tn = noise_factor(design.config_key, k_timing_salt, timing_noise_);
+
+    out.luts = std::ceil(design.resources.equivalent_luts(tech_) * an);
+    out.ffs = std::ceil(design.resources.ffs * an);
+    out.brams = design.resources.bram_blocks(tech_);
+    out.dsps = design.resources.dsps;
+    out.fmax_mhz = fmax_mhz(design.paths, tech_) * tn;
+    out.fmax_mhz = std::min(out.fmax_mhz, tech_.max_freq_mhz);
+    out.period_ns = 1000.0 / out.fmax_mhz;
+    return out;
+}
+
+AsicSynthesizer::AsicSynthesizer(AsicTech tech, double area_noise, double timing_noise)
+    : tech_(std::move(tech)), area_noise_(area_noise), timing_noise_(timing_noise)
+{
+}
+
+SynthResult AsicSynthesizer::synthesize(const DesignDescriptor& design,
+                                        double wire_bit_mm) const
+{
+    check_descriptor(design);
+    if (wire_bit_mm < 0.0)
+        throw std::invalid_argument("AsicSynthesizer: negative wire length");
+    SynthResult out;
+    const double an = noise_factor(design.config_key, k_area_salt, area_noise_);
+    const double tn = noise_factor(design.config_key, k_timing_salt, timing_noise_);
+
+    // Gate-level conversion: logic LUTs and memory bits become gates.
+    const double logic_gates = design.resources.luts * tech_.gates_per_lut;
+    const double ff_gates = design.resources.ffs * 6.0;
+    const double mem_gates =
+        (design.resources.lutram_bits + design.resources.bram_bits) * 1.2 +
+        design.resources.dsps * 3000.0;
+    const double gates = (logic_gates + ff_gates + mem_gates) * an;
+
+    // Timing: logic levels map through the ASIC gate delay.  Reuse the FPGA
+    // path depths with an ASIC-equivalent level delay (one LUT level is
+    // roughly three gate levels).
+    double worst_levels = 0.0;
+    for (const TimingPath& p : design.paths)
+        worst_levels = std::max(
+            worst_levels,
+            p.logic_levels * (1.0 + 0.08 * std::log2(std::max(p.fanout, 1.0))));
+    const double period =
+        0.15 + worst_levels * 3.0 * tech_.gate_delay_ns;  // 0.15 ns register overhead
+    out.fmax_mhz = std::min(1000.0 / period * tn, tech_.max_freq_mhz);
+    out.period_ns = 1000.0 / out.fmax_mhz;
+
+    const double logic_area_um2 = gates * tech_.um2_per_gate;
+    const double wire_area_um2 = wire_bit_mm * tech_.wire_um2_per_bit_mm;
+    out.area_mm2 = (logic_area_um2 + wire_area_um2) / 1.0e6;
+
+    const double kgates = gates / 1000.0;
+    const double dynamic = kgates * tech_.mw_per_mhz_per_kgate * out.fmax_mhz *
+                           (design.toggle_rate / 0.15);
+    const double wire_power =
+        wire_bit_mm * 0.02 * out.fmax_mhz / 1000.0;  // mW per bit-mm-GHz
+    out.power_mw = dynamic + kgates * tech_.leakage_mw_per_kgate + wire_power;
+
+    // FPGA-view fields stay useful for reporting.
+    out.luts = design.resources.equivalent_luts(FpgaTech{});
+    out.ffs = design.resources.ffs;
+    return out;
+}
+
+}  // namespace nautilus::synth

@@ -1,0 +1,19 @@
+#include "synth/tech.hpp"
+
+namespace nautilus::synth {
+
+FpgaTech FpgaTech::virtex6_lx760t()
+{
+    FpgaTech t;
+    t.name = "xc6vlx760";
+    return t;
+}
+
+AsicTech AsicTech::commercial_65nm()
+{
+    AsicTech t;
+    t.name = "commercial-65nm";
+    return t;
+}
+
+}  // namespace nautilus::synth

@@ -1,0 +1,44 @@
+#pragma once
+// Technology descriptors for the virtual synthesis back end.
+//
+// The paper characterized designs with Xilinx XST 14.7 on a Virtex-6 LX760T
+// (FPGA experiments, Figs. 1 and 3-7) and a commercial 65 nm ASIC flow
+// (Fig. 2).  We model both as parameter sets consumed by the virtual
+// synthesizer; the constants are calibrated so absolute numbers land in the
+// same ranges the paper's figures show, and relative trends (what the GA
+// actually navigates) follow the usual first-order hardware models.
+
+#include <string>
+
+namespace nautilus::synth {
+
+// FPGA device family model (Virtex-6-like defaults).
+struct FpgaTech {
+    std::string name;
+    double lut_delay_ns = 0.45;        // LUT + local routing per logic level
+    double routing_overhead = 1.35;    // global routing multiplier
+    double ff_setup_ns = 0.6;          // clock-to-q + setup
+    double max_freq_mhz = 450.0;       // clock-network ceiling
+    double lutram_bits_per_lut = 32.0; // distributed-RAM density
+    double bram_kbits = 36.0;          // block-RAM capacity
+    double dsp_width = 18.0;           // native DSP multiplier width
+    double luts_total = 474240.0;      // device capacity (LX760T)
+
+    static FpgaTech virtex6_lx760t();
+};
+
+// ASIC node model (65 nm-like defaults).
+struct AsicTech {
+    std::string name;
+    double gate_delay_ns = 0.045;       // FO4-equivalent per logic level
+    double um2_per_gate = 1.44;         // NAND2-equivalent footprint
+    double gates_per_lut = 8.0;         // FPGA LUT -> gate conversion
+    double mw_per_mhz_per_kgate = 0.006;  // dynamic power density
+    double leakage_mw_per_kgate = 0.02;
+    double max_freq_mhz = 1500.0;
+    double wire_um2_per_bit_mm = 280.0;  // channel wiring footprint
+
+    static AsicTech commercial_65nm();
+};
+
+}  // namespace nautilus::synth

@@ -1,0 +1,29 @@
+#pragma once
+// Static timing model: logic depth + fanout -> path delay -> fmax.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "synth/tech.hpp"
+
+namespace nautilus::synth {
+
+// One register-to-register path, described by its logic depth.
+struct TimingPath {
+    std::string name;
+    double logic_levels = 1.0;  // LUT levels between registers
+    double fanout = 4.0;        // representative net fanout along the path
+};
+
+// Delay of one path: logic levels x (LUT + routing), with a logarithmic
+// fanout penalty, plus register overhead.
+double path_delay_ns(const TimingPath& path, const FpgaTech& tech);
+
+// Slowest path; throws on an empty set.
+double critical_path_ns(std::span<const TimingPath> paths, const FpgaTech& tech);
+
+// Clock frequency implied by the critical path, capped by the technology.
+double fmax_mhz(std::span<const TimingPath> paths, const FpgaTech& tech);
+
+}  // namespace nautilus::synth

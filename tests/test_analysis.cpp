@@ -1,0 +1,157 @@
+#include "ip/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nautilus::ip {
+namespace {
+
+// area = 50x + 5y (+z has no effect); one unordered mode shifts everything.
+class EffectGenerator final : public IpGenerator {
+public:
+    EffectGenerator()
+    {
+        space_.add("x", ParamDomain::int_range(0, 4));
+        space_.add("y", ParamDomain::int_range(0, 4));
+        space_.add("z", ParamDomain::int_range(0, 4));
+        space_.add("mode", ParamDomain::categorical({"a", "b"}));
+    }
+    std::string name() const override { return "effect"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<Metric> metrics() const override { return {Metric::area_luts}; }
+    MetricValues evaluate(const Genome& g) const override
+    {
+        MetricValues mv;
+        mv.set(Metric::area_luts,
+               100.0 + 50.0 * g.gene(0) + 5.0 * g.gene(1) + (g.gene(3) == 1 ? 200.0 : 0.0));
+        return mv;
+    }
+    HintSet author_hints(Metric m) const override
+    {
+        HintSet h = HintSet::none(space_);
+        if (m == Metric::area_luts) {
+            h.param(0).bias = 0.9;
+            h.param(0).importance = 90.0;
+            h.param(1).bias = 0.4;
+        }
+        return h;
+    }
+
+private:
+    ParameterSpace space_;
+};
+
+class AnalysisTest : public ::testing::Test {
+protected:
+    EffectGenerator gen;
+    Dataset ds = Dataset::enumerate(gen);
+};
+
+TEST_F(AnalysisTest, MainEffectsRankParametersCorrectly)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    ASSERT_EQ(effects.size(), 4u);
+    EXPECT_DOUBLE_EQ(effects[0].effect_range, 200.0);  // x: 50 * 4
+    EXPECT_DOUBLE_EQ(effects[1].effect_range, 20.0);    // y: 5 * 4
+    EXPECT_DOUBLE_EQ(effects[2].effect_range, 0.0);     // z: no effect
+    EXPECT_DOUBLE_EQ(effects[3].effect_range, 200.0);   // mode shift
+}
+
+TEST_F(AnalysisTest, TrendsFollowSigns)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    EXPECT_GT(effects[0].trend, 0.9);
+    EXPECT_GT(effects[1].trend, 0.9);
+    EXPECT_DOUBLE_EQ(effects[3].trend, 0.0);  // unordered: no trend
+}
+
+TEST_F(AnalysisTest, MeansPerValueAreExact)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    // For x: mean over y,z,mode of 100+50x+5y+(mode? 200:0) = 210 + 50x.
+    EXPECT_DOUBLE_EQ(effects[0].mean_by_value[0], 210.0);
+    EXPECT_DOUBLE_EQ(effects[0].mean_by_value[4], 410.0);
+}
+
+TEST_F(AnalysisTest, CountsCoverTheFullSlice)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    // Each x value owns 5*5*2 = 50 entries of the 250-point space.
+    EXPECT_EQ(effects[0].count_by_value[4], 50u);
+    EXPECT_EQ(effects[0].count_by_value[0], 50u);
+}
+
+// Infeasible entries must be excluded from means and counts.
+class HoleyGenerator final : public IpGenerator {
+public:
+    HoleyGenerator() { space_.add("x", ParamDomain::int_range(0, 3)); }
+    std::string name() const override { return "holey"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<Metric> metrics() const override { return {Metric::area_luts}; }
+    MetricValues evaluate(const Genome& g) const override
+    {
+        if (g.gene(0) == 3) return MetricValues::infeasible_point();
+        MetricValues mv;
+        mv.set(Metric::area_luts, 10.0 * g.gene(0));
+        return mv;
+    }
+
+private:
+    ParameterSpace space_;
+};
+
+TEST(AnalysisInfeasible, CountsExcludeInfeasible)
+{
+    const HoleyGenerator gen;
+    const Dataset ds = Dataset::enumerate(gen);
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    EXPECT_EQ(effects[0].count_by_value[0], 1u);
+    EXPECT_EQ(effects[0].count_by_value[3], 0u);
+    EXPECT_DOUBLE_EQ(effects[0].effect_range, 20.0);  // feasible values 0..20
+}
+
+TEST_F(AnalysisTest, ReportPrintsAllParameters)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    std::ostringstream out;
+    print_sensitivity_report(out, gen, Metric::area_luts, effects);
+    const std::string text = out.str();
+    for (const auto& p : gen.space()) EXPECT_NE(text.find(p.name), std::string::npos);
+    EXPECT_NE(text.find("area_luts"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, EffectsToHintsMatchStructure)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    const HintSet hints = effects_to_hints(gen, effects);
+    EXPECT_NO_THROW(hints.validate(gen.space()));
+    // x: strong positive bias; z: negligible; mode: importance without bias.
+    ASSERT_TRUE(hints.param(0).bias.has_value());
+    EXPECT_GT(*hints.param(0).bias, 0.5);
+    EXPECT_DOUBLE_EQ(hints.param(2).importance, 1.0);
+    EXPECT_FALSE(hints.param(2).bias.has_value());
+    EXPECT_GT(hints.param(3).importance, 50.0);
+    EXPECT_FALSE(hints.param(3).bias.has_value());
+}
+
+TEST_F(AnalysisTest, DerivedHintSignsAgreeWithAuthor)
+{
+    const auto effects = main_effects(ds, gen, Metric::area_luts);
+    const HintSet derived = effects_to_hints(gen, effects);
+    const HintSet authored = gen.author_hints(Metric::area_luts);
+    for (std::size_t p = 0; p < gen.space().size(); ++p) {
+        if (!derived.param(p).bias || !authored.param(p).bias) continue;
+        EXPECT_EQ(*derived.param(p).bias > 0, *authored.param(p).bias > 0) << p;
+    }
+}
+
+TEST_F(AnalysisTest, Validation)
+{
+    EXPECT_THROW(main_effects(Dataset{}, gen, Metric::area_luts), std::invalid_argument);
+    EXPECT_THROW(main_effects(ds, gen, Metric::snr_db), std::invalid_argument);
+    EXPECT_THROW(effects_to_hints(gen, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nautilus::ip

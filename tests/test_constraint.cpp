@@ -1,0 +1,162 @@
+#include "exp/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ga.hpp"
+
+namespace nautilus::exp {
+namespace {
+
+using ip::Metric;
+
+// area = 100 + 10x, freq = 200 - 5x + 20y over x,y in [0,9].
+class BudgetGenerator final : public ip::IpGenerator {
+public:
+    BudgetGenerator()
+    {
+        space_.add("x", ParamDomain::int_range(0, 9));
+        space_.add("y", ParamDomain::int_range(0, 9));
+    }
+    std::string name() const override { return "budget"; }
+    const ParameterSpace& space() const override { return space_; }
+    std::vector<Metric> metrics() const override
+    {
+        return {Metric::area_luts, Metric::freq_mhz};
+    }
+    ip::MetricValues evaluate(const Genome& g) const override
+    {
+        ip::MetricValues mv;
+        mv.set(Metric::area_luts, 100.0 + 10.0 * g.gene(0));
+        mv.set(Metric::freq_mhz, 200.0 - 5.0 * g.gene(0) + 20.0 * g.gene(1));
+        return mv;
+    }
+
+private:
+    ParameterSpace space_;
+};
+
+TEST(Constraint, ViolationUpperBound)
+{
+    const Constraint c{Metric::area_luts, Constraint::Bound::upper, 100.0};
+    EXPECT_DOUBLE_EQ(c.violation(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.violation(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.violation(150.0), 0.5);
+    EXPECT_TRUE(c.satisfied(99.0));
+    EXPECT_FALSE(c.satisfied(101.0));
+}
+
+TEST(Constraint, ViolationLowerBound)
+{
+    const Constraint c{Metric::freq_mhz, Constraint::Bound::lower, 200.0};
+    EXPECT_DOUBLE_EQ(c.violation(200.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.violation(250.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.violation(100.0), 0.5);
+}
+
+TEST(Constraint, ZeroLimitDegenerates)
+{
+    const Constraint c{Metric::area_luts, Constraint::Bound::upper, 0.0};
+    EXPECT_DOUBLE_EQ(c.violation(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.violation(1.0), 1.0);
+}
+
+TEST(ConstrainedEval, HardModeRejectsViolations)
+{
+    const BudgetGenerator gen;
+    const std::vector<Constraint> cs{{Metric::area_luts, Constraint::Bound::upper, 130.0}};
+    const EvalFn eval = constrained_eval(gen, Metric::freq_mhz, Direction::maximize, cs,
+                                         ConstraintMode::hard);
+    EXPECT_TRUE(eval(Genome{{3, 9}}).feasible);   // area 130 == limit
+    EXPECT_FALSE(eval(Genome{{4, 9}}).feasible);  // area 140 > limit
+}
+
+TEST(ConstrainedEval, SatisfiedPointsKeepExactObjective)
+{
+    const BudgetGenerator gen;
+    const std::vector<Constraint> cs{{Metric::area_luts, Constraint::Bound::upper, 190.0}};
+    for (auto mode : {ConstraintMode::hard, ConstraintMode::penalty}) {
+        const EvalFn eval =
+            constrained_eval(gen, Metric::freq_mhz, Direction::maximize, cs, mode);
+        const Evaluation e = eval(Genome{{2, 5}});
+        EXPECT_TRUE(e.feasible);
+        EXPECT_DOUBLE_EQ(e.value, 290.0);
+    }
+}
+
+TEST(ConstrainedEval, PenaltyModeDegradesProportionally)
+{
+    const BudgetGenerator gen;
+    const std::vector<Constraint> cs{{Metric::area_luts, Constraint::Bound::upper, 100.0}};
+    const EvalFn eval = constrained_eval(gen, Metric::freq_mhz, Direction::maximize, cs,
+                                         ConstraintMode::penalty, 1.0);
+    const Evaluation mild = eval(Genome{{1, 5}});   // area 110, violation 0.1
+    const Evaluation severe = eval(Genome{{9, 5}}); // area 190, violation 0.9
+    ASSERT_TRUE(mild.feasible);
+    ASSERT_TRUE(severe.feasible);
+    // Both are degraded below their raw objectives and severity matters.
+    EXPECT_LT(mild.value, 295.0);
+    EXPECT_LT(severe.value, mild.value);
+}
+
+TEST(ConstrainedEval, PenaltyDirectionAwareForMinimize)
+{
+    const BudgetGenerator gen;
+    const std::vector<Constraint> cs{{Metric::freq_mhz, Constraint::Bound::lower, 300.0}};
+    const EvalFn eval = constrained_eval(gen, Metric::area_luts, Direction::minimize, cs,
+                                         ConstraintMode::penalty, 1.0);
+    // Point with freq 200 (violation 1/3): area objective must get *worse*
+    // (larger) under minimization.
+    const Evaluation e = eval(Genome{{0, 0}});
+    ASSERT_TRUE(e.feasible);
+    EXPECT_GT(e.value, 100.0);
+}
+
+TEST(ConstrainedEval, MissingMetricIsInfeasible)
+{
+    const BudgetGenerator gen;
+    const std::vector<Constraint> cs{{Metric::snr_db, Constraint::Bound::upper, 1.0}};
+    const EvalFn eval = constrained_eval(gen, Metric::freq_mhz, Direction::maximize, cs,
+                                         ConstraintMode::hard);
+    EXPECT_FALSE(eval(Genome{{0, 0}}).feasible);
+}
+
+TEST(ConstrainedEval, NegativePenaltyWeightRejected)
+{
+    const BudgetGenerator gen;
+    EXPECT_THROW(constrained_eval(gen, Metric::freq_mhz, Direction::maximize, {},
+                                  ConstraintMode::penalty, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(ConstrainedEval, GaRespectsHardBudget)
+{
+    const BudgetGenerator gen;
+    const std::vector<Constraint> cs{{Metric::area_luts, Constraint::Bound::upper, 120.0}};
+    const EvalFn eval = constrained_eval(gen, Metric::freq_mhz, Direction::maximize, cs,
+                                         ConstraintMode::hard);
+    GaConfig cfg;
+    cfg.generations = 30;
+    cfg.seed = 77;
+    const GaEngine engine{gen.space(), cfg, Direction::maximize, eval,
+                          HintSet::none(gen.space())};
+    const RunResult r = engine.run();
+    ASSERT_TRUE(r.best_eval.feasible);
+    // Constrained optimum: x = 2 (area 120), y = 9 -> freq 370.
+    EXPECT_LE(gen.evaluate(r.best_genome).get(Metric::area_luts), 120.0);
+    EXPECT_GE(r.best_eval.value, 360.0);
+}
+
+TEST(ConstraintSatisfactionRate, CountsQualifyingEntries)
+{
+    const BudgetGenerator gen;
+    const ip::Dataset ds = ip::Dataset::enumerate(gen);
+    const std::vector<Constraint> half{{Metric::area_luts, Constraint::Bound::upper,
+                                        140.0}};
+    // x in {0..4} qualifies: 50 of 100 points.
+    EXPECT_DOUBLE_EQ(constraint_satisfaction_rate(ds, half), 0.5);
+    const std::vector<Constraint> none{{Metric::area_luts, Constraint::Bound::upper, 1.0}};
+    EXPECT_DOUBLE_EQ(constraint_satisfaction_rate(ds, none), 0.0);
+}
+
+}  // namespace
+}  // namespace nautilus::exp

@@ -1,0 +1,232 @@
+#include "fft/fft_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.hpp"
+
+namespace nautilus::fft {
+namespace {
+
+using cplx = std::complex<double>;
+
+// O(n^2) reference DFT for validating the fast kernels.
+std::vector<cplx> naive_dft(const std::vector<cplx>& x)
+{
+    const std::size_t n = x.size();
+    std::vector<cplx> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle =
+                -2.0 * std::numbers::pi * static_cast<double>(k * t) / static_cast<double>(n);
+            acc += x[t] * cplx{std::cos(angle), std::sin(angle)};
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<cplx> random_input(std::size_t n, std::uint64_t seed, double amplitude = 0.4)
+{
+    Rng rng{seed};
+    std::vector<cplx> x(n);
+    for (auto& v : x) v = {rng.uniform(-amplitude, amplitude), rng.uniform(-amplitude, amplitude)};
+    return x;
+}
+
+TEST(FftReference, MatchesNaiveDft)
+{
+    for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+        const auto input = random_input(n, n);
+        const auto expected = naive_dft(input);
+        auto actual = input;
+        fft_reference(actual);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(actual[i].real(), expected[i].real(), 1e-9) << "n=" << n;
+            EXPECT_NEAR(actual[i].imag(), expected[i].imag(), 1e-9) << "n=" << n;
+        }
+    }
+}
+
+TEST(FftReference, ImpulseGivesFlatSpectrum)
+{
+    std::vector<cplx> x(16, {0.0, 0.0});
+    x[0] = {1.0, 0.0};
+    fft_reference(x);
+    for (const auto& v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(FftReference, SingleToneConcentratesEnergy)
+{
+    constexpr std::size_t n = 64;
+    constexpr std::size_t bin = 5;
+    std::vector<cplx> x(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double angle = 2.0 * std::numbers::pi * bin * t / static_cast<double>(n);
+        x[t] = {std::cos(angle), std::sin(angle)};
+    }
+    fft_reference(x);
+    EXPECT_NEAR(std::abs(x[bin]), static_cast<double>(n), 1e-9);
+    for (std::size_t k = 0; k < n; ++k)
+        if (k != bin) { EXPECT_LT(std::abs(x[k]), 1e-9); }
+}
+
+TEST(FftReference, RejectsNonPowerOfTwo)
+{
+    std::vector<cplx> x(12);
+    EXPECT_THROW(fft_reference(x), std::invalid_argument);
+    std::vector<cplx> one(1);
+    EXPECT_THROW(fft_reference(one), std::invalid_argument);
+}
+
+TEST(FftFixed, WideWidthsTrackReferenceClosely)
+{
+    FixedFftConfig cfg;
+    cfg.n = 64;
+    cfg.data_width = 24;
+    cfg.twiddle_width = 18;
+    cfg.scaling = ScalingMode::per_stage;
+    const auto input = random_input(64, 7);
+    auto ref = input;
+    fft_reference(ref);
+    const auto fixed = fft_fixed(cfg, input);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(std::abs(fixed.output[i] - ref[i]), 0.0, 0.05);
+}
+
+TEST(FftFixed, PerStageScalingAvoidsOverflow)
+{
+    FixedFftConfig cfg;
+    cfg.n = 256;
+    cfg.data_width = 12;
+    cfg.twiddle_width = 12;
+    cfg.scaling = ScalingMode::per_stage;
+    const auto r = fft_fixed(cfg, random_input(256, 9));
+    EXPECT_EQ(r.overflow_count, 0u);
+    EXPECT_EQ(r.total_shifts, 8);  // log2(256) stages
+}
+
+TEST(FftFixed, NoScalingOverflowsOnLargeTransforms)
+{
+    FixedFftConfig cfg;
+    cfg.n = 256;
+    cfg.data_width = 10;
+    cfg.twiddle_width = 12;
+    cfg.scaling = ScalingMode::none;
+    const auto r = fft_fixed(cfg, random_input(256, 10));
+    EXPECT_GT(r.overflow_count, 0u);
+    EXPECT_EQ(r.total_shifts, 0);
+}
+
+TEST(FftFixed, BlockFpShiftsOnlyWhenNeeded)
+{
+    FixedFftConfig cfg;
+    cfg.n = 256;
+    cfg.data_width = 14;
+    cfg.twiddle_width = 14;
+    cfg.scaling = ScalingMode::block_fp;
+    const auto r = fft_fixed(cfg, random_input(256, 11));
+    EXPECT_GT(r.total_shifts, 0);
+    EXPECT_LT(r.total_shifts, 9);  // fewer shifts than per-stage scaling
+}
+
+TEST(FftFixed, ConfigMismatchThrows)
+{
+    FixedFftConfig cfg;
+    cfg.n = 64;
+    EXPECT_THROW(fft_fixed(cfg, random_input(32, 1)), std::invalid_argument);
+    std::vector<cplx> bad(12);
+    cfg.n = 12;
+    EXPECT_THROW(fft_fixed(cfg, bad), std::invalid_argument);
+}
+
+TEST(MeasureSnr, WiderDataWidthGivesHigherSnr)
+{
+    double prev = -1e9;
+    for (int dw : {8, 12, 16, 20}) {
+        FixedFftConfig cfg;
+        cfg.n = 128;
+        cfg.data_width = dw;
+        cfg.twiddle_width = 18;
+        cfg.scaling = ScalingMode::per_stage;
+        const double snr = measure_snr_db(cfg, 3);
+        EXPECT_GT(snr, prev) << "dw=" << dw;
+        prev = snr;
+    }
+}
+
+TEST(MeasureSnr, WiderTwiddlesHelp)
+{
+    FixedFftConfig narrow;
+    narrow.n = 128;
+    narrow.data_width = 20;
+    narrow.twiddle_width = 8;
+    FixedFftConfig wide = narrow;
+    wide.twiddle_width = 18;
+    EXPECT_GT(measure_snr_db(wide, 4), measure_snr_db(narrow, 4));
+}
+
+TEST(MeasureSnr, BlockFpBeatsPerStageAtLargeN)
+{
+    // Unconditional per-stage scaling discards one LSB per stage; block
+    // floating point shifts only when the data actually grows.
+    FixedFftConfig per_stage;
+    per_stage.n = 1024;
+    per_stage.data_width = 12;
+    per_stage.twiddle_width = 14;
+    per_stage.scaling = ScalingMode::per_stage;
+    FixedFftConfig block = per_stage;
+    block.scaling = ScalingMode::block_fp;
+    EXPECT_GT(measure_snr_db(block, 5), measure_snr_db(per_stage, 5));
+}
+
+TEST(MeasureSnr, ScalingBeatsSaturationAtLargeN)
+{
+    FixedFftConfig none;
+    none.n = 512;
+    none.data_width = 12;
+    none.twiddle_width = 14;
+    none.scaling = ScalingMode::none;
+    FixedFftConfig scaled = none;
+    scaled.scaling = ScalingMode::per_stage;
+    EXPECT_GT(measure_snr_db(scaled, 6), measure_snr_db(none, 6));
+}
+
+TEST(MeasureSnr, ReasonableAbsoluteLevels)
+{
+    FixedFftConfig cfg;
+    cfg.n = 256;
+    cfg.data_width = 16;
+    cfg.twiddle_width = 16;
+    cfg.scaling = ScalingMode::per_stage;
+    const double snr = measure_snr_db(cfg, 7);
+    // 16-bit FFT should land in the tens of dB.
+    EXPECT_GT(snr, 40.0);
+    EXPECT_LT(snr, 120.0);
+}
+
+TEST(MeasureSnr, DeterministicPerSeed)
+{
+    FixedFftConfig cfg;
+    cfg.n = 64;
+    cfg.data_width = 12;
+    cfg.twiddle_width = 12;
+    EXPECT_DOUBLE_EQ(measure_snr_db(cfg, 8), measure_snr_db(cfg, 8));
+    EXPECT_THROW(measure_snr_db(cfg, 8, 0), std::invalid_argument);
+}
+
+TEST(ScalingNames, Stable)
+{
+    EXPECT_STREQ(scaling_name(ScalingMode::none), "none");
+    EXPECT_STREQ(scaling_name(ScalingMode::per_stage), "per_stage");
+    EXPECT_STREQ(scaling_name(ScalingMode::block_fp), "block_fp");
+}
+
+}  // namespace
+}  // namespace nautilus::fft

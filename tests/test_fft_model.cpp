@@ -1,0 +1,260 @@
+#include "fft/fft_generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus::fft {
+namespace {
+
+using ip::Metric;
+
+FftConfig base_config()
+{
+    FftConfig c;
+    c.log2n = 8;
+    c.streaming_width = 4;
+    c.radix = 2;
+    c.data_width = 16;
+    c.twiddle_width = 16;
+    c.scaling = ScalingMode::per_stage;
+    return c;
+}
+
+TEST(FftSpace, MatchesPaperScale)
+{
+    const ParameterSpace space = make_fft_space();
+    EXPECT_EQ(space.size(), fft_gene::count);
+    // 6 varied parameters, ~12,000 feasible instances (paper 4.1).
+    EXPECT_EQ(space.exact_cardinality(), 18900u);
+    std::size_t feasible = 0;
+    for (std::size_t rank = 0; rank < 18900; ++rank)
+        if (decode_fft(space, Genome::from_rank(space, rank)).feasible()) ++feasible;
+    EXPECT_EQ(feasible, 10800u);
+}
+
+TEST(FftConfig, FeasibilityRules)
+{
+    FftConfig c = base_config();
+    EXPECT_TRUE(c.feasible());
+    c.radix = 8;
+    c.log2n = 8;  // 8 % 3 != 0
+    EXPECT_FALSE(c.feasible());
+    c.log2n = 9;
+    c.streaming_width = 8;
+    EXPECT_TRUE(c.feasible());
+    c.streaming_width = 4;  // width < radix
+    EXPECT_FALSE(c.feasible());
+}
+
+TEST(FftConfig, StageArithmetic)
+{
+    FftConfig c = base_config();
+    EXPECT_EQ(c.n(), 256);
+    EXPECT_EQ(c.stages(), 8);
+    EXPECT_EQ(c.butterflies_per_stage(), 2);
+    c.radix = 4;
+    EXPECT_EQ(c.stages(), 4);
+    EXPECT_EQ(c.butterflies_per_stage(), 1);
+}
+
+TEST(FftConfig, KeyDistinguishesConfigs)
+{
+    FftConfig a = base_config();
+    FftConfig b = base_config();
+    EXPECT_EQ(a.config_key(), b.config_key());
+    b.scaling = ScalingMode::block_fp;
+    EXPECT_NE(a.config_key(), b.config_key());
+}
+
+TEST(FftDecode, RoundTrip)
+{
+    const ParameterSpace space = make_fft_space();
+    Genome g = Genome::zeros(space);
+    g.set_gene(fft_gene::log2n, 3);           // 9
+    g.set_gene(fft_gene::streaming_width, 2); // 8
+    g.set_gene(fft_gene::radix, 2);           // 8
+    g.set_gene(fft_gene::data_width, 5);      // 18
+    g.set_gene(fft_gene::twiddle_width, 1);   // 10
+    g.set_gene(fft_gene::scaling, 2);         // block_fp
+    const FftConfig c = decode_fft(space, g);
+    EXPECT_EQ(c.log2n, 9);
+    EXPECT_EQ(c.streaming_width, 8);
+    EXPECT_EQ(c.radix, 8);
+    EXPECT_EQ(c.data_width, 18);
+    EXPECT_EQ(c.twiddle_width, 10);
+    EXPECT_EQ(c.scaling, ScalingMode::block_fp);
+    EXPECT_TRUE(c.feasible());
+}
+
+TEST(FftArea, InfeasibleConfigRejected)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    FftConfig c = base_config();
+    c.streaming_width = 2;
+    c.radix = 4;
+    EXPECT_THROW(fft_area(c, tech), std::invalid_argument);
+    EXPECT_THROW(fft_paths(c, tech), std::invalid_argument);
+}
+
+TEST(FftArea, GrowsWithSizeWidthAndDataWidth)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    const FftConfig base = base_config();
+    const double base_luts = fft_area(base, tech).total().equivalent_luts(tech);
+
+    // Compare sizes whose stream buffers both map to LUT-RAM; once buffers
+    // spill to block RAM, equivalent LUTs legitimately drop (the BRAM
+    // mapping the real XST flow also performs).
+    FftConfig bigger_n = base;
+    bigger_n.log2n = 9;
+    EXPECT_GT(fft_area(bigger_n, tech).total().equivalent_luts(tech), base_luts);
+
+    FftConfig wider = base;
+    wider.streaming_width = 16;
+    EXPECT_GT(fft_area(wider, tech).total().equivalent_luts(tech), base_luts);
+
+    FftConfig deeper = base;
+    deeper.data_width = 26;
+    EXPECT_GT(fft_area(deeper, tech).total().equivalent_luts(tech), base_luts);
+}
+
+TEST(FftArea, DspEligibilityFollowsWidths)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    FftConfig dsp = base_config();
+    EXPECT_TRUE(uses_dsp(dsp, tech));
+    FftConfig lut_mult = dsp;
+    lut_mult.data_width = 24;
+    EXPECT_FALSE(uses_dsp(lut_mult, tech));
+    EXPECT_GT(fft_area(lut_mult, tech).multipliers.luts,
+              fft_area(dsp, tech).multipliers.luts);
+    EXPECT_GT(fft_area(dsp, tech).multipliers.dsps, 0.0);
+    EXPECT_DOUBLE_EQ(fft_area(lut_mult, tech).multipliers.dsps, 0.0);
+}
+
+TEST(FftArea, LargeTransformsUseBlockRam)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    FftConfig small = base_config();
+    small.log2n = 6;
+    FftConfig large = base_config();
+    large.log2n = 12;
+    EXPECT_DOUBLE_EQ(fft_area(small, tech).permutation.bram_bits, 0.0);
+    EXPECT_GT(fft_area(large, tech).permutation.bram_bits, 0.0);
+}
+
+TEST(FftArea, ScalingDatapathCosts)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    FftConfig none = base_config();
+    none.scaling = ScalingMode::none;
+    FftConfig per_stage = base_config();
+    FftConfig block = base_config();
+    block.scaling = ScalingMode::block_fp;
+    EXPECT_DOUBLE_EQ(fft_area(none, tech).scaling.luts, 0.0);
+    EXPECT_GT(fft_area(per_stage, tech).scaling.luts, 0.0);
+    EXPECT_GT(fft_area(block, tech).scaling.luts, fft_area(per_stage, tech).scaling.luts);
+}
+
+TEST(FftPaths, WiderDataSlowerClock)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    FftConfig narrow = base_config();
+    narrow.data_width = 8;
+    FftConfig wide = base_config();
+    wide.data_width = 26;
+    EXPECT_GT(synth::fmax_mhz(fft_paths(narrow, tech), tech),
+              synth::fmax_mhz(fft_paths(wide, tech), tech));
+}
+
+TEST(FftThroughput, ScalesWithStreamingWidth)
+{
+    FftConfig c = base_config();
+    EXPECT_DOUBLE_EQ(fft_throughput_msps(c, 250.0), 1000.0);
+    c.streaming_width = 16;
+    EXPECT_DOUBLE_EQ(fft_throughput_msps(c, 250.0), 4000.0);
+}
+
+TEST(FftGenerator, InfeasiblePointsReported)
+{
+    const FftGenerator gen;
+    Genome g = Genome::zeros(gen.space());
+    g.set_gene(fft_gene::radix, 2);            // radix 8
+    g.set_gene(fft_gene::streaming_width, 0);  // width 2 < radix
+    EXPECT_FALSE(gen.evaluate(g).feasible);
+}
+
+TEST(FftGenerator, FeasiblePointHasAllMetrics)
+{
+    const FftGenerator gen;
+    const Genome g = Genome::zeros(gen.space());  // n=64 w=2 r=2 dw=8 tw=8 none
+    const auto mv = gen.evaluate(g);
+    ASSERT_TRUE(mv.feasible);
+    for (Metric m : gen.metrics()) EXPECT_TRUE(mv.has(m)) << ip::metric_name(m);
+}
+
+TEST(FftGenerator, SnrCanBeDisabled)
+{
+    const FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), /*measure_snr=*/false};
+    const Genome g = Genome::zeros(gen.space());
+    EXPECT_FALSE(gen.evaluate(g).has(Metric::snr_db));
+}
+
+TEST(FftGenerator, MinimumLutsNearPaperFloor)
+{
+    // Fig. 6 converges to ~540 LUTs; our model's floor must be comparable.
+    const FftGenerator gen{synth::FpgaTech::virtex6_lx760t(), false};
+    double min_luts = 1e18;
+    for (std::size_t rank = 0; rank < 18900; rank += 3) {
+        const auto mv = gen.evaluate(Genome::from_rank(gen.space(), rank));
+        if (mv.feasible) min_luts = std::min(min_luts, mv.get(Metric::area_luts));
+    }
+    EXPECT_GT(min_luts, 300.0);
+    EXPECT_LT(min_luts, 900.0);
+}
+
+TEST(FftGenerator, SnrRespondsToDataWidth)
+{
+    const FftGenerator gen;
+    Genome narrow = Genome::zeros(gen.space());
+    narrow.set_gene(fft_gene::scaling, 1);  // per_stage
+    Genome wide = narrow;
+    wide.set_gene(fft_gene::data_width, 9);  // 26 bits
+    EXPECT_GT(gen.evaluate(wide).get(Metric::snr_db),
+              gen.evaluate(narrow).get(Metric::snr_db));
+}
+
+TEST(FftGenerator, AuthorHintsValidateForAllMetrics)
+{
+    const FftGenerator gen;
+    for (Metric m : gen.metrics())
+        EXPECT_NO_THROW(gen.author_hints(m).validate(gen.space())) << ip::metric_name(m);
+}
+
+TEST(FftGenerator, ThroughputPerLutHintsUseTarget)
+{
+    const FftGenerator gen;
+    const HintSet h = gen.author_hints(Metric::throughput_per_lut);
+    EXPECT_TRUE(h.param(fft_gene::streaming_width).target.has_value());
+    ASSERT_TRUE(h.param(fft_gene::data_width).bias.has_value());
+    EXPECT_LT(*h.param(fft_gene::data_width).bias, 0.0);
+}
+
+class FeasibleConfigSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FeasibleConfigSweep, DescriptorsAreWellFormed)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    const ParameterSpace space = make_fft_space();
+    const FftConfig c = decode_fft(space, Genome::from_rank(space, GetParam()));
+    if (!c.feasible()) GTEST_SKIP() << "infeasible rank";
+    const synth::DesignDescriptor d = fft_descriptor(c, tech);
+    EXPECT_FALSE(d.paths.empty());
+    EXPECT_GT(d.resources.luts, 0.0);
+    EXPECT_GE(d.resources.dsps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, FeasibleConfigSweep,
+                         ::testing::Values(0u, 100u, 1111u, 5000u, 9999u, 15000u, 18899u));
+
+}  // namespace
+}  // namespace nautilus::fft

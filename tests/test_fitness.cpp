@@ -1,0 +1,65 @@
+#include "core/fitness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nautilus {
+namespace {
+
+TEST(Direction, SignAndName)
+{
+    EXPECT_DOUBLE_EQ(direction_sign(Direction::maximize), 1.0);
+    EXPECT_DOUBLE_EQ(direction_sign(Direction::minimize), -1.0);
+    EXPECT_STREQ(direction_name(Direction::maximize), "maximize");
+    EXPECT_STREQ(direction_name(Direction::minimize), "minimize");
+}
+
+TEST(Direction, NoWorse)
+{
+    EXPECT_TRUE(no_worse(5.0, 3.0, Direction::maximize));
+    EXPECT_FALSE(no_worse(2.0, 3.0, Direction::maximize));
+    EXPECT_TRUE(no_worse(3.0, 3.0, Direction::maximize));
+    EXPECT_TRUE(no_worse(2.0, 3.0, Direction::minimize));
+    EXPECT_FALSE(no_worse(5.0, 3.0, Direction::minimize));
+    EXPECT_TRUE(no_worse(3.0, 3.0, Direction::minimize));
+}
+
+TEST(Direction, BetterOf)
+{
+    EXPECT_DOUBLE_EQ(better_of(5.0, 3.0, Direction::maximize), 5.0);
+    EXPECT_DOUBLE_EQ(better_of(5.0, 3.0, Direction::minimize), 3.0);
+}
+
+TEST(Direction, WorstValueIsBeatenByAnything)
+{
+    EXPECT_TRUE(no_worse(-1e300, worst_value(Direction::maximize), Direction::maximize));
+    EXPECT_TRUE(no_worse(1e300, worst_value(Direction::minimize), Direction::minimize));
+}
+
+TEST(FitnessMapper, MaximizeKeepsValue)
+{
+    const FitnessMapper m{Direction::maximize};
+    EXPECT_DOUBLE_EQ(m.fitness({true, 42.0}), 42.0);
+    EXPECT_DOUBLE_EQ(m.fitness({true, -1.0}), -1.0);
+}
+
+TEST(FitnessMapper, MinimizeNegatesValue)
+{
+    const FitnessMapper m{Direction::minimize};
+    EXPECT_DOUBLE_EQ(m.fitness({true, 42.0}), -42.0);
+    EXPECT_GT(m.fitness({true, 1.0}), m.fitness({true, 2.0}));
+}
+
+TEST(FitnessMapper, InfeasibleIsWorstPossible)
+{
+    for (Direction dir : {Direction::maximize, Direction::minimize}) {
+        const FitnessMapper m{dir};
+        const double inf = m.fitness({false, 0.0});
+        EXPECT_TRUE(std::isinf(inf));
+        EXPECT_LT(inf, m.fitness({true, -1e30}));
+    }
+}
+
+}  // namespace
+}  // namespace nautilus

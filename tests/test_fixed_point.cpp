@@ -1,0 +1,151 @@
+#include "fft/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nautilus::fft {
+namespace {
+
+TEST(FixedPoint, BoundsMatchWidth)
+{
+    EXPECT_EQ(fixed_max(8), 127);
+    EXPECT_EQ(fixed_min(8), -128);
+    EXPECT_EQ(fixed_max(16), 32767);
+    EXPECT_EQ(fixed_min(16), -32768);
+    EXPECT_THROW(fixed_max(1), std::invalid_argument);
+    EXPECT_THROW(fixed_max(33), std::invalid_argument);
+}
+
+TEST(FixedPoint, SaturateClampsAndReports)
+{
+    bool overflow = false;
+    EXPECT_EQ(saturate(127, 8, &overflow), 127);
+    EXPECT_FALSE(overflow);
+    EXPECT_EQ(saturate(128, 8, &overflow), 127);
+    EXPECT_TRUE(overflow);
+    overflow = false;
+    EXPECT_EQ(saturate(-129, 8, &overflow), -128);
+    EXPECT_TRUE(overflow);
+}
+
+TEST(FixedPoint, QuantizeRoundTripsSmallValues)
+{
+    for (double v : {0.0, 0.25, -0.25, 0.5, -0.5, 0.75}) {
+        const auto q = quantize(v, 16);
+        EXPECT_NEAR(to_double(q, 16), v, 1.0 / 32768.0);
+    }
+}
+
+TEST(FixedPoint, QuantizeSaturatesAtOne)
+{
+    EXPECT_EQ(quantize(1.0, 8), 127);   // +1.0 is just out of range
+    EXPECT_EQ(quantize(-1.0, 8), -128);
+    EXPECT_EQ(quantize(100.0, 8), 127);
+}
+
+TEST(FixedPoint, QuantizationErrorShrinksWithWidth)
+{
+    const double v = 0.333333;
+    const double err8 = std::abs(to_double(quantize(v, 8), 8) - v);
+    const double err16 = std::abs(to_double(quantize(v, 16), 16) - v);
+    const double err24 = std::abs(to_double(quantize(v, 24), 24) - v);
+    EXPECT_GT(err8, err16);
+    EXPECT_GT(err16, err24);
+}
+
+TEST(FixedPoint, MulRoundMatchesScaledProduct)
+{
+    // 0.5 * 0.5 = 0.25 in Q1.15.
+    const auto half = quantize(0.5, 16);
+    const auto p = mul_round(half, half, 15);
+    EXPECT_NEAR(to_double(p, 16), 0.25, 1e-4);
+    EXPECT_THROW(mul_round(1, 1, -1), std::invalid_argument);
+}
+
+TEST(FixedPoint, ComplexMultiplyByUnitTwiddle)
+{
+    const CFix a = cquantize({0.5, -0.25}, 16);
+    const CFix one = cquantize({1.0, 0.0}, 16);  // saturates to just under 1
+    const CFix p = cmul(a, one, 16, 16);
+    EXPECT_NEAR(to_double(p.re, 16), 0.5, 0.001);
+    EXPECT_NEAR(to_double(p.im, 16), -0.25, 0.001);
+}
+
+TEST(FixedPoint, ComplexMultiplyByJ)
+{
+    // (x + iy) * i = -y + ix
+    const CFix a = cquantize({0.5, 0.25}, 16);
+    const CFix j = cquantize({0.0, 1.0}, 16);
+    const CFix p = cmul(a, j, 16, 16);
+    EXPECT_NEAR(to_double(p.re, 16), -0.25, 0.001);
+    EXPECT_NEAR(to_double(p.im, 16), 0.5, 0.001);
+}
+
+TEST(FixedPoint, ComplexMultiplyMatchesDoubleMath)
+{
+    const std::complex<double> a{0.3, -0.4};
+    const std::complex<double> w{0.6, 0.7};
+    const std::complex<double> expected = a * w;
+    const CFix p = cmul(cquantize(a, 20), cquantize(w, 18), 20, 18);
+    EXPECT_NEAR(to_double(p.re, 20), expected.real(), 1e-4);
+    EXPECT_NEAR(to_double(p.im, 20), expected.imag(), 1e-4);
+}
+
+TEST(FixedPoint, AddAndSubSaturate)
+{
+    bool overflow = false;
+    const CFix big{fixed_max(8), 0};
+    const CFix one{1, 0};
+    const CFix s = cadd(big, one, 8, &overflow);
+    EXPECT_TRUE(overflow);
+    EXPECT_EQ(s.re, fixed_max(8));
+    overflow = false;
+    const CFix d = csub(CFix{fixed_min(8), 0}, one, 8, &overflow);
+    EXPECT_TRUE(overflow);
+    EXPECT_EQ(d.re, fixed_min(8));
+}
+
+TEST(FixedPoint, AddSubRoundTrip)
+{
+    const CFix a = cquantize({0.3, 0.1}, 16);
+    const CFix b = cquantize({0.2, -0.4}, 16);
+    const CFix s = cadd(a, b, 16);
+    const CFix back = csub(s, b, 16);
+    EXPECT_EQ(back.re, a.re);
+    EXPECT_EQ(back.im, a.im);
+}
+
+TEST(FixedPoint, ShiftDownHalves)
+{
+    const CFix a{100, -50};
+    const CFix h = cshift_down(a);
+    EXPECT_EQ(h.re, 50);
+    EXPECT_EQ(h.im, -25);  // (-50+1)>>1 == -25 (round toward +inf at .5)
+}
+
+TEST(FixedPoint, ComplexQuantizeRoundTrip)
+{
+    const std::complex<double> v{0.123, -0.456};
+    const auto back = cfix_to_complex(cquantize(v, 18), 18);
+    EXPECT_NEAR(back.real(), v.real(), 1e-4);
+    EXPECT_NEAR(back.imag(), v.imag(), 1e-4);
+}
+
+class WidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthSweep, QuantizeStaysRepresentable)
+{
+    const int width = GetParam();
+    for (double v = -0.95; v < 0.95; v += 0.13) {
+        const auto q = quantize(v, width);
+        EXPECT_LE(q, fixed_max(width));
+        EXPECT_GE(q, fixed_min(width));
+        EXPECT_NEAR(to_double(q, width), v, std::ldexp(1.0, -(width - 2)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep, ::testing::Values(8, 10, 12, 16, 20, 24, 32));
+
+}  // namespace
+}  // namespace nautilus::fft

@@ -1,0 +1,175 @@
+#include "core/hint_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus {
+namespace {
+
+ParameterSpace est_space()
+{
+    ParameterSpace space;
+    space.add("big", ParamDomain::int_range(0, 9));     // strong positive effect
+    space.add("small", ParamDomain::int_range(0, 9));   // weak negative effect
+    space.add("noise", ParamDomain::int_range(0, 9));   // no effect
+    space.add("mode", ParamDomain::categorical({"a", "b", "c"}));  // unordered, strong
+    return space;
+}
+
+// Deterministic synthetic metric with known structure.
+Evaluation synthetic_eval(const Genome& g)
+{
+    const double big = g.gene(0);
+    const double small = g.gene(1);
+    const double mode_effect = g.gene(3) == 1 ? 40.0 : 0.0;
+    return {true, 10.0 * big - 2.0 * small + mode_effect};
+}
+
+TEST(HintEstimatorConfig, Validation)
+{
+    HintEstimatorConfig cfg;
+    cfg.samples = 4;
+    EXPECT_THROW(HintEstimator{cfg}, std::invalid_argument);
+    cfg = HintEstimatorConfig{};
+    cfg.correlation_floor = 1.0;
+    EXPECT_THROW(HintEstimator{cfg}, std::invalid_argument);
+}
+
+TEST(RankCorrelation, KnownValues)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> inc{2, 4, 6, 8, 10};
+    const std::vector<double> dec{5, 4, 3, 2, 1};
+    EXPECT_NEAR(HintEstimator::rank_correlation(x, inc), 1.0, 1e-12);
+    EXPECT_NEAR(HintEstimator::rank_correlation(x, dec), -1.0, 1e-12);
+}
+
+TEST(RankCorrelation, MonotoneNonlinearIsStillOne)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> y{1, 8, 27, 64, 125};
+    EXPECT_NEAR(HintEstimator::rank_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(RankCorrelation, ConstantSeriesIsZero)
+{
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{7, 7, 7, 7};
+    EXPECT_DOUBLE_EQ(HintEstimator::rank_correlation(x, y), 0.0);
+}
+
+TEST(RankCorrelation, HandlesTies)
+{
+    const std::vector<double> x{1, 1, 2, 2, 3, 3};
+    const std::vector<double> y{1, 2, 3, 4, 5, 6};
+    const double r = HintEstimator::rank_correlation(x, y);
+    EXPECT_GT(r, 0.8);
+    EXPECT_LE(r, 1.0);
+}
+
+TEST(RankCorrelation, LengthMismatchThrows)
+{
+    EXPECT_THROW(HintEstimator::rank_correlation({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(HintEstimator, RecoverBiasSigns)
+{
+    const auto space = est_space();
+    HintEstimatorConfig cfg;
+    cfg.samples = 200;  // generous sample for a clean signal
+    const HintSet hints = HintEstimator{cfg}.estimate(space, synthetic_eval);
+    ASSERT_TRUE(hints.param(0).bias.has_value());
+    EXPECT_GT(*hints.param(0).bias, 0.5);
+    ASSERT_TRUE(hints.param(1).bias.has_value());
+    EXPECT_LT(*hints.param(1).bias, 0.0);
+}
+
+TEST(HintEstimator, ImportanceOrderingMatchesEffectSizes)
+{
+    // Enough samples that the weak-but-real "small" effect stands clear of
+    // the spurious-correlation noise floor.
+    const auto space = est_space();
+    HintEstimatorConfig cfg;
+    cfg.samples = 2000;
+    const HintSet hints = HintEstimator{cfg}.estimate(space, synthetic_eval);
+    EXPECT_GT(hints.param(0).importance, hints.param(1).importance);
+    EXPECT_GT(hints.param(1).importance, hints.param(2).importance);
+    EXPECT_DOUBLE_EQ(hints.param(2).importance, 1.0);
+}
+
+TEST(HintEstimator, NoiseParameterGetsNoBias)
+{
+    const auto space = est_space();
+    HintEstimatorConfig cfg;
+    cfg.samples = 400;
+    cfg.correlation_floor = 0.1;  // explicit 2-sigma rejection for this check
+    const HintSet hints = HintEstimator{cfg}.estimate(space, synthetic_eval);
+    EXPECT_DOUBLE_EQ(hints.param(2).importance, 1.0);
+    EXPECT_FALSE(hints.param(2).bias.has_value());
+}
+
+TEST(HintEstimator, UnorderedCategoricalGetsImportanceNotBias)
+{
+    const auto space = est_space();
+    HintEstimatorConfig cfg;
+    cfg.samples = 300;
+    const HintSet hints = HintEstimator{cfg}.estimate(space, synthetic_eval);
+    EXPECT_GT(hints.param(3).importance, 10.0);
+    EXPECT_FALSE(hints.param(3).bias.has_value());
+}
+
+TEST(HintEstimator, OutputValidatesAndHasZeroConfidence)
+{
+    const auto space = est_space();
+    const HintSet hints = HintEstimator{}.estimate(space, synthetic_eval);
+    EXPECT_NO_THROW(hints.validate(space));
+    EXPECT_DOUBLE_EQ(hints.confidence(), 0.0);
+}
+
+TEST(HintEstimator, DeterministicPerSeed)
+{
+    const auto space = est_space();
+    HintEstimatorConfig cfg;
+    cfg.seed = 5;
+    const HintSet a = HintEstimator{cfg}.estimate(space, synthetic_eval);
+    const HintSet b = HintEstimator{cfg}.estimate(space, synthetic_eval);
+    for (std::size_t i = 0; i < space.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.param(i).importance, b.param(i).importance);
+}
+
+TEST(HintEstimator, SkipsInfeasibleSamples)
+{
+    const auto space = est_space();
+    const EvalFn eval = [](const Genome& g) -> Evaluation {
+        if (g.gene(0) % 2 == 0) return {false, 0.0};  // half the space infeasible
+        return synthetic_eval(g);
+    };
+    const HintSet hints = HintEstimator{}.estimate(space, eval);
+    EXPECT_NO_THROW(hints.validate(space));
+}
+
+TEST(HintEstimator, FullyInfeasibleSpaceThrows)
+{
+    const auto space = est_space();
+    const EvalFn eval = [](const Genome&) { return Evaluation{false, 0.0}; };
+    EXPECT_THROW(HintEstimator{}.estimate(space, eval), std::runtime_error);
+}
+
+TEST(HintEstimator, NullEvalThrows)
+{
+    const auto space = est_space();
+    EXPECT_THROW(HintEstimator{}.estimate(space, EvalFn{}), std::invalid_argument);
+}
+
+TEST(HintEstimator, ConstantMetricYieldsBaselineHints)
+{
+    const auto space = est_space();
+    const EvalFn eval = [](const Genome&) { return Evaluation{true, 5.0}; };
+    const HintSet hints = HintEstimator{}.estimate(space, eval);
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        EXPECT_DOUBLE_EQ(hints.param(i).importance, 1.0);
+        EXPECT_FALSE(hints.param(i).bias.has_value());
+    }
+}
+
+}  // namespace
+}  // namespace nautilus

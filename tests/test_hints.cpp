@@ -1,0 +1,295 @@
+#include "core/hints.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus {
+namespace {
+
+ParameterSpace hint_space()
+{
+    ParameterSpace space;
+    space.add("size", ParamDomain::pow2(2, 6));
+    space.add("mode", ParamDomain::categorical({"a", "b", "c"}, /*ordered=*/true));
+    space.add("raw", ParamDomain::categorical({"p", "q"}));  // unordered
+    return space;
+}
+
+TEST(HintSet, NoneIsBaseline)
+{
+    const auto space = hint_space();
+    const HintSet h = HintSet::none(space);
+    EXPECT_TRUE(h.is_baseline());
+    EXPECT_EQ(h.size(), 3u);
+    EXPECT_NO_THROW(h.validate(space));
+}
+
+TEST(HintSet, NonzeroConfidenceWithHintsIsNotBaseline)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).importance = 50.0;
+    EXPECT_TRUE(h.is_baseline());  // zero confidence neutralizes everything
+    h.set_confidence(0.5);
+    EXPECT_FALSE(h.is_baseline());  // hints present and trusted
+}
+
+TEST(HintSet, ValidateSizeMismatch)
+{
+    const auto space = hint_space();
+    const HintSet h{std::vector<ParamHints>(2), 0.5};
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+}
+
+TEST(HintSet, ValidateImportanceRange)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).importance = 0.5;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+    h.param(0).importance = 101.0;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+    h.param(0).importance = 100.0;
+    EXPECT_NO_THROW(h.validate(space));
+}
+
+TEST(HintSet, ValidateDecayRange)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).importance_decay = -0.1;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+    h.param(0).importance_decay = 1.1;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+}
+
+TEST(HintSet, ValidateBiasRange)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).bias = 1.5;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+    h.param(0).bias = -1.0;
+    EXPECT_NO_THROW(h.validate(space));
+}
+
+TEST(HintSet, BiasAndTargetMutuallyExclusive)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).bias = 0.5;
+    h.param(0).target = 8.0;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+}
+
+TEST(HintSet, BiasOnUnorderedDomainRejected)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(2).bias = 0.5;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+}
+
+TEST(HintSet, TargetOnOrderedCategoricalAllowed)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(1).target = 1.0;  // index-valued target on ordered categorical
+    EXPECT_NO_THROW(h.validate(space));
+}
+
+TEST(HintSet, TargetOutsideDomainRejected)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).target = 128.0;  // domain is 4..64
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+    h.param(0).target = 64.0;
+    EXPECT_NO_THROW(h.validate(space));
+}
+
+TEST(HintSet, StepScaleValidation)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).step_scale = 0.0;
+    EXPECT_THROW(h.validate(space), std::invalid_argument);
+    h.param(0).step_scale = 1.0;
+    EXPECT_NO_THROW(h.validate(space));
+}
+
+TEST(HintSet, ConfidenceRange)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    EXPECT_THROW(h.set_confidence(-0.1), std::invalid_argument);
+    EXPECT_THROW(h.set_confidence(1.1), std::invalid_argument);
+    h.set_confidence(1.0);
+    EXPECT_DOUBLE_EQ(h.confidence(), 1.0);
+}
+
+TEST(HintSet, NegatedBiasFlipsOnlyBias)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).bias = 0.7;
+    h.param(0).importance = 40.0;
+    h.param(1).target = 2.0;
+    const HintSet n = h.negated_bias();
+    EXPECT_DOUBLE_EQ(*n.param(0).bias, -0.7);
+    EXPECT_DOUBLE_EQ(n.param(0).importance, 40.0);
+    EXPECT_DOUBLE_EQ(*n.param(1).target, 2.0);
+}
+
+TEST(HintSet, EffectiveImportanceNoDecay)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).importance = 80.0;
+    EXPECT_DOUBLE_EQ(h.effective_importance(0, 0), 80.0);
+    EXPECT_DOUBLE_EQ(h.effective_importance(0, 100), 80.0);
+}
+
+TEST(HintSet, EffectiveImportanceDecaysTowardOne)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).importance = 100.0;
+    h.param(0).importance_decay = 0.9;
+    double prev = h.effective_importance(0, 0);
+    EXPECT_DOUBLE_EQ(prev, 100.0);
+    for (std::size_t gen = 1; gen <= 60; ++gen) {
+        const double cur = h.effective_importance(0, gen);
+        EXPECT_LT(cur, prev);
+        EXPECT_GE(cur, 1.0);
+        prev = cur;
+    }
+    EXPECT_NEAR(h.effective_importance(0, 500), 1.0, 1e-6);
+}
+
+TEST(HintSet, EffectiveImportanceZeroDecayDropsImmediately)
+{
+    const auto space = hint_space();
+    HintSet h = HintSet::none(space);
+    h.param(0).importance = 100.0;
+    h.param(0).importance_decay = 0.0;
+    EXPECT_DOUBLE_EQ(h.effective_importance(0, 0), 100.0);  // 0^0 == 1
+    EXPECT_DOUBLE_EQ(h.effective_importance(0, 1), 1.0);
+}
+
+TEST(MergeHints, RejectsBadInput)
+{
+    const auto space = hint_space();
+    const HintSet a = HintSet::none(space);
+    EXPECT_THROW(merge_hints({}), std::invalid_argument);
+    const std::vector<WeightedHintSet> null_comp{{nullptr, 1.0}};
+    EXPECT_THROW(merge_hints(null_comp), std::invalid_argument);
+    const std::vector<WeightedHintSet> zero_weight{{&a, 0.0}};
+    EXPECT_THROW(merge_hints(zero_weight), std::invalid_argument);
+}
+
+TEST(MergeHints, WeightedBiasAverage)
+{
+    const auto space = hint_space();
+    HintSet a = HintSet::none(space);
+    HintSet b = HintSet::none(space);
+    a.param(0).bias = 1.0;
+    b.param(0).bias = -1.0;
+    const std::vector<WeightedHintSet> parts{{&a, 3.0}, {&b, 1.0}};
+    const HintSet m = merge_hints(parts);
+    EXPECT_NEAR(*m.param(0).bias, 0.5, 1e-12);
+}
+
+TEST(MergeHints, ImportanceWeightedMeanAndDecayMin)
+{
+    const auto space = hint_space();
+    HintSet a = HintSet::none(space);
+    HintSet b = HintSet::none(space);
+    a.param(0).importance = 100.0;
+    a.param(0).importance_decay = 0.9;
+    b.param(0).importance = 1.0;
+    b.param(0).importance_decay = 0.99;
+    const std::vector<WeightedHintSet> parts{{&a, 1.0}, {&b, 1.0}};
+    const HintSet m = merge_hints(parts);
+    EXPECT_NEAR(m.param(0).importance, 50.5, 1e-9);
+    EXPECT_DOUBLE_EQ(m.param(0).importance_decay, 0.9);
+}
+
+TEST(MergeHints, AgreeingTargetSurvives)
+{
+    const auto space = hint_space();
+    HintSet a = HintSet::none(space);
+    HintSet b = HintSet::none(space);
+    a.param(0).target = 16.0;
+    b.param(0).target = 16.0;
+    const std::vector<WeightedHintSet> parts{{&a, 1.0}, {&b, 1.0}};
+    const HintSet m = merge_hints(parts);
+    ASSERT_TRUE(m.param(0).target.has_value());
+    EXPECT_DOUBLE_EQ(*m.param(0).target, 16.0);
+}
+
+TEST(MergeHints, ConflictingTargetsDropped)
+{
+    const auto space = hint_space();
+    HintSet a = HintSet::none(space);
+    HintSet b = HintSet::none(space);
+    a.param(0).target = 16.0;
+    b.param(0).target = 32.0;
+    const std::vector<WeightedHintSet> parts{{&a, 1.0}, {&b, 1.0}};
+    const HintSet m = merge_hints(parts);
+    EXPECT_FALSE(m.param(0).target.has_value());
+    EXPECT_FALSE(m.param(0).bias.has_value());
+}
+
+TEST(MergeHints, BiasWinsOverMixedTarget)
+{
+    const auto space = hint_space();
+    HintSet a = HintSet::none(space);
+    HintSet b = HintSet::none(space);
+    a.param(0).bias = 0.8;
+    b.param(0).target = 32.0;
+    const std::vector<WeightedHintSet> parts{{&a, 1.0}, {&b, 1.0}};
+    const HintSet m = merge_hints(parts);
+    EXPECT_FALSE(m.param(0).target.has_value());
+    ASSERT_TRUE(m.param(0).bias.has_value());
+    EXPECT_NEAR(*m.param(0).bias, 0.4, 1e-12);
+}
+
+TEST(MergeHints, ConfidenceWeightedMean)
+{
+    const auto space = hint_space();
+    const HintSet a{std::vector<ParamHints>(3), 0.8};
+    const HintSet b{std::vector<ParamHints>(3), 0.2};
+    const std::vector<WeightedHintSet> parts{{&a, 1.0}, {&b, 3.0}};
+    EXPECT_NEAR(merge_hints(parts).confidence(), 0.35, 1e-12);
+}
+
+TEST(MergeHints, SizeMismatchRejected)
+{
+    const HintSet a{std::vector<ParamHints>(3), 0.0};
+    const HintSet b{std::vector<ParamHints>(2), 0.0};
+    const std::vector<WeightedHintSet> parts{{&a, 1.0}, {&b, 1.0}};
+    EXPECT_THROW(merge_hints(parts), std::invalid_argument);
+}
+
+class DecaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DecaySweep, EffectiveImportanceIsMonotoneNonIncreasing)
+{
+    ParameterSpace space;
+    space.add("p", ParamDomain::boolean());
+    HintSet h = HintSet::none(space);
+    h.param(0).importance = 64.0;
+    h.param(0).importance_decay = GetParam();
+    double prev = h.effective_importance(0, 0);
+    for (std::size_t gen = 1; gen < 100; ++gen) {
+        const double cur = h.effective_importance(0, gen);
+        EXPECT_LE(cur, prev + 1e-12);
+        EXPECT_GE(cur, 1.0 - 1e-12);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Decays, DecaySweep, ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.0));
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,209 @@
+#include "core/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus {
+namespace {
+
+TEST(ParamDomain, IntRangeBasics)
+{
+    const auto d = ParamDomain::int_range(2, 10, 2);
+    EXPECT_EQ(d.kind(), DomainKind::integer_range);
+    EXPECT_EQ(d.cardinality(), 5u);
+    EXPECT_TRUE(d.ordered());
+    EXPECT_DOUBLE_EQ(d.numeric_value(0), 2.0);
+    EXPECT_DOUBLE_EQ(d.numeric_value(4), 10.0);
+    EXPECT_EQ(d.value_name(1), "4");
+}
+
+TEST(ParamDomain, IntRangeWithNonAlignedEnd)
+{
+    // hi not on the step grid: last value is the largest <= hi.
+    const auto d = ParamDomain::int_range(0, 7, 3);  // 0, 3, 6
+    EXPECT_EQ(d.cardinality(), 3u);
+    EXPECT_DOUBLE_EQ(d.numeric_value(2), 6.0);
+}
+
+TEST(ParamDomain, IntRangeSingleValue)
+{
+    const auto d = ParamDomain::int_range(5, 5);
+    EXPECT_EQ(d.cardinality(), 1u);
+    EXPECT_DOUBLE_EQ(d.numeric_value(0), 5.0);
+}
+
+TEST(ParamDomain, IntRangeNegativeValues)
+{
+    const auto d = ParamDomain::int_range(-4, 4, 4);
+    EXPECT_EQ(d.cardinality(), 3u);
+    EXPECT_DOUBLE_EQ(d.numeric_value(0), -4.0);
+    EXPECT_EQ(d.value_name(0), "-4");
+}
+
+TEST(ParamDomain, IntRangeValidation)
+{
+    EXPECT_THROW(ParamDomain::int_range(3, 1), std::invalid_argument);
+    EXPECT_THROW(ParamDomain::int_range(1, 3, 0), std::invalid_argument);
+    EXPECT_THROW(ParamDomain::int_range(1, 3, -1), std::invalid_argument);
+}
+
+TEST(ParamDomain, Pow2Basics)
+{
+    const auto d = ParamDomain::pow2(3, 7);
+    EXPECT_EQ(d.kind(), DomainKind::pow2_range);
+    EXPECT_EQ(d.cardinality(), 5u);
+    EXPECT_DOUBLE_EQ(d.numeric_value(0), 8.0);
+    EXPECT_DOUBLE_EQ(d.numeric_value(4), 128.0);
+    EXPECT_EQ(d.value_name(2), "32");
+}
+
+TEST(ParamDomain, Pow2Validation)
+{
+    EXPECT_THROW(ParamDomain::pow2(5, 3), std::invalid_argument);
+    EXPECT_THROW(ParamDomain::pow2(-1, 3), std::invalid_argument);
+    EXPECT_THROW(ParamDomain::pow2(0, 63), std::invalid_argument);
+}
+
+TEST(ParamDomain, CategoricalBasics)
+{
+    const auto d = ParamDomain::categorical({"a", "b", "c"});
+    EXPECT_EQ(d.kind(), DomainKind::categorical);
+    EXPECT_EQ(d.cardinality(), 3u);
+    EXPECT_FALSE(d.ordered());
+    EXPECT_EQ(d.value_name(1), "b");
+    EXPECT_DOUBLE_EQ(d.numeric_value(2), 2.0);
+}
+
+TEST(ParamDomain, CategoricalOrderedFlag)
+{
+    const auto d = ParamDomain::categorical({"slow", "fast"}, /*ordered=*/true);
+    EXPECT_TRUE(d.ordered());
+}
+
+TEST(ParamDomain, CategoricalValidation)
+{
+    EXPECT_THROW(ParamDomain::categorical({}), std::invalid_argument);
+    EXPECT_THROW(ParamDomain::categorical({"x", "x"}), std::invalid_argument);
+}
+
+TEST(ParamDomain, BooleanBasics)
+{
+    const auto d = ParamDomain::boolean();
+    EXPECT_EQ(d.cardinality(), 2u);
+    EXPECT_EQ(d.value_name(0), "false");
+    EXPECT_EQ(d.value_name(1), "true");
+    EXPECT_TRUE(d.ordered());
+}
+
+TEST(ParamDomain, OutOfRangeIndexThrows)
+{
+    const auto d = ParamDomain::int_range(0, 3);
+    EXPECT_THROW(d.numeric_value(4), std::out_of_range);
+    EXPECT_THROW(d.value_name(4), std::out_of_range);
+}
+
+TEST(ParamDomain, NearestIndexExact)
+{
+    const auto d = ParamDomain::int_range(0, 10, 2);
+    EXPECT_EQ(d.nearest_index(6.0), 3u);
+}
+
+TEST(ParamDomain, NearestIndexRoundsToClosest)
+{
+    const auto d = ParamDomain::pow2(0, 4);  // 1 2 4 8 16
+    EXPECT_EQ(d.nearest_index(5.0), 2u);     // closer to 4
+    EXPECT_EQ(d.nearest_index(7.0), 3u);     // closer to 8
+    EXPECT_EQ(d.nearest_index(1000.0), 4u);  // clamps to max
+    EXPECT_EQ(d.nearest_index(-5.0), 0u);    // clamps to min
+}
+
+TEST(ParamDomain, IndexOfFindsByName)
+{
+    const auto d = ParamDomain::categorical({"rr", "wf"});
+    EXPECT_EQ(d.index_of("wf"), 1u);
+    EXPECT_FALSE(d.index_of("nope").has_value());
+    const auto i = ParamDomain::int_range(1, 3);
+    EXPECT_EQ(i.index_of("2"), 1u);
+}
+
+TEST(ParameterSpace, AddAndLookup)
+{
+    ParameterSpace space;
+    EXPECT_EQ(space.add("a", ParamDomain::boolean()), 0u);
+    EXPECT_EQ(space.add("b", ParamDomain::int_range(0, 4)), 1u);
+    EXPECT_EQ(space.size(), 2u);
+    EXPECT_EQ(space.index_of("b"), 1u);
+    EXPECT_FALSE(space.index_of("c").has_value());
+    EXPECT_EQ(space[1].name, "b");
+}
+
+TEST(ParameterSpace, RejectsDuplicatesAndEmptyNames)
+{
+    ParameterSpace space;
+    space.add("a", ParamDomain::boolean());
+    EXPECT_THROW(space.add("a", ParamDomain::boolean()), std::invalid_argument);
+    EXPECT_THROW(space.add("", ParamDomain::boolean()), std::invalid_argument);
+}
+
+TEST(ParameterSpace, Cardinality)
+{
+    ParameterSpace space;
+    EXPECT_DOUBLE_EQ(space.cardinality(), 0.0);
+    space.add("a", ParamDomain::boolean());
+    space.add("b", ParamDomain::int_range(0, 4));
+    EXPECT_DOUBLE_EQ(space.cardinality(), 10.0);
+    EXPECT_EQ(space.exact_cardinality(), 10u);
+}
+
+TEST(ParameterSpace, ExactCardinalityOverflow)
+{
+    ParameterSpace space;
+    for (int i = 0; i < 11; ++i)
+        space.add("p" + std::to_string(i), ParamDomain::pow2(0, 62));
+    EXPECT_FALSE(space.exact_cardinality().has_value());
+    EXPECT_GT(space.cardinality(), 2e19);  // beyond size_t
+}
+
+TEST(ParameterSpace, AtOutOfRange)
+{
+    ParameterSpace space;
+    space.add("a", ParamDomain::boolean());
+    EXPECT_THROW(space.at(1), std::out_of_range);
+}
+
+TEST(ParameterSpace, RangeBasedIteration)
+{
+    ParameterSpace space;
+    space.add("a", ParamDomain::boolean());
+    space.add("b", ParamDomain::boolean());
+    int count = 0;
+    for (const Parameter& p : space) {
+        EXPECT_FALSE(p.name.empty());
+        ++count;
+    }
+    EXPECT_EQ(count, 2);
+}
+
+class DomainCardinalitySweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, std::int64_t>> {
+};
+
+TEST_P(DomainCardinalitySweep, ValuesMatchArithmeticSequence)
+{
+    const auto [lo, hi, step] = GetParam();
+    const auto d = ParamDomain::int_range(lo, hi, step);
+    for (std::size_t i = 0; i < d.cardinality(); ++i) {
+        const double v = d.numeric_value(i);
+        EXPECT_DOUBLE_EQ(v, static_cast<double>(lo + static_cast<std::int64_t>(i) * step));
+        EXPECT_LE(v, static_cast<double>(hi));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, DomainCardinalitySweep,
+                         ::testing::Values(std::make_tuple(0, 10, 1),
+                                           std::make_tuple(-5, 5, 2),
+                                           std::make_tuple(8, 26, 2),
+                                           std::make_tuple(1, 100, 7),
+                                           std::make_tuple(3, 3, 1)));
+
+}  // namespace
+}  // namespace nautilus

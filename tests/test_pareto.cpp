@@ -1,0 +1,179 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus {
+namespace {
+
+const std::vector<Direction> min_max{Direction::minimize, Direction::maximize};
+const std::vector<Direction> max_max{Direction::maximize, Direction::maximize};
+
+ObjectivePoint pt(double a, double b, std::size_t tag = 0)
+{
+    return ObjectivePoint{tag, {a, b}};
+}
+
+TEST(Dominates, BasicCases)
+{
+    // minimize first, maximize second.
+    EXPECT_TRUE(dominates(pt(1, 10), pt(2, 5), min_max));   // better in both
+    EXPECT_TRUE(dominates(pt(1, 10), pt(1, 5), min_max));   // tie + better
+    EXPECT_FALSE(dominates(pt(1, 10), pt(1, 10), min_max)); // identical
+    EXPECT_FALSE(dominates(pt(1, 5), pt(2, 10), min_max));  // tradeoff
+    EXPECT_FALSE(dominates(pt(2, 5), pt(1, 10), min_max));  // strictly worse
+}
+
+TEST(Dominates, IsAsymmetric)
+{
+    EXPECT_TRUE(dominates(pt(5, 5), pt(1, 1), max_max));
+    EXPECT_FALSE(dominates(pt(1, 1), pt(5, 5), max_max));
+}
+
+TEST(Dominates, ArityMismatchThrows)
+{
+    const ObjectivePoint three{0, {1, 2, 3}};
+    EXPECT_THROW(dominates(three, pt(1, 2), min_max), std::invalid_argument);
+}
+
+TEST(ParetoFront, ExtractsNonDominatedSet)
+{
+    const std::vector<ObjectivePoint> points{
+        pt(1, 1, 0),   // front (cheapest)
+        pt(2, 5, 1),   // front
+        pt(3, 4, 2),   // dominated by 1
+        pt(5, 9, 3),   // front (fastest)
+        pt(4, 2, 4),   // dominated by 1 (worse both vs pt(2,5)? a=4>2, b=2<5 -> dominated)
+    };
+    const auto front = pareto_front(points, min_max);
+    EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ParetoFront, DuplicatesKeptOnce)
+{
+    const std::vector<ObjectivePoint> points{pt(1, 1), pt(1, 1), pt(1, 1)};
+    const auto front = pareto_front(points, min_max);
+    EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoFront, SinglePointAndEmpty)
+{
+    const std::vector<ObjectivePoint> one{pt(3, 3)};
+    EXPECT_EQ(pareto_front(one, min_max).size(), 1u);
+    const std::vector<ObjectivePoint> none;
+    EXPECT_TRUE(pareto_front(none, min_max).empty());
+}
+
+TEST(ParetoFront, AllOnFrontWhenPureTradeoff)
+{
+    std::vector<ObjectivePoint> points;
+    for (int i = 0; i < 10; ++i) points.push_back(pt(i, i));  // min a, max b: conflict
+    EXPECT_EQ(pareto_front(points, min_max).size(), 10u);
+}
+
+TEST(Hypervolume2d, SinglePointRectangle)
+{
+    const std::vector<ObjectivePoint> front{pt(3, 4)};
+    const double hv = hypervolume_2d(front, max_max, pt(0, 0));
+    EXPECT_DOUBLE_EQ(hv, 12.0);
+}
+
+TEST(Hypervolume2d, TwoPointUnion)
+{
+    const std::vector<ObjectivePoint> front{pt(3, 1), pt(1, 2)};
+    EXPECT_DOUBLE_EQ(hypervolume_2d(front, max_max, pt(0, 0)), 4.0);
+}
+
+TEST(Hypervolume2d, DominatedPointAddsNothing)
+{
+    const std::vector<ObjectivePoint> a{pt(3, 3)};
+    const std::vector<ObjectivePoint> b{pt(3, 3), pt(2, 2)};
+    EXPECT_DOUBLE_EQ(hypervolume_2d(a, max_max, pt(0, 0)),
+                     hypervolume_2d(b, max_max, pt(0, 0)));
+}
+
+TEST(Hypervolume2d, MixedDirections)
+{
+    // minimize x, maximize y; reference dominated by all.
+    const std::vector<ObjectivePoint> front{pt(2, 3)};
+    // folded: x-extent = 10-2 = 8, y-extent = 3-0 = 3.
+    EXPECT_DOUBLE_EQ(hypervolume_2d(front, min_max, pt(10, 0)), 24.0);
+}
+
+TEST(Hypervolume2d, Validation)
+{
+    const std::vector<ObjectivePoint> front{pt(1, 1)};
+    const std::vector<Direction> three{Direction::maximize, Direction::maximize,
+                                       Direction::maximize};
+    EXPECT_THROW(hypervolume_2d(front, three, pt(0, 0)), std::invalid_argument);
+    // Reference not dominated:
+    EXPECT_THROW(hypervolume_2d(front, max_max, pt(2, 0)), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(hypervolume_2d({}, max_max, pt(0, 0)), 0.0);
+}
+
+TEST(FrontCoverage, FullAndPartial)
+{
+    const std::vector<ObjectivePoint> reference{pt(1, 1), pt(2, 2)};
+    const std::vector<ObjectivePoint> superior{pt(3, 3)};
+    EXPECT_DOUBLE_EQ(front_coverage(superior, reference, max_max), 1.0);
+    const std::vector<ObjectivePoint> partial{pt(1, 1)};
+    EXPECT_DOUBLE_EQ(front_coverage(partial, reference, max_max), 0.5);
+    const std::vector<ObjectivePoint> nothing;
+    EXPECT_DOUBLE_EQ(front_coverage(nothing, reference, max_max), 0.0);
+    EXPECT_THROW(front_coverage(superior, {}, max_max), std::invalid_argument);
+}
+
+TEST(WeightedSum, FoldsAndNormalizes)
+{
+    const std::vector<double> weights{1.0, 1.0};
+    const std::vector<double> scales{10.0, 100.0};
+    // minimize first (so it contributes negatively), maximize second.
+    const double s = weighted_sum(pt(5, 50), min_max, weights, scales);
+    EXPECT_DOUBLE_EQ(s, -0.5 + 0.5);
+}
+
+TEST(WeightedSum, RespectsWeights)
+{
+    const std::vector<double> scales{1.0, 1.0};
+    const std::vector<double> area_heavy{0.9, 0.1};
+    const std::vector<double> tput_heavy{0.1, 0.9};
+    // Candidate A: cheap; candidate B: fast.
+    const ObjectivePoint a = pt(1, 2);
+    const ObjectivePoint b = pt(4, 9);
+    EXPECT_GT(weighted_sum(a, min_max, area_heavy, scales),
+              weighted_sum(b, min_max, area_heavy, scales));
+    EXPECT_LT(weighted_sum(a, min_max, tput_heavy, scales),
+              weighted_sum(b, min_max, tput_heavy, scales));
+}
+
+TEST(WeightedSum, Validation)
+{
+    const std::vector<double> weights{1.0, -1.0};
+    const std::vector<double> scales{1.0, 1.0};
+    EXPECT_THROW(weighted_sum(pt(1, 1), min_max, weights, scales), std::invalid_argument);
+    const std::vector<double> bad_scale{1.0, 0.0};
+    const std::vector<double> ok{1.0, 1.0};
+    EXPECT_THROW(weighted_sum(pt(1, 1), min_max, ok, bad_scale), std::invalid_argument);
+    const std::vector<double> short_w{1.0};
+    EXPECT_THROW(weighted_sum(pt(1, 1), min_max, short_w, ok), std::invalid_argument);
+}
+
+class FrontSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrontSizeSweep, HypervolumeGrowsWithFrontSize)
+{
+    // Staircase fronts: each added point extends the dominated region.
+    const int n = GetParam();
+    std::vector<ObjectivePoint> front;
+    double prev_hv = -1.0;
+    for (int i = 0; i < n; ++i) {
+        front.push_back(pt(i + 1, n - i));
+        const double hv = hypervolume_2d(front, max_max, pt(0, 0));
+        EXPECT_GT(hv, prev_hv);
+        prev_hv = hv;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrontSizeSweep, ::testing::Values(1, 2, 5, 12));
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,296 @@
+#include "noc/router_generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus::noc {
+namespace {
+
+using ip::Metric;
+
+Genome config_genome(const ParameterSpace& space, int vcs_idx, int depth_idx, int width_idx,
+                     int va, int sa, int pipe_idx, int spec, int xbar, int route)
+{
+    Genome g = Genome::zeros(space);
+    g.set_gene(router_gene::num_vcs, vcs_idx);
+    g.set_gene(router_gene::buffer_depth, depth_idx);
+    g.set_gene(router_gene::flit_width, width_idx);
+    g.set_gene(router_gene::vc_alloc, va);
+    g.set_gene(router_gene::sw_alloc, sa);
+    g.set_gene(router_gene::pipeline_stages, pipe_idx);
+    g.set_gene(router_gene::speculative, spec);
+    g.set_gene(router_gene::crossbar, xbar);
+    g.set_gene(router_gene::routing, route);
+    return g;
+}
+
+TEST(RouterSpace, MatchesPaperScale)
+{
+    const ParameterSpace space = make_router_space();
+    EXPECT_EQ(space.size(), router_gene::count);
+    // ~30,000 comparable design instances varying 9 parameters (paper 4.1).
+    EXPECT_EQ(space.exact_cardinality(), 34560u);
+}
+
+TEST(RouterSpace, AllocatorDomainsAreOrdered)
+{
+    const ParameterSpace space = make_router_space();
+    EXPECT_TRUE(space[router_gene::vc_alloc].domain.ordered());
+    EXPECT_TRUE(space[router_gene::sw_alloc].domain.ordered());
+    EXPECT_TRUE(space[router_gene::crossbar].domain.ordered());
+}
+
+TEST(RouterDecode, RoundTripsValues)
+{
+    const ParameterSpace space = make_router_space();
+    const Genome g = config_genome(space, 2, 4, 3, 3, 1, 2, 1, 1, 2);
+    const RouterConfig c = decode_router(space, g);
+    EXPECT_EQ(c.num_vcs, 4);
+    EXPECT_EQ(c.buffer_depth, 32);
+    EXPECT_EQ(c.flit_width, 256);
+    EXPECT_EQ(c.vc_alloc, AllocatorKind::wavefront);
+    EXPECT_EQ(c.sw_alloc, AllocatorKind::separable_input);
+    EXPECT_EQ(c.pipeline_stages, 3);
+    EXPECT_TRUE(c.speculative);
+    EXPECT_EQ(c.crossbar, CrossbarKind::tristate);
+    EXPECT_EQ(c.routing, RoutingKind::adaptive);
+}
+
+TEST(RouterDecode, RejectsBadInput)
+{
+    const ParameterSpace space = make_router_space();
+    EXPECT_THROW(decode_router(space, Genome{{0, 0}}), std::invalid_argument);
+    const Genome ok = Genome::zeros(space);
+    EXPECT_THROW(decode_router(space, ok, 1), std::invalid_argument);
+}
+
+TEST(RouterConfig, KeyChangesWithAnyField)
+{
+    RouterConfig a;
+    RouterConfig b = a;
+    EXPECT_EQ(a.config_key(), b.config_key());
+    b.num_vcs = 4;
+    EXPECT_NE(a.config_key(), b.config_key());
+    b = a;
+    b.speculative = true;
+    EXPECT_NE(a.config_key(), b.config_key());
+}
+
+TEST(RouterConfig, ToStringMentionsKeyFields)
+{
+    const RouterConfig c;
+    const std::string s = c.to_string();
+    EXPECT_NE(s.find("vcs="), std::string::npos);
+    EXPECT_NE(s.find("round_robin"), std::string::npos);
+}
+
+TEST(RouterArea, MoreVcsMoreArea)
+{
+    RouterConfig small;
+    small.num_vcs = 1;
+    RouterConfig big = small;
+    big.num_vcs = 4;
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    EXPECT_LT(router_area(small).total().equivalent_luts(tech),
+              router_area(big).total().equivalent_luts(tech));
+}
+
+TEST(RouterArea, WiderFlitsMoreArea)
+{
+    RouterConfig narrow;
+    narrow.flit_width = 32;
+    RouterConfig wide = narrow;
+    wide.flit_width = 256;
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    EXPECT_LT(router_area(narrow).total().equivalent_luts(tech),
+              router_area(wide).total().equivalent_luts(tech));
+}
+
+TEST(RouterArea, AllocatorOrderingHoldsForArea)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    double prev = 0.0;
+    for (auto kind : {AllocatorKind::round_robin, AllocatorKind::separable_input,
+                      AllocatorKind::separable_output, AllocatorKind::wavefront}) {
+        RouterConfig c;
+        c.vc_alloc = kind;
+        const double luts = router_area(c).total().equivalent_luts(tech);
+        EXPECT_GT(luts, prev) << allocator_name(kind);
+        prev = luts;
+    }
+}
+
+TEST(RouterArea, TristateCrossbarIsSmaller)
+{
+    RouterConfig mux;
+    mux.crossbar = CrossbarKind::mux;
+    RouterConfig tri = mux;
+    tri.crossbar = CrossbarKind::tristate;
+    EXPECT_GT(router_area(mux).crossbar.luts, router_area(tri).crossbar.luts);
+}
+
+TEST(RouterArea, SpeculationAddsAllocatorArea)
+{
+    RouterConfig plain;
+    RouterConfig spec = plain;
+    spec.speculative = true;
+    EXPECT_GT(router_area(spec).sw_allocator.luts, router_area(plain).sw_allocator.luts);
+}
+
+TEST(RouterArea, PipelineAddsRegisters)
+{
+    RouterConfig one;
+    one.pipeline_stages = 1;
+    RouterConfig three = one;
+    three.pipeline_stages = 3;
+    EXPECT_GT(router_area(three).pipeline_regs.ffs, router_area(one).pipeline_regs.ffs);
+}
+
+TEST(RouterPaths, DeeperPipelineFasterClock)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    RouterConfig c;
+    double prev = 0.0;
+    for (int stages = 1; stages <= 3; ++stages) {
+        c.pipeline_stages = stages;
+        const double f = synth::fmax_mhz(router_paths(c), tech);
+        EXPECT_GT(f, prev) << "stages=" << stages;
+        prev = f;
+    }
+}
+
+TEST(RouterPaths, WavefrontAllocatorSlowerThanRoundRobin)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    RouterConfig rr;
+    rr.pipeline_stages = 3;
+    RouterConfig wf = rr;
+    wf.vc_alloc = AllocatorKind::wavefront;
+    EXPECT_GT(synth::fmax_mhz(router_paths(rr), tech),
+              synth::fmax_mhz(router_paths(wf), tech));
+}
+
+TEST(RouterPaths, TristateCrossbarSlower)
+{
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    RouterConfig mux;
+    mux.pipeline_stages = 3;
+    RouterConfig tri = mux;
+    tri.crossbar = CrossbarKind::tristate;
+    EXPECT_GT(synth::fmax_mhz(router_paths(mux), tech),
+              synth::fmax_mhz(router_paths(tri), tech));
+}
+
+TEST(RouterGenerator, ProvidesExpectedMetrics)
+{
+    const RouterGenerator gen;
+    const auto metrics = gen.metrics();
+    EXPECT_NE(std::find(metrics.begin(), metrics.end(), Metric::area_luts), metrics.end());
+    EXPECT_NE(std::find(metrics.begin(), metrics.end(), Metric::freq_mhz), metrics.end());
+    EXPECT_NE(std::find(metrics.begin(), metrics.end(), Metric::area_delay_product),
+              metrics.end());
+}
+
+TEST(RouterGenerator, EvaluateIsDeterministic)
+{
+    const RouterGenerator gen;
+    Rng rng{5};
+    const Genome g = Genome::random(gen.space(), rng);
+    const auto a = gen.evaluate(g);
+    const auto b = gen.evaluate(g);
+    EXPECT_DOUBLE_EQ(a.get(Metric::area_luts), b.get(Metric::area_luts));
+    EXPECT_DOUBLE_EQ(a.get(Metric::freq_mhz), b.get(Metric::freq_mhz));
+}
+
+TEST(RouterGenerator, ValuesInPaperRange)
+{
+    // Fig. 1 ranges: tens of MHz to ~200 MHz, hundreds to ~25k LUTs.
+    const RouterGenerator gen;
+    Rng rng{6};
+    for (int i = 0; i < 300; ++i) {
+        const Genome g = Genome::random(gen.space(), rng);
+        const auto mv = gen.evaluate(g);
+        ASSERT_TRUE(mv.feasible);
+        const double luts = mv.get(Metric::area_luts);
+        const double freq = mv.get(Metric::freq_mhz);
+        EXPECT_GT(luts, 200.0);
+        EXPECT_LT(luts, 30000.0);
+        EXPECT_GT(freq, 40.0);
+        EXPECT_LT(freq, 260.0);
+    }
+}
+
+TEST(RouterGenerator, AreaDelayProductDerived)
+{
+    const RouterGenerator gen;
+    const Genome g = Genome::zeros(gen.space());
+    const auto mv = gen.evaluate(g);
+    EXPECT_NEAR(mv.get(Metric::area_delay_product),
+                mv.get(Metric::period_ns) * mv.get(Metric::area_luts), 1e-6);
+}
+
+TEST(RouterGenerator, AuthorHintsValidateForAllMetrics)
+{
+    const RouterGenerator gen;
+    for (Metric m : gen.metrics()) {
+        const HintSet hints = gen.author_hints(m);
+        EXPECT_NO_THROW(hints.validate(gen.space())) << ip::metric_name(m);
+    }
+}
+
+TEST(RouterGenerator, FrequencyHintsPointTheRightWay)
+{
+    const RouterGenerator gen;
+    const HintSet h = gen.author_hints(Metric::freq_mhz);
+    ASSERT_TRUE(h.param(router_gene::pipeline_stages).bias.has_value());
+    EXPECT_GT(*h.param(router_gene::pipeline_stages).bias, 0.0);
+    ASSERT_TRUE(h.param(router_gene::num_vcs).bias.has_value());
+    EXPECT_LT(*h.param(router_gene::num_vcs).bias, 0.0);
+}
+
+TEST(RouterGenerator, PeriodHintsAreNegatedFrequencyHints)
+{
+    const RouterGenerator gen;
+    const HintSet f = gen.author_hints(Metric::freq_mhz);
+    const HintSet p = gen.author_hints(Metric::period_ns);
+    for (std::size_t i = 0; i < gen.space().size(); ++i) {
+        if (f.param(i).bias) {
+            EXPECT_DOUBLE_EQ(*p.param(i).bias, -*f.param(i).bias);
+        }
+    }
+}
+
+TEST(RouterGenerator, AreaDelayHintsAreMerged)
+{
+    const RouterGenerator gen;
+    const HintSet h = gen.author_hints(Metric::area_delay_product);
+    // Width strongly increases area -> strongly increases ADP.
+    ASSERT_TRUE(h.param(router_gene::flit_width).bias.has_value());
+    EXPECT_GT(*h.param(router_gene::flit_width).bias, 0.0);
+    // Pipelining lowers period (good) but raises area slightly: mixed, small.
+    ASSERT_TRUE(h.param(router_gene::pipeline_stages).bias.has_value());
+    EXPECT_LT(*h.param(router_gene::pipeline_stages).bias, 0.2);
+}
+
+class RouterMonotonicitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RouterMonotonicitySweep, BufferDepthMonotonicallyIncreasesArea)
+{
+    const ParameterSpace space = make_router_space();
+    const auto tech = synth::FpgaTech::virtex6_lx760t();
+    const int width_idx = GetParam();
+    double prev = 0.0;
+    for (int depth_idx = 0; depth_idx < 5; ++depth_idx) {
+        Genome g = Genome::zeros(space);
+        g.set_gene(router_gene::flit_width, width_idx);
+        g.set_gene(router_gene::buffer_depth, depth_idx);
+        const RouterConfig c = decode_router(space, g);
+        const double luts = router_area(c).total().equivalent_luts(tech);
+        EXPECT_GT(luts, prev);
+        prev = luts;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RouterMonotonicitySweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace nautilus::noc

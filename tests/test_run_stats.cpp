@@ -1,0 +1,174 @@
+#include "core/run_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nautilus {
+namespace {
+
+Curve make_curve(Direction dir, std::initializer_list<CurvePoint> points)
+{
+    Curve c{dir};
+    for (const auto& p : points) c.append(p.evals, p.best);
+    return c;
+}
+
+TEST(Curve, AppendEnforcesMonotonicity)
+{
+    Curve c{Direction::maximize};
+    c.append(10, 5.0);
+    EXPECT_THROW(c.append(5, 6.0), std::invalid_argument);   // evals decreased
+    EXPECT_THROW(c.append(20, 4.0), std::invalid_argument);  // best regressed
+    c.append(20, 6.0);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Curve, AppendSameXKeepsBetterValue)
+{
+    Curve c{Direction::minimize};
+    c.append(10, 5.0);
+    c.append(10, 3.0);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_DOUBLE_EQ(c.final_best(), 3.0);
+}
+
+TEST(Curve, ValueAtStepInterpolation)
+{
+    const Curve c = make_curve(Direction::maximize, {{10, 1.0}, {30, 2.0}, {50, 3.0}});
+    EXPECT_FALSE(c.value_at(5).has_value());
+    EXPECT_DOUBLE_EQ(*c.value_at(10), 1.0);
+    EXPECT_DOUBLE_EQ(*c.value_at(29.9), 1.0);
+    EXPECT_DOUBLE_EQ(*c.value_at(30), 2.0);
+    EXPECT_DOUBLE_EQ(*c.value_at(1000), 3.0);
+}
+
+TEST(Curve, EvalsToReach)
+{
+    const Curve c = make_curve(Direction::maximize, {{10, 1.0}, {30, 2.0}, {50, 3.0}});
+    EXPECT_DOUBLE_EQ(*c.evals_to_reach(1.5), 30.0);
+    EXPECT_DOUBLE_EQ(*c.evals_to_reach(3.0), 50.0);
+    EXPECT_FALSE(c.evals_to_reach(3.5).has_value());
+    EXPECT_DOUBLE_EQ(*c.evals_to_reach(0.5), 10.0);
+}
+
+TEST(Curve, EvalsToReachMinimize)
+{
+    const Curve c = make_curve(Direction::minimize, {{10, 9.0}, {30, 4.0}});
+    EXPECT_DOUBLE_EQ(*c.evals_to_reach(5.0), 30.0);
+    EXPECT_FALSE(c.evals_to_reach(3.0).has_value());
+}
+
+TEST(Curve, EmptyCurveAccessorsThrow)
+{
+    const Curve c{Direction::maximize};
+    EXPECT_THROW(c.final_best(), std::logic_error);
+    EXPECT_THROW(c.final_evals(), std::logic_error);
+}
+
+TEST(MultiRunCurve, AddRunValidation)
+{
+    MultiRunCurve m{Direction::maximize};
+    EXPECT_THROW(m.add_run(Curve{Direction::minimize}), std::invalid_argument);
+    EXPECT_THROW(m.add_run(Curve{Direction::maximize}), std::invalid_argument);  // empty
+    m.add_run(make_curve(Direction::maximize, {{1, 1.0}}));
+    EXPECT_EQ(m.runs(), 1u);
+    EXPECT_THROW(m.run(1), std::out_of_range);
+}
+
+TEST(MultiRunCurve, MeanCurveAveragesAcrossRuns)
+{
+    MultiRunCurve m{Direction::maximize};
+    m.add_run(make_curve(Direction::maximize, {{10, 1.0}, {20, 3.0}}));
+    m.add_run(make_curve(Direction::maximize, {{10, 2.0}, {20, 4.0}}));
+    const auto mean = m.mean_curve({10.0, 20.0, 30.0});
+    ASSERT_EQ(mean.size(), 3u);
+    EXPECT_DOUBLE_EQ(mean[0].best, 1.5);
+    EXPECT_DOUBLE_EQ(mean[1].best, 3.5);
+    EXPECT_DOUBLE_EQ(mean[2].best, 3.5);  // runs hold final values
+}
+
+TEST(MultiRunCurve, MeanCurveSkipsNotYetStartedRuns)
+{
+    MultiRunCurve m{Direction::maximize};
+    m.add_run(make_curve(Direction::maximize, {{5, 1.0}}));
+    m.add_run(make_curve(Direction::maximize, {{15, 9.0}}));
+    const auto mean = m.mean_curve({10.0});
+    ASSERT_EQ(mean.size(), 1u);
+    EXPECT_DOUBLE_EQ(mean[0].best, 1.0);  // only the first run has started
+}
+
+TEST(MultiRunCurve, DefaultGridSpansMaxEvals)
+{
+    MultiRunCurve m{Direction::maximize};
+    m.add_run(make_curve(Direction::maximize, {{10, 1.0}, {100, 2.0}}));
+    const auto grid = m.default_grid(11);
+    ASSERT_EQ(grid.size(), 11u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+    EXPECT_DOUBLE_EQ(grid.back(), 100.0);
+}
+
+TEST(MultiRunCurve, ConvergenceCountsReachedRuns)
+{
+    MultiRunCurve m{Direction::maximize};
+    m.add_run(make_curve(Direction::maximize, {{10, 1.0}, {20, 5.0}}));
+    m.add_run(make_curve(Direction::maximize, {{10, 1.0}, {40, 5.0}}));
+    m.add_run(make_curve(Direction::maximize, {{10, 1.0}}));  // never reaches
+    const auto conv = m.evals_to_reach(5.0);
+    EXPECT_EQ(conv.runs, 3u);
+    EXPECT_EQ(conv.reached, 2u);
+    EXPECT_DOUBLE_EQ(conv.mean_evals, 30.0);
+}
+
+TEST(MultiRunCurve, MeanCurveCrossing)
+{
+    MultiRunCurve m{Direction::maximize};
+    m.add_run(make_curve(Direction::maximize, {{10, 2.0}, {20, 6.0}}));
+    m.add_run(make_curve(Direction::maximize, {{10, 4.0}, {20, 8.0}}));
+    // Mean curve: 3.0 at 10+, 7.0 at 20+.
+    const auto cross = m.mean_curve_crossing(6.5);
+    ASSERT_TRUE(cross.has_value());
+    EXPECT_GE(*cross, 19.0);
+    EXPECT_FALSE(m.mean_curve_crossing(9.0).has_value());
+}
+
+TEST(MultiRunCurve, FinalBestStatistics)
+{
+    MultiRunCurve m{Direction::minimize};
+    m.add_run(make_curve(Direction::minimize, {{10, 4.0}}));
+    m.add_run(make_curve(Direction::minimize, {{10, 2.0}}));
+    EXPECT_DOUBLE_EQ(m.mean_final_best(), 3.0);
+    EXPECT_DOUBLE_EQ(m.best_final_best(), 2.0);
+}
+
+TEST(MultiRunCurve, EmptyStatisticsThrow)
+{
+    const MultiRunCurve m{Direction::maximize};
+    EXPECT_THROW(m.mean_final_best(), std::logic_error);
+    EXPECT_THROW(m.best_final_best(), std::logic_error);
+}
+
+TEST(SpeedupAtThreshold, ComputesRatio)
+{
+    MultiRunCurve baseline{Direction::maximize};
+    baseline.add_run(make_curve(Direction::maximize, {{100, 5.0}}));
+    baseline.add_run(make_curve(Direction::maximize, {{300, 5.0}}));
+    MultiRunCurve guided{Direction::maximize};
+    guided.add_run(make_curve(Direction::maximize, {{50, 5.0}}));
+    guided.add_run(make_curve(Direction::maximize, {{50, 5.0}}));
+    const auto s = speedup_at_threshold(baseline, guided, 5.0);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_DOUBLE_EQ(*s, 4.0);  // 200 / 50
+}
+
+TEST(SpeedupAtThreshold, RequiresMajorityReach)
+{
+    MultiRunCurve baseline{Direction::maximize};
+    baseline.add_run(make_curve(Direction::maximize, {{100, 5.0}}));
+    baseline.add_run(make_curve(Direction::maximize, {{100, 1.0}}));
+    baseline.add_run(make_curve(Direction::maximize, {{100, 1.0}}));
+    MultiRunCurve guided{Direction::maximize};
+    guided.add_run(make_curve(Direction::maximize, {{50, 5.0}}));
+    EXPECT_FALSE(speedup_at_threshold(baseline, guided, 5.0).has_value());
+}
+
+}  // namespace
+}  // namespace nautilus

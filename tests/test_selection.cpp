@@ -1,0 +1,174 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace nautilus {
+namespace {
+
+constexpr double k_inf = std::numeric_limits<double>::infinity();
+
+std::vector<int> tally(std::span<const double> fitness, const SelectionConfig& cfg,
+                       int draws, std::uint64_t seed)
+{
+    Rng rng{seed};
+    std::vector<int> counts(fitness.size(), 0);
+    for (int i = 0; i < draws; ++i) ++counts[select_parent(fitness, cfg, rng)];
+    return counts;
+}
+
+TEST(RankOrder, SortsBestFirstStably)
+{
+    const std::vector<double> fitness{1.0, 5.0, 3.0, 5.0};
+    const auto order = rank_order(fitness);
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(SelectParent, EmptyPopulationThrows)
+{
+    Rng rng{1};
+    const std::vector<double> empty;
+    EXPECT_THROW(select_parent(empty, SelectionConfig{}, rng), std::invalid_argument);
+}
+
+TEST(SelectParent, BadRankPressureThrows)
+{
+    Rng rng{1};
+    const std::vector<double> fitness{1.0, 2.0};
+    SelectionConfig cfg;
+    cfg.rank_pressure = 0.5;
+    EXPECT_THROW(select_parent(fitness, cfg, rng), std::invalid_argument);
+    cfg.rank_pressure = 2.5;
+    EXPECT_THROW(select_parent(fitness, cfg, rng), std::invalid_argument);
+}
+
+TEST(SelectParent, SingleMemberAlwaysSelected)
+{
+    Rng rng{2};
+    const std::vector<double> fitness{7.0};
+    for (auto kind : {SelectionKind::rank, SelectionKind::tournament,
+                      SelectionKind::roulette}) {
+        SelectionConfig cfg;
+        cfg.kind = kind;
+        EXPECT_EQ(select_parent(fitness, cfg, rng), 0u);
+    }
+}
+
+TEST(SelectParent, RankPrefersBetterIndividuals)
+{
+    const std::vector<double> fitness{1.0, 10.0, 5.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::rank;
+    cfg.rank_pressure = 1.8;
+    const auto counts = tally(fitness, cfg, 30000, 3);
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[2], counts[0]);
+    EXPECT_GT(counts[0], 0);  // worst still selectable
+}
+
+TEST(SelectParent, RankPressureOneIsUniform)
+{
+    const std::vector<double> fitness{1.0, 10.0, 5.0, 2.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::rank;
+    cfg.rank_pressure = 1.0;
+    const auto counts = tally(fitness, cfg, 40000, 4);
+    for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(SelectParent, TournamentPrefersBetterIndividuals)
+{
+    const std::vector<double> fitness{1.0, 10.0, 5.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::tournament;
+    cfg.tournament_size = 3;
+    const auto counts = tally(fitness, cfg, 30000, 5);
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(SelectParent, LargerTournamentsAreGreedier)
+{
+    const std::vector<double> fitness{1.0, 2.0, 3.0, 4.0, 10.0};
+    SelectionConfig small;
+    small.kind = SelectionKind::tournament;
+    small.tournament_size = 2;
+    SelectionConfig big = small;
+    big.tournament_size = 5;
+    const auto c_small = tally(fitness, small, 20000, 6);
+    const auto c_big = tally(fitness, big, 20000, 6);
+    EXPECT_GT(c_big[4], c_small[4]);
+}
+
+TEST(SelectParent, RoulettePrefersBetterIndividuals)
+{
+    const std::vector<double> fitness{0.0, 100.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::roulette;
+    const auto counts = tally(fitness, cfg, 20000, 7);
+    EXPECT_GT(counts[1], counts[0]);
+    EXPECT_GT(counts[0], 1000);  // weak pressure keeps the worst in play
+}
+
+TEST(SelectParent, RouletteHandlesNegativeFitness)
+{
+    const std::vector<double> fitness{-500.0, -100.0, -300.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::roulette;
+    const auto counts = tally(fitness, cfg, 30000, 8);
+    EXPECT_GT(counts[1], counts[2]);
+    EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(SelectParent, RouletteNeverPicksInfeasibleWhenFeasibleExists)
+{
+    const std::vector<double> fitness{-k_inf, 1.0, -k_inf, 2.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::roulette;
+    const auto counts = tally(fitness, cfg, 5000, 9);
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_EQ(counts[2], 0);
+}
+
+TEST(SelectParent, RouletteAllInfeasibleFallsBackToUniform)
+{
+    const std::vector<double> fitness{-k_inf, -k_inf, -k_inf};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::roulette;
+    const auto counts = tally(fitness, cfg, 9000, 10);
+    for (int c : counts) EXPECT_GT(c, 2000);
+}
+
+TEST(SelectParent, EqualFitnessIsRoughlyUniform)
+{
+    // Tournament and roulette treat ties symmetrically.  (Linear ranking
+    // breaks ties by index, which is conventional but not uniform.)
+    const std::vector<double> fitness{5.0, 5.0, 5.0, 5.0};
+    for (auto kind : {SelectionKind::tournament, SelectionKind::roulette}) {
+        SelectionConfig cfg;
+        cfg.kind = kind;
+        const auto counts = tally(fitness, cfg, 40000, 11);
+        for (int c : counts) EXPECT_NEAR(c, 10000, 800) << selection_name(kind);
+    }
+}
+
+TEST(SelectParent, EqualFitnessRankStillSelectsEveryone)
+{
+    const std::vector<double> fitness{5.0, 5.0, 5.0, 5.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::rank;
+    const auto counts = tally(fitness, cfg, 40000, 12);
+    for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(SelectionNames, Stable)
+{
+    EXPECT_STREQ(selection_name(SelectionKind::rank), "rank");
+    EXPECT_STREQ(selection_name(SelectionKind::tournament), "tournament");
+    EXPECT_STREQ(selection_name(SelectionKind::roulette), "roulette");
+}
+
+}  // namespace
+}  // namespace nautilus

@@ -1,0 +1,191 @@
+#include "noc/network_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nautilus::noc {
+namespace {
+
+using ip::Metric;
+
+TEST(Topology, NamesAreStable)
+{
+    EXPECT_STREQ(topology_name(TopologyKind::ring), "ring");
+    EXPECT_STREQ(topology_name(TopologyKind::fat_tree), "fat_tree");
+    EXPECT_STREQ(topology_name(TopologyKind::conc_double_ring), "conc_double_ring");
+}
+
+TEST(Topology, AllFamiliesBuildAt64Endpoints)
+{
+    const auto all = all_topologies(64);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(k_topology_count));
+    for (const auto& t : all) {
+        EXPECT_EQ(t.endpoints, 64);
+        EXPECT_GT(t.num_routers, 0);
+        EXPECT_GE(t.router_radix, 3);
+        EXPECT_GT(t.total_channels, 0);
+        EXPECT_GT(t.bisection_channels, 0);
+        EXPECT_LE(t.bisection_channels, t.total_channels);
+        EXPECT_GT(t.avg_channel_mm, 0.0);
+    }
+}
+
+TEST(Topology, ConcentrationReducesRouterCount)
+{
+    const auto ring = make_topology(TopologyKind::ring, 64);
+    const auto conc = make_topology(TopologyKind::conc_ring, 64);
+    EXPECT_EQ(ring.num_routers, 64);
+    EXPECT_EQ(conc.num_routers, 16);
+    EXPECT_GT(conc.router_radix, ring.router_radix);
+}
+
+TEST(Topology, TorusDoublesMeshBisection)
+{
+    const auto mesh = make_topology(TopologyKind::mesh, 64);
+    const auto torus = make_topology(TopologyKind::torus, 64);
+    EXPECT_EQ(torus.bisection_channels, 2 * mesh.bisection_channels);
+    EXPECT_GT(torus.total_channels, mesh.total_channels);
+}
+
+TEST(Topology, FatTreeHasFullBisection)
+{
+    const auto ft = make_topology(TopologyKind::fat_tree, 64);
+    EXPECT_EQ(ft.bisection_channels, 128);  // 64 endpoints, both directions
+    EXPECT_EQ(ft.num_routers, 48);          // 3 levels x 16 switches
+    EXPECT_EQ(ft.router_radix, 8);
+}
+
+TEST(Topology, BisectionOrderingAcrossFamilies)
+{
+    // Rings < mesh < torus < fat tree at 64 endpoints.
+    const int ring = make_topology(TopologyKind::ring, 64).bisection_channels;
+    const int mesh = make_topology(TopologyKind::mesh, 64).bisection_channels;
+    const int torus = make_topology(TopologyKind::torus, 64).bisection_channels;
+    const int ft = make_topology(TopologyKind::fat_tree, 64).bisection_channels;
+    EXPECT_LT(ring, mesh);
+    EXPECT_LT(mesh, torus);
+    EXPECT_LT(torus, ft);
+}
+
+TEST(Topology, InvalidEndpointCountsRejected)
+{
+    EXPECT_THROW(make_topology(TopologyKind::mesh, 60), std::invalid_argument);
+    EXPECT_THROW(make_topology(TopologyKind::torus, 48), std::invalid_argument);
+    EXPECT_THROW(make_topology(TopologyKind::fat_tree, 32), std::invalid_argument);
+    EXPECT_THROW(make_topology(TopologyKind::butterfly, 8), std::invalid_argument);
+    EXPECT_THROW(make_topology(TopologyKind::conc_ring, 6), std::invalid_argument);
+    EXPECT_THROW(make_topology(TopologyKind::ring, 2), std::invalid_argument);
+}
+
+TEST(Topology, ScalesWithEndpointCount)
+{
+    const auto small = make_topology(TopologyKind::mesh, 16);
+    const auto big = make_topology(TopologyKind::mesh, 256);
+    EXPECT_LT(small.num_routers, big.num_routers);
+    EXPECT_LT(small.bisection_channels, big.bisection_channels);
+}
+
+TEST(NetworkModel, EvaluatesAllFamilies)
+{
+    const NetworkModel model;
+    for (const auto& topo : all_topologies(64)) {
+        NetworkConfig c;
+        c.topology = topo;
+        const NetworkResult r = model.evaluate(c);
+        EXPECT_GT(r.area_mm2, 0.0) << topology_name(topo.kind);
+        EXPECT_GT(r.power_mw, 0.0);
+        EXPECT_GT(r.fmax_mhz, 0.0);
+        EXPECT_GT(r.bisection_gbps, 0.0);
+    }
+}
+
+TEST(NetworkModel, WiderFlitsMoreBandwidthAndArea)
+{
+    const NetworkModel model;
+    NetworkConfig narrow;
+    narrow.topology = make_topology(TopologyKind::mesh, 64);
+    narrow.router.flit_width = 32;
+    NetworkConfig wide = narrow;
+    wide.router.flit_width = 512;
+    const auto rn = model.evaluate(narrow);
+    const auto rw = model.evaluate(wide);
+    EXPECT_GT(rw.bisection_gbps, rn.bisection_gbps);
+    EXPECT_GT(rw.area_mm2, rn.area_mm2);
+    EXPECT_GT(rw.power_mw, rn.power_mw);
+}
+
+TEST(NetworkModel, FatTreeOutperformsRingInBandwidth)
+{
+    const NetworkModel model;
+    NetworkConfig ring;
+    ring.topology = make_topology(TopologyKind::ring, 64);
+    NetworkConfig ft = ring;
+    ft.topology = make_topology(TopologyKind::fat_tree, 64);
+    EXPECT_GT(model.evaluate(ft).bisection_gbps, model.evaluate(ring).bisection_gbps);
+    EXPECT_GT(model.evaluate(ft).area_mm2, model.evaluate(ring).area_mm2);
+}
+
+TEST(NetworkGenerator, SpaceShape)
+{
+    const NetworkGenerator gen;
+    EXPECT_EQ(gen.space().size(), network_gene::count);
+    EXPECT_EQ(gen.space().exact_cardinality(), 8u * 5u * 3u * 4u * 3u);
+    EXPECT_FALSE(gen.space()[network_gene::topology].domain.ordered());
+}
+
+TEST(NetworkGenerator, EvaluateProducesAllMetrics)
+{
+    const NetworkGenerator gen;
+    Rng rng{8};
+    const Genome g = Genome::random(gen.space(), rng);
+    const auto mv = gen.evaluate(g);
+    ASSERT_TRUE(mv.feasible);
+    for (Metric m : gen.metrics()) EXPECT_TRUE(mv.has(m)) << ip::metric_name(m);
+}
+
+TEST(NetworkGenerator, SpansOrdersOfMagnitude)
+{
+    // The Fig. 2 motivation: interchangeable networks spanning 2-3 orders of
+    // magnitude in area, power and performance.
+    const NetworkGenerator gen;
+    double bw_min = 1e300;
+    double bw_max = 0.0;
+    double area_min = 1e300;
+    double area_max = 0.0;
+    const std::size_t total = *gen.space().exact_cardinality();
+    for (std::size_t rank = 0; rank < total; rank += 7) {
+        const auto mv = gen.evaluate(Genome::from_rank(gen.space(), rank));
+        bw_min = std::min(bw_min, mv.get(Metric::bisection_gbps));
+        bw_max = std::max(bw_max, mv.get(Metric::bisection_gbps));
+        area_min = std::min(area_min, mv.get(Metric::area_mm2));
+        area_max = std::max(area_max, mv.get(Metric::area_mm2));
+    }
+    EXPECT_GT(bw_max / bw_min, 100.0);
+    EXPECT_GT(area_max / area_min, 50.0);
+}
+
+TEST(NetworkGenerator, DecodeSetsTopologyRadix)
+{
+    const NetworkGenerator gen;
+    Genome g = Genome::zeros(gen.space());
+    g.set_gene(network_gene::topology,
+               static_cast<std::uint32_t>(TopologyKind::fat_tree));
+    const NetworkConfig c = gen.decode(g);
+    EXPECT_EQ(c.topology.kind, TopologyKind::fat_tree);
+    EXPECT_EQ(c.topology.router_radix, 8);
+}
+
+TEST(NetworkGenerator, HintsValidate)
+{
+    const NetworkGenerator gen;
+    for (Metric m : gen.metrics())
+        EXPECT_NO_THROW(gen.author_hints(m).validate(gen.space()));
+    // Topology is unordered: importance allowed, bias must be absent.
+    const HintSet h = gen.author_hints(Metric::bisection_gbps);
+    EXPECT_FALSE(h.param(network_gene::topology).bias.has_value());
+    EXPECT_GT(h.param(network_gene::topology).importance, 1.0);
+}
+
+}  // namespace
+}  // namespace nautilus::noc

@@ -1,0 +1,249 @@
+// nautilus_cli: command-line front end to the search engines.
+//
+//   nautilus_cli --ip fft --metric area_luts --direction min
+//                --guidance strong --runs 20 --generations 80
+//
+// Options:
+//   --ip {router,fft,network}   IP generator to explore (default router)
+//   --metric NAME               metric to optimize (default per IP)
+//   --direction {min,max}       optimization direction (default per metric)
+//   --guidance {none,weak,strong,estimated}
+//                               hint provenance: author hints at the given
+//                               confidence, or non-expert estimation from
+//                               samples (default none = baseline GA)
+//   --runs N                    runs to average (default 10)
+//   --generations N             GA generations (default 80)
+//   --population N              GA population (default 10)
+//   --seed N                    experiment seed (default 2015)
+//   --samples N                 estimation samples for --guidance estimated
+//   --sensitivity               print the dataset sensitivity report instead
+//                               of searching (enumerates the space)
+//   --save-dataset PATH         characterize the space and write CSV
+//   --dataset PATH              serve evaluations from a saved CSV dataset
+//   --pareto METRIC2            map the METRIC x METRIC2 Pareto front with
+//                               the multi-objective engine instead of a
+//                               single-metric query
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/hint_estimator.hpp"
+#include "core/nsga2.hpp"
+#include "exp/experiment.hpp"
+#include "fft/fft_generator.hpp"
+#include "ip/analysis.hpp"
+#include "noc/network_generator.hpp"
+#include "noc/router_generator.hpp"
+
+using namespace nautilus;
+using ip::Metric;
+
+namespace {
+
+struct CliOptions {
+    std::string ip = "router";
+    std::string metric;
+    std::string direction;
+    std::string guidance = "none";
+    std::size_t runs = 10;
+    std::size_t generations = 80;
+    std::size_t population = 10;
+    std::uint64_t seed = 2015;
+    std::size_t samples = 80;
+    bool sensitivity = false;
+    std::string save_dataset;
+    std::string dataset;
+    std::string pareto_metric;
+};
+
+[[noreturn]] void usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--ip router|fft|network] [--metric NAME]\n"
+                 "          [--direction min|max] [--guidance none|weak|strong|estimated]\n"
+                 "          [--runs N] [--generations N] [--population N] [--seed N]\n"
+                 "          [--samples N] [--sensitivity] [--save-dataset PATH]\n"
+                 "          [--dataset PATH] [--pareto METRIC2]\n",
+                 argv0);
+    std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv)
+{
+    CliOptions opt;
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--ip") opt.ip = need_value(i);
+        else if (arg == "--metric") opt.metric = need_value(i);
+        else if (arg == "--direction") opt.direction = need_value(i);
+        else if (arg == "--guidance") opt.guidance = need_value(i);
+        else if (arg == "--runs") opt.runs = std::stoul(need_value(i));
+        else if (arg == "--generations") opt.generations = std::stoul(need_value(i));
+        else if (arg == "--population") opt.population = std::stoul(need_value(i));
+        else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+        else if (arg == "--samples") opt.samples = std::stoul(need_value(i));
+        else if (arg == "--sensitivity") opt.sensitivity = true;
+        else if (arg == "--save-dataset") opt.save_dataset = need_value(i);
+        else if (arg == "--dataset") opt.dataset = need_value(i);
+        else if (arg == "--pareto") opt.pareto_metric = need_value(i);
+        else if (arg == "--help" || arg == "-h") usage(argv[0]);
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+std::unique_ptr<ip::IpGenerator> make_generator(const std::string& name)
+{
+    if (name == "router") return std::make_unique<noc::RouterGenerator>();
+    if (name == "fft")
+        return std::make_unique<fft::FftGenerator>(synth::FpgaTech::virtex6_lx760t(),
+                                                   /*measure_snr=*/false);
+    if (name == "network") return std::make_unique<noc::NetworkGenerator>();
+    std::fprintf(stderr, "unknown IP '%s' (router, fft, network)\n", name.c_str());
+    std::exit(2);
+}
+
+Metric default_metric(const std::string& ip)
+{
+    if (ip == "fft") return Metric::area_luts;
+    if (ip == "network") return Metric::bisection_gbps;
+    return Metric::freq_mhz;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const CliOptions opt = parse(argc, argv);
+    const auto generator = make_generator(opt.ip);
+
+    Metric metric = default_metric(opt.ip);
+    if (!opt.metric.empty()) {
+        const auto parsed = ip::metric_from_name(opt.metric);
+        if (!parsed) {
+            std::fprintf(stderr, "unknown metric '%s'\n", opt.metric.c_str());
+            return 2;
+        }
+        metric = *parsed;
+    }
+    Direction direction = ip::metric_default_direction(metric);
+    if (opt.direction == "min") direction = Direction::minimize;
+    else if (opt.direction == "max") direction = Direction::maximize;
+    else if (!opt.direction.empty()) usage(argv[0]);
+
+    std::printf("IP: %s (%zu parameters, %.0f configurations)\n",
+                generator->name().c_str(), generator->space().size(),
+                generator->space().cardinality());
+
+    if (!opt.save_dataset.empty() || opt.sensitivity) {
+        std::printf("characterizing the full design space...\n");
+        const ip::Dataset ds = ip::Dataset::enumerate(*generator);
+        std::printf("%zu points, %zu feasible\n", ds.size(), ds.feasible_count());
+        if (!opt.save_dataset.empty()) {
+            std::ofstream out{opt.save_dataset};
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", opt.save_dataset.c_str());
+                return 1;
+            }
+            ds.save_csv(out, *generator);
+            std::printf("dataset written to %s\n", opt.save_dataset.c_str());
+        }
+        if (opt.sensitivity) {
+            const auto effects = ip::main_effects(ds, *generator, metric);
+            ip::print_sensitivity_report(std::cout, *generator, metric, effects);
+        }
+        return 0;
+    }
+
+    // Pareto mode: map a two-metric front with NSGA-II.
+    if (!opt.pareto_metric.empty()) {
+        const auto second = ip::metric_from_name(opt.pareto_metric);
+        if (!second) {
+            std::fprintf(stderr, "unknown metric '%s'\n", opt.pareto_metric.c_str());
+            return 2;
+        }
+        const std::vector<Direction> dirs{direction,
+                                          ip::metric_default_direction(*second)};
+        const MultiEvalFn eval =
+            [&](const Genome& g) -> std::optional<std::vector<double>> {
+            const auto mv = generator->evaluate(g);
+            if (!mv.feasible) return std::nullopt;
+            const auto a = mv.try_get(metric);
+            const auto b = mv.try_get(*second);
+            if (!a || !b) return std::nullopt;
+            return std::vector<double>{*a, *b};
+        };
+        MultiObjectiveConfig mo;
+        mo.generations = opt.generations;
+        mo.seed = opt.seed;
+        const Nsga2Engine engine{generator->space(), mo, dirs, eval,
+                                 HintSet::none(generator->space())};
+        const auto result = engine.run();
+        std::printf("Pareto front of %s vs %s: %zu points (%zu evaluations)\n",
+                    ip::metric_name(metric), ip::metric_name(*second),
+                    result.front.size(), result.distinct_evals);
+        for (const auto& p : result.front)
+            std::printf("  %12.2f  %12.2f   %s\n", p.values[0], p.values[1],
+                        p.genome.to_string(generator->space()).c_str());
+        return 0;
+    }
+
+    exp::ExperimentConfig cfg;
+    cfg.runs = opt.runs;
+    cfg.ga.generations = opt.generations;
+    cfg.ga.population_size = opt.population;
+    cfg.ga.seed = opt.seed;
+
+    const exp::Query query = exp::Query::simple(
+        std::string(direction_name(direction)) + " " + ip::metric_name(metric), metric,
+        direction);
+
+    exp::Experiment experiment{*generator, query, cfg};
+    std::optional<ip::Dataset> cached;
+    if (!opt.dataset.empty()) {
+        std::ifstream in{opt.dataset};
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", opt.dataset.c_str());
+            return 1;
+        }
+        cached = ip::Dataset::load_csv(in, *generator);
+        std::printf("serving evaluations from %s (%zu points)\n", opt.dataset.c_str(),
+                    cached->size());
+        experiment.use_dataset(*cached);
+    }
+    experiment.add_engine({"baseline", GuidanceLevel::none, std::nullopt, std::nullopt});
+    if (opt.guidance == "weak" || opt.guidance == "strong") {
+        const GuidanceLevel level =
+            opt.guidance == "weak" ? GuidanceLevel::weak : GuidanceLevel::strong;
+        experiment.add_engine({"nautilus-" + opt.guidance, level, std::nullopt,
+                               std::nullopt});
+    }
+    else if (opt.guidance == "estimated") {
+        HintEstimatorConfig ec;
+        ec.samples = opt.samples;
+        ec.seed = opt.seed ^ 0xe57;
+        HintSet estimated =
+            HintEstimator{ec}.estimate(generator->space(), generator->metric_eval(metric));
+        if (direction == Direction::minimize) estimated = estimated.negated_bias();
+        experiment.add_engine({"nautilus-estimated", GuidanceLevel::strong,
+                               std::move(estimated), std::nullopt});
+    }
+    else if (opt.guidance != "none") {
+        usage(argv[0]);
+    }
+
+    const exp::ExperimentResult result = experiment.run();
+    result.print(std::cout);
+    return 0;
+}
