@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_confidence.dir/bench_ablation_confidence.cpp.o"
+  "CMakeFiles/bench_ablation_confidence.dir/bench_ablation_confidence.cpp.o.d"
+  "bench_ablation_confidence"
+  "bench_ablation_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

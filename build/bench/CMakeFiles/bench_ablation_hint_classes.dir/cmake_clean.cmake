@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hint_classes.dir/bench_ablation_hint_classes.cpp.o"
+  "CMakeFiles/bench_ablation_hint_classes.dir/bench_ablation_hint_classes.cpp.o.d"
+  "bench_ablation_hint_classes"
+  "bench_ablation_hint_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hint_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wrong_hints.dir/bench_ablation_wrong_hints.cpp.o"
+  "CMakeFiles/bench_ablation_wrong_hints.dir/bench_ablation_wrong_hints.cpp.o.d"
+  "bench_ablation_wrong_hints"
+  "bench_ablation_wrong_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wrong_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

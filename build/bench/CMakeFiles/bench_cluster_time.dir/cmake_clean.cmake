@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_time.dir/bench_cluster_time.cpp.o"
+  "CMakeFiles/bench_cluster_time.dir/bench_cluster_time.cpp.o.d"
+  "bench_cluster_time"
+  "bench_cluster_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_noc_tradeoffs.dir/bench_fig2_noc_tradeoffs.cpp.o"
+  "CMakeFiles/bench_fig2_noc_tradeoffs.dir/bench_fig2_noc_tradeoffs.cpp.o.d"
+  "bench_fig2_noc_tradeoffs"
+  "bench_fig2_noc_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_noc_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

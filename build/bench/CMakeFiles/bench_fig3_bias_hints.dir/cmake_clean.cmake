@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bias_hints.dir/bench_fig3_bias_hints.cpp.o"
+  "CMakeFiles/bench_fig3_bias_hints.dir/bench_fig3_bias_hints.cpp.o.d"
+  "bench_fig3_bias_hints"
+  "bench_fig3_bias_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bias_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

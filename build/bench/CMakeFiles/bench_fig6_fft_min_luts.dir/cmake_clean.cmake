@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fft_min_luts.dir/bench_fig6_fft_min_luts.cpp.o"
+  "CMakeFiles/bench_fig6_fft_min_luts.dir/bench_fig6_fft_min_luts.cpp.o.d"
+  "bench_fig6_fft_min_luts"
+  "bench_fig6_fft_min_luts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fft_min_luts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fft_tput_per_lut.dir/bench_fig7_fft_tput_per_lut.cpp.o"
+  "CMakeFiles/bench_fig7_fft_tput_per_lut.dir/bench_fig7_fft_tput_per_lut.cpp.o.d"
+  "bench_fig7_fft_tput_per_lut"
+  "bench_fig7_fft_tput_per_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fft_tput_per_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

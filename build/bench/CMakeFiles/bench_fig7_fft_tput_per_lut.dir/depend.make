@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_fft_tput_per_lut.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_search.dir/bench_network_search.cpp.o"
+  "CMakeFiles/bench_network_search.dir/bench_network_search.cpp.o.d"
+  "bench_network_search"
+  "bench_network_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

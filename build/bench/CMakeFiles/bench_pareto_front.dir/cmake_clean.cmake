@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pareto_front.dir/bench_pareto_front.cpp.o"
+  "CMakeFiles/bench_pareto_front.dir/bench_pareto_front.cpp.o.d"
+  "bench_pareto_front"
+  "bench_pareto_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pareto_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_analysis.dir/bench_space_analysis.cpp.o"
+  "CMakeFiles/bench_space_analysis.dir/bench_space_analysis.cpp.o.d"
+  "bench_space_analysis"
+  "bench_space_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_ip_hints.dir/custom_ip_hints.cpp.o"
+  "CMakeFiles/custom_ip_hints.dir/custom_ip_hints.cpp.o.d"
+  "custom_ip_hints"
+  "custom_ip_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_ip_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

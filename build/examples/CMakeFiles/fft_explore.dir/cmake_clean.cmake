@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_explore.dir/fft_explore.cpp.o"
+  "CMakeFiles/fft_explore.dir/fft_explore.cpp.o.d"
+  "fft_explore"
+  "fft_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_explore.dir/noc_explore.cpp.o"
+  "CMakeFiles/noc_explore.dir/noc_explore.cpp.o.d"
+  "noc_explore"
+  "noc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/nautilus_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/fitness.cpp" "src/CMakeFiles/nautilus_core.dir/core/fitness.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/fitness.cpp.o.d"
+  "/root/repo/src/core/ga.cpp" "src/CMakeFiles/nautilus_core.dir/core/ga.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/ga.cpp.o.d"
+  "/root/repo/src/core/genome.cpp" "src/CMakeFiles/nautilus_core.dir/core/genome.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/genome.cpp.o.d"
+  "/root/repo/src/core/hint_estimator.cpp" "src/CMakeFiles/nautilus_core.dir/core/hint_estimator.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/hint_estimator.cpp.o.d"
+  "/root/repo/src/core/hints.cpp" "src/CMakeFiles/nautilus_core.dir/core/hints.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/hints.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/CMakeFiles/nautilus_core.dir/core/local_search.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/local_search.cpp.o.d"
+  "/root/repo/src/core/nautilus.cpp" "src/CMakeFiles/nautilus_core.dir/core/nautilus.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/nautilus.cpp.o.d"
+  "/root/repo/src/core/nsga2.cpp" "src/CMakeFiles/nautilus_core.dir/core/nsga2.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/nsga2.cpp.o.d"
+  "/root/repo/src/core/operators.cpp" "src/CMakeFiles/nautilus_core.dir/core/operators.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/operators.cpp.o.d"
+  "/root/repo/src/core/parameter.cpp" "src/CMakeFiles/nautilus_core.dir/core/parameter.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/parameter.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/CMakeFiles/nautilus_core.dir/core/pareto.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/pareto.cpp.o.d"
+  "/root/repo/src/core/random_search.cpp" "src/CMakeFiles/nautilus_core.dir/core/random_search.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/random_search.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/nautilus_core.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/run_stats.cpp" "src/CMakeFiles/nautilus_core.dir/core/run_stats.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/run_stats.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/CMakeFiles/nautilus_core.dir/core/selection.cpp.o" "gcc" "src/CMakeFiles/nautilus_core.dir/core/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

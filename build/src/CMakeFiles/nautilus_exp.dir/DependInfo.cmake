@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/constraint.cpp" "src/CMakeFiles/nautilus_exp.dir/exp/constraint.cpp.o" "gcc" "src/CMakeFiles/nautilus_exp.dir/exp/constraint.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/nautilus_exp.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/nautilus_exp.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/query.cpp" "src/CMakeFiles/nautilus_exp.dir/exp/query.cpp.o" "gcc" "src/CMakeFiles/nautilus_exp.dir/exp/query.cpp.o.d"
+  "/root/repo/src/exp/series.cpp" "src/CMakeFiles/nautilus_exp.dir/exp/series.cpp.o" "gcc" "src/CMakeFiles/nautilus_exp.dir/exp/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_exp.dir/exp/constraint.cpp.o"
+  "CMakeFiles/nautilus_exp.dir/exp/constraint.cpp.o.d"
+  "CMakeFiles/nautilus_exp.dir/exp/experiment.cpp.o"
+  "CMakeFiles/nautilus_exp.dir/exp/experiment.cpp.o.d"
+  "CMakeFiles/nautilus_exp.dir/exp/query.cpp.o"
+  "CMakeFiles/nautilus_exp.dir/exp/query.cpp.o.d"
+  "CMakeFiles/nautilus_exp.dir/exp/series.cpp.o"
+  "CMakeFiles/nautilus_exp.dir/exp/series.cpp.o.d"
+  "libnautilus_exp.a"
+  "libnautilus_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/fft_generator.cpp" "src/CMakeFiles/nautilus_fft.dir/fft/fft_generator.cpp.o" "gcc" "src/CMakeFiles/nautilus_fft.dir/fft/fft_generator.cpp.o.d"
+  "/root/repo/src/fft/fft_kernel.cpp" "src/CMakeFiles/nautilus_fft.dir/fft/fft_kernel.cpp.o" "gcc" "src/CMakeFiles/nautilus_fft.dir/fft/fft_kernel.cpp.o.d"
+  "/root/repo/src/fft/fft_model.cpp" "src/CMakeFiles/nautilus_fft.dir/fft/fft_model.cpp.o" "gcc" "src/CMakeFiles/nautilus_fft.dir/fft/fft_model.cpp.o.d"
+  "/root/repo/src/fft/fft_params.cpp" "src/CMakeFiles/nautilus_fft.dir/fft/fft_params.cpp.o" "gcc" "src/CMakeFiles/nautilus_fft.dir/fft/fft_params.cpp.o.d"
+  "/root/repo/src/fft/fixed_point.cpp" "src/CMakeFiles/nautilus_fft.dir/fft/fixed_point.cpp.o" "gcc" "src/CMakeFiles/nautilus_fft.dir/fft/fixed_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_fft.dir/fft/fft_generator.cpp.o"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_generator.cpp.o.d"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_kernel.cpp.o"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_kernel.cpp.o.d"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_model.cpp.o"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_model.cpp.o.d"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_params.cpp.o"
+  "CMakeFiles/nautilus_fft.dir/fft/fft_params.cpp.o.d"
+  "CMakeFiles/nautilus_fft.dir/fft/fixed_point.cpp.o"
+  "CMakeFiles/nautilus_fft.dir/fft/fixed_point.cpp.o.d"
+  "libnautilus_fft.a"
+  "libnautilus_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/analysis.cpp" "src/CMakeFiles/nautilus_ip.dir/ip/analysis.cpp.o" "gcc" "src/CMakeFiles/nautilus_ip.dir/ip/analysis.cpp.o.d"
+  "/root/repo/src/ip/dataset.cpp" "src/CMakeFiles/nautilus_ip.dir/ip/dataset.cpp.o" "gcc" "src/CMakeFiles/nautilus_ip.dir/ip/dataset.cpp.o.d"
+  "/root/repo/src/ip/ip_generator.cpp" "src/CMakeFiles/nautilus_ip.dir/ip/ip_generator.cpp.o" "gcc" "src/CMakeFiles/nautilus_ip.dir/ip/ip_generator.cpp.o.d"
+  "/root/repo/src/ip/metrics.cpp" "src/CMakeFiles/nautilus_ip.dir/ip/metrics.cpp.o" "gcc" "src/CMakeFiles/nautilus_ip.dir/ip/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_ip.dir/ip/analysis.cpp.o"
+  "CMakeFiles/nautilus_ip.dir/ip/analysis.cpp.o.d"
+  "CMakeFiles/nautilus_ip.dir/ip/dataset.cpp.o"
+  "CMakeFiles/nautilus_ip.dir/ip/dataset.cpp.o.d"
+  "CMakeFiles/nautilus_ip.dir/ip/ip_generator.cpp.o"
+  "CMakeFiles/nautilus_ip.dir/ip/ip_generator.cpp.o.d"
+  "CMakeFiles/nautilus_ip.dir/ip/metrics.cpp.o"
+  "CMakeFiles/nautilus_ip.dir/ip/metrics.cpp.o.d"
+  "libnautilus_ip.a"
+  "libnautilus_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

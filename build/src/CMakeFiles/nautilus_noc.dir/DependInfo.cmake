@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/network_generator.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/network_generator.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/network_generator.cpp.o.d"
+  "/root/repo/src/noc/network_model.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/network_model.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/network_model.cpp.o.d"
+  "/root/repo/src/noc/router_generator.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/router_generator.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/router_generator.cpp.o.d"
+  "/root/repo/src/noc/router_model.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/router_model.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/router_model.cpp.o.d"
+  "/root/repo/src/noc/router_params.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/router_params.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/router_params.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/topology.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/topology.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/CMakeFiles/nautilus_noc.dir/noc/traffic.cpp.o" "gcc" "src/CMakeFiles/nautilus_noc.dir/noc/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

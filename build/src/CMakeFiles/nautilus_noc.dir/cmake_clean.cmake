@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_noc.dir/noc/network_generator.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/network_generator.cpp.o.d"
+  "CMakeFiles/nautilus_noc.dir/noc/network_model.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/network_model.cpp.o.d"
+  "CMakeFiles/nautilus_noc.dir/noc/router_generator.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/router_generator.cpp.o.d"
+  "CMakeFiles/nautilus_noc.dir/noc/router_model.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/router_model.cpp.o.d"
+  "CMakeFiles/nautilus_noc.dir/noc/router_params.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/router_params.cpp.o.d"
+  "CMakeFiles/nautilus_noc.dir/noc/topology.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/topology.cpp.o.d"
+  "CMakeFiles/nautilus_noc.dir/noc/traffic.cpp.o"
+  "CMakeFiles/nautilus_noc.dir/noc/traffic.cpp.o.d"
+  "libnautilus_noc.a"
+  "libnautilus_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

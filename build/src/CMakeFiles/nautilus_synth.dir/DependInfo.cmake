@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/job_queue.cpp" "src/CMakeFiles/nautilus_synth.dir/synth/job_queue.cpp.o" "gcc" "src/CMakeFiles/nautilus_synth.dir/synth/job_queue.cpp.o.d"
+  "/root/repo/src/synth/resources.cpp" "src/CMakeFiles/nautilus_synth.dir/synth/resources.cpp.o" "gcc" "src/CMakeFiles/nautilus_synth.dir/synth/resources.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/CMakeFiles/nautilus_synth.dir/synth/synthesizer.cpp.o" "gcc" "src/CMakeFiles/nautilus_synth.dir/synth/synthesizer.cpp.o.d"
+  "/root/repo/src/synth/tech.cpp" "src/CMakeFiles/nautilus_synth.dir/synth/tech.cpp.o" "gcc" "src/CMakeFiles/nautilus_synth.dir/synth/tech.cpp.o.d"
+  "/root/repo/src/synth/timing.cpp" "src/CMakeFiles/nautilus_synth.dir/synth/timing.cpp.o" "gcc" "src/CMakeFiles/nautilus_synth.dir/synth/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

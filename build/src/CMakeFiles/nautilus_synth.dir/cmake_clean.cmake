@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_synth.dir/synth/job_queue.cpp.o"
+  "CMakeFiles/nautilus_synth.dir/synth/job_queue.cpp.o.d"
+  "CMakeFiles/nautilus_synth.dir/synth/resources.cpp.o"
+  "CMakeFiles/nautilus_synth.dir/synth/resources.cpp.o.d"
+  "CMakeFiles/nautilus_synth.dir/synth/synthesizer.cpp.o"
+  "CMakeFiles/nautilus_synth.dir/synth/synthesizer.cpp.o.d"
+  "CMakeFiles/nautilus_synth.dir/synth/tech.cpp.o"
+  "CMakeFiles/nautilus_synth.dir/synth/tech.cpp.o.d"
+  "CMakeFiles/nautilus_synth.dir/synth/timing.cpp.o"
+  "CMakeFiles/nautilus_synth.dir/synth/timing.cpp.o.d"
+  "libnautilus_synth.a"
+  "libnautilus_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_constraint.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_constraint.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_constraint.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_exp.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_exp.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_exp.cpp.o.d"
+  "/root/repo/tests/test_fft_kernel.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_fft_kernel.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_fft_kernel.cpp.o.d"
+  "/root/repo/tests/test_fft_model.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_fft_model.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_fft_model.cpp.o.d"
+  "/root/repo/tests/test_fitness.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_fitness.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_fitness.cpp.o.d"
+  "/root/repo/tests/test_fixed_point.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/test_ga.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_ga.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_ga.cpp.o.d"
+  "/root/repo/tests/test_ga_features.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_ga_features.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_ga_features.cpp.o.d"
+  "/root/repo/tests/test_genome.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_genome.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_genome.cpp.o.d"
+  "/root/repo/tests/test_hint_estimator.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_hint_estimator.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_hint_estimator.cpp.o.d"
+  "/root/repo/tests/test_hints.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_hints.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_hints.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_job_queue.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_job_queue.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_job_queue.cpp.o.d"
+  "/root/repo/tests/test_local_search.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_local_search.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_local_search.cpp.o.d"
+  "/root/repo/tests/test_metrics_ip.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_metrics_ip.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_metrics_ip.cpp.o.d"
+  "/root/repo/tests/test_nautilus.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_nautilus.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_nautilus.cpp.o.d"
+  "/root/repo/tests/test_nsga2.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_nsga2.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_nsga2.cpp.o.d"
+  "/root/repo/tests/test_operators.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_operators.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_operators.cpp.o.d"
+  "/root/repo/tests/test_parameter.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_parameter.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_parameter.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_random_search.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_random_search.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_random_search.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_run_stats.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_run_stats.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_run_stats.cpp.o.d"
+  "/root/repo/tests/test_selection.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_selection.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_selection.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_topology_network.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_topology_network.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_topology_network.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/nautilus_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/nautilus_tests.dir/test_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nautilus_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nautilus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

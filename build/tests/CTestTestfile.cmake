@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nautilus_tests[1]_include.cmake")
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_noc_explore "/root/repo/build/examples/noc_explore")
+set_tests_properties(smoke_noc_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_fft_explore "/root/repo/build/examples/fft_explore")
+set_tests_properties(smoke_fft_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_custom_ip_hints "/root/repo/build/examples/custom_ip_hints")
+set_tests_properties(smoke_custom_ip_hints PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_constrained_search "/root/repo/build/examples/constrained_search")
+set_tests_properties(smoke_constrained_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_pareto_tradeoffs "/root/repo/build/examples/pareto_tradeoffs")
+set_tests_properties(smoke_pareto_tradeoffs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_cli_fft "/root/repo/build/tools/nautilus_cli" "--ip" "fft" "--metric" "area_luts" "--guidance" "strong" "--runs" "3" "--generations" "15")
+set_tests_properties(smoke_cli_fft PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_cli_estimated "/root/repo/build/tools/nautilus_cli" "--ip" "router" "--metric" "freq_mhz" "--guidance" "estimated" "--runs" "3" "--generations" "15")
+set_tests_properties(smoke_cli_estimated PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;50;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_cli_network "/root/repo/build/tools/nautilus_cli" "--ip" "network" "--runs" "2" "--generations" "10")
+set_tests_properties(smoke_cli_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;53;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_cli_pareto "/root/repo/build/tools/nautilus_cli" "--ip" "fft" "--metric" "area_luts" "--pareto" "throughput_msps" "--generations" "10")
+set_tests_properties(smoke_cli_pareto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")

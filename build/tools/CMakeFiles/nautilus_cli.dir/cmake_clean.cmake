@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_cli.dir/nautilus_cli.cpp.o"
+  "CMakeFiles/nautilus_cli.dir/nautilus_cli.cpp.o.d"
+  "nautilus_cli"
+  "nautilus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
