@@ -1,0 +1,138 @@
+#include "core/batch_evaluator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace nautilus {
+
+// Persistent worker pool.  A batch is published as (item pointer, size,
+// shared index dispenser); workers race to claim indices, so per-item work
+// is distributed dynamically (good when evaluation costs vary widely, as
+// synthesis runtimes do).
+struct BatchEvaluator::Pool {
+    explicit Pool(std::size_t threads)
+    {
+        workers.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            workers.emplace_back([this] { worker_loop(); });
+    }
+
+    ~Pool()
+    {
+        {
+            std::lock_guard lock{mutex};
+            stop = true;
+        }
+        work_ready.notify_all();
+        for (auto& w : workers) w.join();
+    }
+
+    void run(std::size_t count, const std::function<void(std::size_t)>& item)
+    {
+        {
+            std::lock_guard lock{mutex};
+            batch_item = &item;
+            batch_size = count;
+            next.store(0, std::memory_order_relaxed);
+            active = workers.size();
+            error = nullptr;
+            ++batch_id;
+        }
+        work_ready.notify_all();
+        drain(item);  // the caller is a worker too
+        std::unique_lock lock{mutex};
+        batch_done.wait(lock, [this] { return active == 0; });
+        batch_item = nullptr;
+        if (error) std::rethrow_exception(error);
+    }
+
+private:
+    void worker_loop()
+    {
+        std::size_t seen = 0;
+        for (;;) {
+            const std::function<void(std::size_t)>* item = nullptr;
+            {
+                std::unique_lock lock{mutex};
+                work_ready.wait(lock, [&] { return stop || batch_id != seen; });
+                if (stop) return;
+                seen = batch_id;
+                item = batch_item;
+            }
+            drain(*item);
+            {
+                std::lock_guard lock{mutex};
+                if (--active == 0) batch_done.notify_all();
+            }
+        }
+    }
+
+    void drain(const std::function<void(std::size_t)>& item)
+    {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch_size) return;
+            try {
+                item(i);
+            }
+            catch (...) {
+                std::lock_guard lock{mutex};
+                if (!error) error = std::current_exception();
+            }
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable work_ready;
+    std::condition_variable batch_done;
+    std::vector<std::thread> workers;
+    bool stop = false;
+    std::size_t batch_id = 0;
+    const std::function<void(std::size_t)>* batch_item = nullptr;
+    std::size_t batch_size = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t active = 0;
+    std::exception_ptr error;
+};
+
+BatchEvaluator::BatchEvaluator(std::size_t workers) : workers_(std::max<std::size_t>(workers, 1))
+{
+    if (workers_ > 1) pool_ = new Pool{workers_ - 1};
+}
+
+BatchEvaluator::~BatchEvaluator()
+{
+    delete pool_;
+}
+
+void BatchEvaluator::run_batch(std::size_t count,
+                               const std::function<void(std::size_t)>& item)
+{
+    if (count == 0) return;
+    if (pool_ == nullptr || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) item(i);
+        return;
+    }
+    pool_->run(count, item);
+}
+
+void BatchEvaluator::notify_observer(std::span<const Genome> genomes,
+                                     const std::vector<unsigned char>& charged,
+                                     double seconds)
+{
+    if (!observer_) return;
+    std::vector<Genome> fresh;
+    for (std::size_t i = 0; i < genomes.size(); ++i)
+        if (charged[i]) fresh.push_back(genomes[i]);
+    // Which duplicate index "wins" the in-flight race varies with thread
+    // scheduling; sorting by key makes the reported set order deterministic.
+    std::sort(fresh.begin(), fresh.end(),
+              [](const Genome& a, const Genome& b) { return a.key() < b.key(); });
+    observer_(fresh, seconds);
+}
+
+}  // namespace nautilus

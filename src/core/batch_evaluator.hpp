@@ -1,0 +1,104 @@
+#pragma once
+// Parallel batch evaluation of design points.
+//
+// The paper's cost model is explicitly parallel: each design point costs
+// "minutes to hours" of CAD runtime, the characterization cluster ran "200+
+// cores ... for about 2 weeks", and "the population size effectively caps
+// the available parallelism during the evaluation phase" (section 2).
+// BatchEvaluator is the in-process analogue of that cluster: a persistent
+// thread pool that fans one generation's evaluations out across workers
+// while all genetic randomness stays in the caller's breeding loop.
+//
+// Determinism contract: results are bit-for-bit independent of the worker
+// count.  Only the evaluation of already-chosen genomes is parallelized;
+// which genomes get evaluated, and in what logical order results are
+// consumed, is decided single-threaded by the engine.  Combined with
+// BasicCachingEvaluator's in-flight deduplication, distinct_evaluations()
+// is identical to a serial run (see DESIGN.md, "Evaluation pipeline").
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/genome.hpp"
+
+namespace nautilus {
+
+// Called after every batch with the genomes that were freshly evaluated in
+// that batch (cache misses only, sorted by genome key so the order is
+// thread-schedule independent) and the measured wall-clock seconds the
+// batch took.  Used to drive a simulated synthesis cluster alongside the
+// real pool (bench drivers feed synth::SynthesisCluster::run_batch).
+using BatchObserver = std::function<void(std::span<const Genome> fresh, double wall_seconds)>;
+
+class BatchEvaluator {
+public:
+    // `workers` is the total evaluation concurrency; the calling thread
+    // participates, so `workers - 1` pool threads are spawned.  0 or 1 means
+    // fully serial (no threads, no locking on the hot path).
+    explicit BatchEvaluator(std::size_t workers = 1);
+    ~BatchEvaluator();
+
+    BatchEvaluator(const BatchEvaluator&) = delete;
+    BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+
+    std::size_t workers() const { return workers_; }
+
+    void set_observer(BatchObserver observer) { observer_ = std::move(observer); }
+
+    // Evaluate genomes[i] into out[i] through the shared cache.  Duplicate
+    // genomes within the batch are computed once (in-flight dedup).  Blocks
+    // until the whole batch is done; exceptions from the evaluation function
+    // are rethrown here after the batch drains.
+    template <typename Value>
+    void evaluate(BasicCachingEvaluator<Value>& evaluator, std::span<const Genome> genomes,
+                  std::span<Value> out)
+    {
+        if (out.size() < genomes.size())
+            throw std::invalid_argument("BatchEvaluator::evaluate: output span too small");
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<unsigned char> charged(genomes.size(), 0);
+        run_batch(genomes.size(), [&](std::size_t i) {
+            bool fresh = false;
+            out[i] = evaluator.evaluate(genomes[i], &fresh);
+            charged[i] = fresh ? 1 : 0;
+        });
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        eval_seconds_ += seconds;
+        notify_observer(genomes, charged, seconds);
+    }
+
+    template <typename Value>
+    std::vector<Value> evaluate(BasicCachingEvaluator<Value>& evaluator,
+                                std::span<const Genome> genomes)
+    {
+        std::vector<Value> out(genomes.size());
+        evaluate(evaluator, genomes, std::span<Value>{out});
+        return out;
+    }
+
+    // Cumulative measured wall-clock spent inside evaluate() calls.
+    double eval_seconds() const { return eval_seconds_; }
+    void reset_timing() { eval_seconds_ = 0.0; }
+
+private:
+    struct Pool;  // persistent worker threads (absent when workers <= 1)
+
+    // Run item(0..count-1) across the pool; the caller participates.  The
+    // first exception thrown by any item is rethrown once all items finish.
+    void run_batch(std::size_t count, const std::function<void(std::size_t)>& item);
+
+    void notify_observer(std::span<const Genome> genomes,
+                         const std::vector<unsigned char>& charged, double seconds);
+
+    std::size_t workers_;
+    Pool* pool_ = nullptr;
+    BatchObserver observer_;
+    double eval_seconds_ = 0.0;
+};
+
+}  // namespace nautilus

@@ -1,30 +1,8 @@
 #include "core/evaluator.hpp"
 
-#include <stdexcept>
-
 namespace nautilus {
 
-CachingEvaluator::CachingEvaluator(EvalFn fn) : fn_(std::move(fn))
-{
-    if (!fn_) throw std::invalid_argument("CachingEvaluator: null evaluation function");
-}
-
-Evaluation CachingEvaluator::evaluate(const Genome& genome)
-{
-    ++calls_;
-    auto it = cache_.find(genome);
-    if (it != cache_.end()) return it->second;
-    const Evaluation result = fn_(genome);
-    cache_.emplace(genome, result);
-    ++distinct_;
-    return result;
-}
-
-void CachingEvaluator::clear()
-{
-    cache_.clear();
-    distinct_ = 0;
-    calls_ = 0;
-}
+// The common single-objective instantiation, compiled once here.
+template class BasicCachingEvaluator<Evaluation>;
 
 }  // namespace nautilus

@@ -6,9 +6,21 @@
 // previously synthesized configuration the result is free (section 4.2,
 // Fig. 4 caption).  CachingEvaluator implements exactly this accounting: it
 // memoizes results by genome and charges only cache misses.
+//
+// The evaluator is thread-safe with in-flight deduplication: concurrent
+// requests for the same unevaluated genome produce exactly one call to the
+// underlying evaluation function and exactly one charged distinct
+// evaluation; the losers block until the winner publishes the result.  This
+// is the contract the BatchEvaluator thread pool relies on to keep parallel
+// runs' distinct_evaluations() identical to serial runs (DESIGN.md,
+// "Evaluation pipeline").
 
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "core/fitness.hpp"
@@ -20,27 +32,96 @@ namespace nautilus {
 // model or looks up an offline dataset.  Must be deterministic per genome.
 using EvalFn = std::function<Evaluation(const Genome&)>;
 
-class CachingEvaluator {
+// Memoizing, thread-safe evaluator over an arbitrary result type.  The
+// single-objective engines use CachingEvaluator (= Evaluation results); the
+// NSGA-II engine instantiates it with optional objective vectors.
+template <typename Value>
+class BasicCachingEvaluator {
 public:
-    explicit CachingEvaluator(EvalFn fn);
+    using Fn = std::function<Value(const Genome&)>;
+
+    explicit BasicCachingEvaluator(Fn fn) : fn_(std::move(fn))
+    {
+        if (!fn_)
+            throw std::invalid_argument("CachingEvaluator: null evaluation function");
+    }
+
+    BasicCachingEvaluator(const BasicCachingEvaluator&) = delete;
+    BasicCachingEvaluator& operator=(const BasicCachingEvaluator&) = delete;
 
     // Returns the memoized evaluation, computing (and charging) on miss.
-    Evaluation evaluate(const Genome& genome);
+    // Safe to call from several threads; a genome in flight on another
+    // thread is awaited, not recomputed.  If `charged` is non-null it
+    // reports whether *this* call performed the underlying evaluation.
+    Value evaluate(const Genome& genome, bool* charged = nullptr)
+    {
+        if (charged) *charged = false;
+        std::unique_lock lock{mutex_};
+        ++calls_;
+        for (;;) {
+            auto it = cache_.find(genome);
+            if (it == cache_.end()) break;  // miss: this thread computes
+            if (it->second) return *it->second;
+            // In flight on another thread.  Wait; the slot is erased if that
+            // thread's evaluation throws, in which case we retry the miss.
+            ready_.wait(lock);
+        }
+        cache_.emplace(genome, std::nullopt);
+        ++distinct_;
+        if (charged) *charged = true;
+        lock.unlock();
+        Value result;
+        try {
+            result = fn_(genome);
+        }
+        catch (...) {
+            lock.lock();
+            cache_.erase(genome);
+            --distinct_;
+            if (charged) *charged = false;
+            ready_.notify_all();
+            throw;
+        }
+        lock.lock();
+        cache_[genome] = result;
+        ready_.notify_all();
+        return result;
+    }
 
     // Number of cache misses == synthesis jobs the paper counts.
-    std::size_t distinct_evaluations() const { return distinct_; }
+    std::size_t distinct_evaluations() const
+    {
+        std::lock_guard lock{mutex_};
+        return distinct_;
+    }
 
     // All evaluate() calls including cache hits.
-    std::size_t total_calls() const { return calls_; }
+    std::size_t total_calls() const
+    {
+        std::lock_guard lock{mutex_};
+        return calls_;
+    }
 
-    // Forget everything (fresh query on the same IP).
-    void clear();
+    // Forget everything (fresh query on the same IP).  Must not race with
+    // in-flight evaluate() calls.
+    void clear()
+    {
+        std::lock_guard lock{mutex_};
+        cache_.clear();
+        distinct_ = 0;
+        calls_ = 0;
+    }
 
 private:
-    EvalFn fn_;
-    std::unordered_map<Genome, Evaluation, GenomeHash> cache_;
+    Fn fn_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    // nullopt marks an in-flight evaluation (claimed but not yet published).
+    std::unordered_map<Genome, std::optional<Value>, GenomeHash> cache_;
     std::size_t distinct_ = 0;
     std::size_t calls_ = 0;
 };
+
+using CachingEvaluator = BasicCachingEvaluator<Evaluation>;
 
 }  // namespace nautilus

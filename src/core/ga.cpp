@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 namespace nautilus {
@@ -22,6 +23,8 @@ void GaConfig::validate() const
         throw std::invalid_argument("GaConfig: rank_pressure out of [1, 2]");
     if (selection.tournament_size == 0)
         throw std::invalid_argument("GaConfig: tournament_size must be >= 1");
+    if (eval_workers == 0)
+        throw std::invalid_argument("GaConfig: eval_workers must be >= 1");
 }
 
 void GaEngine::seed_population(std::vector<Genome> seeds)
@@ -57,6 +60,8 @@ RunResult GaEngine::run(std::uint64_t seed) const
 {
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
+    BatchEvaluator batch_eval{config_.eval_workers};
+    batch_eval.set_observer(config_.eval_observer);
     const FitnessMapper mapper{direction_};
 
     std::vector<Genome> population;
@@ -75,11 +80,10 @@ RunResult GaEngine::run(std::uint64_t seed) const
     std::size_t stall = 0;
 
     for (std::size_t gen = 0; gen < config_.generations; ++gen) {
-        // --- Evaluate ---------------------------------------------------
-        for (std::size_t i = 0; i < population.size(); ++i) {
-            evals[i] = evaluator.evaluate(population[i]);
+        // --- Evaluate (fans out across the worker pool) -------------------
+        batch_eval.evaluate(evaluator, population, std::span<Evaluation>{evals});
+        for (std::size_t i = 0; i < population.size(); ++i)
             fitness[i] = mapper.fitness(evals[i]);
-        }
 
         // --- Record statistics ------------------------------------------
         GenerationStats stats;
@@ -170,6 +174,8 @@ RunResult GaEngine::run(std::uint64_t seed) const
     }
 
     result.distinct_evals = evaluator.distinct_evaluations();
+    result.eval_seconds = batch_eval.eval_seconds();
+    result.eval_workers = batch_eval.workers();
     return result;
 }
 

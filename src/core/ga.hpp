@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_evaluator.hpp"
 #include "core/evaluator.hpp"
 #include "core/fitness.hpp"
 #include "core/genome.hpp"
@@ -42,6 +43,15 @@ struct GaConfig {
     // improvement (0 = run all generations).
     std::size_t stall_generations = 0;
 
+    // Threads evaluating each generation concurrently (1 = serial).  The
+    // population size caps the useful parallelism (paper section 2); results
+    // are bit-for-bit identical for any worker count.
+    std::size_t eval_workers = 1;
+    // Invoked after each generation's evaluation batch with the freshly
+    // evaluated genomes and the measured wall-clock -- e.g. to drive a
+    // simulated synth::SynthesisCluster alongside the real pool.
+    BatchObserver eval_observer;
+
     void validate() const;  // throws std::invalid_argument on bad settings
 };
 
@@ -63,6 +73,8 @@ struct RunResult {
     Curve curve;  // best-so-far vs distinct evaluations
     bool hit_target = false;     // stopped because target_value was reached
     bool stalled = false;        // stopped by the stall_generations criterion
+    double eval_seconds = 0.0;   // measured wall-clock spent evaluating
+    std::size_t eval_workers = 1;  // parallelism the run evaluated with
 
     RunResult() : curve(Direction::maximize) {}
     explicit RunResult(Direction dir) : curve(dir) {}

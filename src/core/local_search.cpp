@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <vector>
+
+#include "core/batch_evaluator.hpp"
 
 namespace nautilus {
 
@@ -43,6 +47,8 @@ void AnnealingConfig::validate() const
         throw std::invalid_argument("AnnealingConfig: mutation_rate out of (0, 1]");
     if (initial_temperature < 0.0)
         throw std::invalid_argument("AnnealingConfig: negative initial temperature");
+    if (eval_workers == 0)
+        throw std::invalid_argument("AnnealingConfig: eval_workers must be >= 1");
 }
 
 SimulatedAnnealing::SimulatedAnnealing(const ParameterSpace& space, AnnealingConfig config,
@@ -61,6 +67,13 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
 {
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
+    BatchEvaluator batch_eval{config_.eval_workers};
+    const auto evaluate = [&](const Genome& g) {
+        Evaluation out;
+        batch_eval.evaluate(evaluator, std::span<const Genome>{&g, 1},
+                            std::span<Evaluation>{&out, 1});
+        return out;
+    };
     const FitnessMapper mapper{direction_};
     Curve curve{direction_};
 
@@ -71,38 +84,46 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
 
     // Start from a feasible random point (bounded retries).
     Genome current = Genome::random(space_, rng);
-    Evaluation current_eval = evaluator.evaluate(current);
+    Evaluation current_eval = evaluate(current);
     for (int tries = 0;
          !current_eval.feasible && tries < 200 &&
          evaluator.distinct_evaluations() < config_.max_distinct_evals;
          ++tries) {
         current = Genome::random(space_, rng);
-        current_eval = evaluator.evaluate(current);
+        current_eval = evaluate(current);
     }
     if (!current_eval.feasible) return curve;
 
     double best = current_eval.value;
     curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
 
-    // Auto temperature: a few probe moves estimate the cost scale.
+    // Auto temperature: a few probe moves estimate the cost scale.  The
+    // probe chain is built single-threaded (mutation only consumes rng),
+    // then evaluated as one concurrent batch; each probe adds at most one
+    // distinct evaluation so the wave never overshoots the budget.
     double temperature = config_.initial_temperature;
     if (temperature == 0.0) {
         double spread = 0.0;
+        const std::size_t remaining =
+            config_.max_distinct_evals - evaluator.distinct_evaluations();
+        std::vector<Genome> probes;
         Genome probe = current;
-        for (int i = 0;
-             i < 8 && evaluator.distinct_evaluations() < config_.max_distinct_evals; ++i) {
+        for (std::size_t i = 0; i < std::min<std::size_t>(8, remaining); ++i) {
             probe = propose(probe, ctx, rng);
-            const Evaluation e = evaluator.evaluate(probe);
+            probes.push_back(probe);
+        }
+        std::vector<Evaluation> probe_evals(probes.size());
+        batch_eval.evaluate(evaluator, probes, std::span<Evaluation>{probe_evals});
+        for (const Evaluation& e : probe_evals)
             if (e.feasible)
                 spread = std::max(spread, std::abs(e.value - current_eval.value));
-        }
         temperature = spread > 0.0 ? spread : std::abs(best) * 0.1 + 1.0;
     }
 
     std::size_t step = 0;
     while (evaluator.distinct_evaluations() < config_.max_distinct_evals) {
         const Genome candidate = propose(current, ctx, rng);
-        const Evaluation cand_eval = evaluator.evaluate(candidate);
+        const Evaluation cand_eval = evaluate(candidate);
         const double delta = mapper.fitness(cand_eval) - mapper.fitness(current_eval);
         const bool accept =
             delta >= 0.0 ||
@@ -141,6 +162,8 @@ void HillClimbConfig::validate() const
     if (patience == 0) throw std::invalid_argument("HillClimbConfig: patience must be >= 1");
     if (mutation_rate <= 0.0 || mutation_rate > 1.0)
         throw std::invalid_argument("HillClimbConfig: mutation_rate out of (0, 1]");
+    if (eval_workers == 0)
+        throw std::invalid_argument("HillClimbConfig: eval_workers must be >= 1");
 }
 
 HillClimber::HillClimber(const ParameterSpace& space, HillClimbConfig config,
@@ -159,6 +182,13 @@ Curve HillClimber::run(std::uint64_t seed) const
 {
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
+    BatchEvaluator batch_eval{config_.eval_workers};
+    const auto evaluate = [&](const Genome& g) {
+        Evaluation out;
+        batch_eval.evaluate(evaluator, std::span<const Genome>{&g, 1},
+                            std::span<Evaluation>{&out, 1});
+        return out;
+    };
     Curve curve{direction_};
 
     MutationContext ctx;
@@ -170,7 +200,7 @@ Curve HillClimber::run(std::uint64_t seed) const
     bool have_best = false;
 
     Genome current = Genome::random(space_, rng);
-    Evaluation current_eval = evaluator.evaluate(current);
+    Evaluation current_eval = evaluate(current);
     std::size_t stale = 0;
 
     auto note = [&](const Evaluation& e) {
@@ -186,13 +216,13 @@ Curve HillClimber::run(std::uint64_t seed) const
     while (evaluator.distinct_evaluations() < config_.max_distinct_evals) {
         if (stale >= config_.patience || !current_eval.feasible) {
             current = Genome::random(space_, rng);
-            current_eval = evaluator.evaluate(current);
+            current_eval = evaluate(current);
             note(current_eval);
             stale = 0;
             continue;
         }
         const Genome candidate = propose(current, ctx, rng);
-        const Evaluation cand_eval = evaluator.evaluate(candidate);
+        const Evaluation cand_eval = evaluate(candidate);
         if (cand_eval.feasible &&
             no_worse(cand_eval.value, current_eval.value, direction_)) {
             const bool strictly =

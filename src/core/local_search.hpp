@@ -26,6 +26,10 @@ struct AnnealingConfig {
     std::size_t steps_per_temperature = 10;
     double mutation_rate = 0.4;            // per-gene proposal probability
     std::uint64_t seed = 11;
+    // Threads for batched evaluations (temperature probes); the accept/
+    // reject walk itself is inherently sequential.  Results are identical
+    // for any worker count.
+    std::size_t eval_workers = 1;
 
     void validate() const;
 };
@@ -54,6 +58,9 @@ struct HillClimbConfig {
     std::size_t patience = 40;
     double mutation_rate = 0.3;
     std::uint64_t seed = 13;
+    // Threads for the shared evaluation pipeline; the greedy walk evaluates
+    // one candidate at a time, so this mainly standardizes accounting.
+    std::size_t eval_workers = 1;
 
     void validate() const;
 };

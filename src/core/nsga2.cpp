@@ -4,7 +4,9 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "core/batch_evaluator.hpp"
+#include "core/evaluator.hpp"
 
 namespace nautilus {
 
@@ -18,6 +20,8 @@ void MultiObjectiveConfig::validate() const
         throw std::invalid_argument("MultiObjectiveConfig: mutation_rate out of [0, 1]");
     if (crossover_rate < 0.0 || crossover_rate > 1.0)
         throw std::invalid_argument("MultiObjectiveConfig: crossover_rate out of [0, 1]");
+    if (eval_workers == 0)
+        throw std::invalid_argument("MultiObjectiveConfig: eval_workers must be >= 1");
 }
 
 std::vector<std::vector<std::size_t>> non_dominated_sort(
@@ -107,20 +111,17 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
 {
     Rng rng{seed};
 
-    // Memoized evaluation with distinct counting (the paper's cost model).
-    std::unordered_map<Genome, std::optional<std::vector<double>>, GenomeHash> cache;
-    std::size_t distinct = 0;
-    auto evaluate = [&](const Genome& g) -> const std::optional<std::vector<double>>& {
-        auto it = cache.find(g);
-        if (it == cache.end()) {
-            auto values = eval_(g);
-            if (values && values->size() != directions_.size())
-                throw std::runtime_error("Nsga2Engine: objective arity mismatch");
-            it = cache.emplace(g, std::move(values)).first;
-            ++distinct;
-        }
-        return it->second;
-    };
+    // Memoized evaluation with distinct counting (the paper's cost model),
+    // fanned out across the worker pool one wave at a time.
+    using MultiValue = std::optional<std::vector<double>>;
+    BasicCachingEvaluator<MultiValue> evaluator{[this](const Genome& g) {
+        MultiValue values = eval_(g);
+        if (values && values->size() != directions_.size())
+            throw std::runtime_error("Nsga2Engine: objective arity mismatch");
+        return values;
+    }};
+    BatchEvaluator batch_eval{config_.eval_workers};
+    std::vector<MultiValue> wave_values;
 
     struct Member {
         Genome genome;
@@ -137,17 +138,25 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
         return pts;
     };
 
-    // Initial population (feasible members only; bounded resampling).
+    // Initial population (feasible members only; bounded resampling).  Waves
+    // are sized by the remaining need so the draw sequence is identical to a
+    // serial run while each wave evaluates concurrently.
     std::vector<Member> population;
     std::size_t draws = 0;
-    while (population.size() < config_.population_size &&
-           draws < config_.population_size * 50) {
-        ++draws;
-        Genome g = Genome::random(space_, rng);
-        const auto& values = evaluate(g);
-        if (values) population.push_back({std::move(g), *values});
+    const std::size_t draw_cap = config_.population_size * 50;
+    std::vector<Genome> wave;
+    while (population.size() < config_.population_size && draws < draw_cap) {
+        const std::size_t chunk =
+            std::min(config_.population_size - population.size(), draw_cap - draws);
+        wave.clear();
+        for (std::size_t i = 0; i < chunk; ++i) wave.push_back(Genome::random(space_, rng));
+        draws += chunk;
+        wave_values.assign(chunk, MultiValue{});
+        batch_eval.evaluate(evaluator, wave, std::span<MultiValue>{wave_values});
+        for (std::size_t i = 0; i < chunk; ++i)
+            if (wave_values[i]) population.push_back({wave[i], *wave_values[i]});
     }
-    if (population.size() < 4) return {{}, distinct};
+    if (population.size() < 4) return {{}, evaluator.distinct_evaluations()};
     for (const Member& m : population) archive.push_back(m);
 
     MutationContext ctx;
@@ -180,24 +189,38 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
         };
 
         // Breed offspring (bounded attempts so sparse spaces terminate).
+        // All randomness happens single-threaded while breeding a wave of
+        // child pairs; only the evaluations fan out, so the run is
+        // deterministic and independent of the worker count.
         std::vector<Member> offspring;
         offspring.reserve(config_.population_size);
         std::size_t attempts = 0;
-        while (offspring.size() < config_.population_size &&
-               attempts++ < config_.population_size * 50) {
-            Genome child_a = select().genome;
-            Genome child_b = select().genome;
-            if (rng.bernoulli(config_.crossover_rate)) {
-                auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
-                child_a = std::move(xa);
-                child_b = std::move(xb);
+        const std::size_t attempt_cap = config_.population_size * 50;
+        std::vector<Genome> brood;
+        while (offspring.size() < config_.population_size && attempts < attempt_cap) {
+            const std::size_t need = config_.population_size - offspring.size();
+            const std::size_t pairs = std::min((need + 1) / 2, attempt_cap - attempts);
+            attempts += pairs;
+            brood.clear();
+            for (std::size_t p = 0; p < pairs; ++p) {
+                Genome child_a = select().genome;
+                Genome child_b = select().genome;
+                if (rng.bernoulli(config_.crossover_rate)) {
+                    auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
+                    child_a = std::move(xa);
+                    child_b = std::move(xb);
+                }
+                mutate(child_a, ctx, rng);
+                mutate(child_b, ctx, rng);
+                brood.push_back(std::move(child_a));
+                brood.push_back(std::move(child_b));
             }
-            for (Genome* child : {&child_a, &child_b}) {
+            wave_values.assign(brood.size(), MultiValue{});
+            batch_eval.evaluate(evaluator, brood, std::span<MultiValue>{wave_values});
+            for (std::size_t i = 0; i < brood.size(); ++i) {
                 if (offspring.size() >= config_.population_size) break;
-                mutate(*child, ctx, rng);
-                const auto& values = evaluate(*child);
-                if (values) {
-                    offspring.push_back({*child, *values});
+                if (wave_values[i]) {
+                    offspring.push_back({brood[i], *wave_values[i]});
                     archive.push_back(offspring.back());
                 }
             }
@@ -238,7 +261,7 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
     const auto front_idx = pareto_front(archive_points, directions_);
 
     MultiObjectiveResult result;
-    result.distinct_evals = distinct;
+    result.distinct_evals = evaluator.distinct_evaluations();
     result.front.reserve(front_idx.size());
     for (std::size_t idx : front_idx)
         result.front.push_back({archive[idx].genome, archive[idx].values});

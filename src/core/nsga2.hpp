@@ -33,6 +33,9 @@ struct MultiObjectiveConfig {
     double crossover_rate = 0.9;
     CrossoverKind crossover = CrossoverKind::single_point;
     std::uint64_t seed = 1;
+    // Threads evaluating each brood/initialization wave concurrently
+    // (1 = serial); results are identical for any worker count.
+    std::size_t eval_workers = 1;
 
     void validate() const;
 };

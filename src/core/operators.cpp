@@ -220,9 +220,12 @@ std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverK
         break;
     }
     case CrossoverKind::two_point: {
+        // First cut in [1, n-1], second in [1, n]: swap_range is half-open,
+        // so the second cut must reach n for the last gene to be
+        // exchangeable (q = n swaps the tail [p, n) including gene n-1).
         if (n > 1) {
             std::size_t p = 1 + rng.index(n - 1);
-            std::size_t q = 1 + rng.index(n - 1);
+            std::size_t q = 1 + rng.index(n);
             if (p > q) std::swap(p, q);
             swap_range(p, q);
         }

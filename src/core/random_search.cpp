@@ -1,7 +1,12 @@
 #include "core/random_search.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <unordered_set>
+#include <vector>
 
+#include "core/batch_evaluator.hpp"
 #include "core/genome.hpp"
 
 namespace nautilus {
@@ -20,25 +25,39 @@ Curve RandomSearch::run(std::uint64_t seed) const
 {
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
+    BatchEvaluator batch_eval{config_.eval_workers};
     Curve curve{direction_};
     double best = worst_value(direction_);
     bool have_best = false;
 
+    // Draws are issued in waves sized by the remaining distinct budget, so a
+    // wave can never overshoot it and the draw sequence matches the serial
+    // one exactly (each wave's size depends only on earlier waves' results).
     // Bound total draws so tiny spaces (where every point is soon cached)
     // terminate even if the distinct budget exceeds the space size.
     const std::size_t max_draws = config_.max_distinct_evals * 50;
-    for (std::size_t draw = 0;
-         draw < max_draws && evaluator.distinct_evaluations() < config_.max_distinct_evals;
-         ++draw) {
-        const Genome g = Genome::random(space_, rng);
-        const std::size_t before = evaluator.distinct_evaluations();
-        const Evaluation e = evaluator.evaluate(g);
-        if (evaluator.distinct_evaluations() == before) continue;  // revisit, free
-        if (!e.feasible) continue;
-        if (!have_best || no_worse(e.value, best, direction_)) {
-            best = better_of(e.value, best, direction_);
-            have_best = true;
-            curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
+    std::size_t draws = 0;
+    std::size_t distinct = 0;  // tracks evaluator state in draw order
+    std::unordered_set<Genome, GenomeHash> seen;
+    std::vector<Genome> wave;
+    std::vector<Evaluation> evals;
+    while (draws < max_draws && distinct < config_.max_distinct_evals) {
+        const std::size_t chunk =
+            std::min(config_.max_distinct_evals - distinct, max_draws - draws);
+        wave.clear();
+        for (std::size_t i = 0; i < chunk; ++i) wave.push_back(Genome::random(space_, rng));
+        draws += chunk;
+        evals.assign(chunk, Evaluation{});
+        batch_eval.evaluate(evaluator, wave, std::span<Evaluation>{evals});
+        for (std::size_t i = 0; i < chunk; ++i) {
+            if (!seen.insert(wave[i]).second) continue;  // revisit, free
+            ++distinct;
+            if (!evals[i].feasible) continue;
+            if (!have_best || no_worse(evals[i].value, best, direction_)) {
+                best = better_of(evals[i].value, best, direction_);
+                have_best = true;
+                curve.append(static_cast<double>(distinct), best);
+            }
         }
     }
     return curve;

@@ -19,6 +19,9 @@ namespace nautilus {
 struct RandomSearchConfig {
     std::size_t max_distinct_evals = 800;
     std::uint64_t seed = 7;
+    // Threads evaluating each wave of draws concurrently (1 = serial).  The
+    // draw sequence and result curve are identical for any worker count.
+    std::size_t eval_workers = 1;
 };
 
 class RandomSearch {

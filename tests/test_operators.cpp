@@ -391,6 +391,52 @@ TEST(Crossover, UniformMixesBothParents)
     EXPECT_GT(mixed, 90);
 }
 
+TEST(Crossover, EveryGeneIndexExchangedWithNonzeroFrequency)
+{
+    // Regression for the two-point bug: the second cut used to be capped at
+    // n-1, and since swap_range is half-open the last gene could never be
+    // exchanged.  With the fix every classic cut pair is reachable, so every
+    // swappable index must be hit with roughly its expected frequency.
+    Rng rng{11};
+    constexpr std::size_t n = 6;
+    constexpr int trials = 4000;
+    const Genome a{{0, 0, 0, 0, 0, 0}};
+    const Genome b{{1, 1, 1, 1, 1, 1}};
+    for (auto kind : {CrossoverKind::single_point, CrossoverKind::two_point,
+                      CrossoverKind::uniform}) {
+        std::vector<int> swapped(n, 0);
+        for (int t = 0; t < trials; ++t) {
+            const auto [ca, cb] = crossover(a, b, kind, rng);
+            for (std::size_t i = 0; i < n; ++i)
+                if (ca.gene(i) != a.gene(i)) ++swapped[i];
+        }
+        // The point crossovers keep index 0 with its parent by construction
+        // (cuts start at 1); uniform can exchange any index.
+        const std::size_t first = kind == CrossoverKind::uniform ? 0 : 1;
+        for (std::size_t i = first; i < n; ++i)
+            EXPECT_GT(swapped[i], trials / 50)
+                << crossover_name(kind) << " never/rarely exchanges gene " << i;
+    }
+}
+
+TEST(Crossover, TwoPointLastGeneMatchesExpectedRate)
+{
+    // With p uniform on [1, n-1] and q uniform on [1, n], the last gene
+    // swaps iff max(p, q) == n, i.e. q == n: probability 1/n.
+    Rng rng{12};
+    constexpr std::size_t n = 5;
+    constexpr int trials = 20000;
+    const Genome a{{0, 0, 0, 0, 0}};
+    const Genome b{{1, 1, 1, 1, 1}};
+    int last_swapped = 0;
+    for (int t = 0; t < trials; ++t) {
+        const auto [ca, cb] = crossover(a, b, CrossoverKind::two_point, rng);
+        if (ca.gene(n - 1) != 0) ++last_swapped;
+    }
+    const double rate = last_swapped / static_cast<double>(trials);
+    EXPECT_NEAR(rate, 1.0 / n, 0.02);
+}
+
 TEST(Crossover, NamesAreStable)
 {
     EXPECT_STREQ(crossover_name(CrossoverKind::single_point), "single_point");

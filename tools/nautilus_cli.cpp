@@ -15,6 +15,8 @@
 //   --generations N             GA generations (default 80)
 //   --population N              GA population (default 10)
 //   --seed N                    experiment seed (default 2015)
+//   --workers N                 threads for population evaluation (default 1;
+//                               results are identical for any worker count)
 //   --samples N                 estimation samples for --guidance estimated
 //   --sensitivity               print the dataset sensitivity report instead
 //                               of searching (enumerates the space)
@@ -53,6 +55,7 @@ struct CliOptions {
     std::size_t generations = 80;
     std::size_t population = 10;
     std::uint64_t seed = 2015;
+    std::size_t workers = 1;
     std::size_t samples = 80;
     bool sensitivity = false;
     std::string save_dataset;
@@ -66,7 +69,7 @@ struct CliOptions {
                  "usage: %s [--ip router|fft|network] [--metric NAME]\n"
                  "          [--direction min|max] [--guidance none|weak|strong|estimated]\n"
                  "          [--runs N] [--generations N] [--population N] [--seed N]\n"
-                 "          [--samples N] [--sensitivity] [--save-dataset PATH]\n"
+                 "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
                  "          [--dataset PATH] [--pareto METRIC2]\n",
                  argv0);
     std::exit(2);
@@ -89,6 +92,7 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--generations") opt.generations = std::stoul(need_value(i));
         else if (arg == "--population") opt.population = std::stoul(need_value(i));
         else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+        else if (arg == "--workers") opt.workers = std::stoul(need_value(i));
         else if (arg == "--samples") opt.samples = std::stoul(need_value(i));
         else if (arg == "--sensitivity") opt.sensitivity = true;
         else if (arg == "--save-dataset") opt.save_dataset = need_value(i);
@@ -99,6 +103,10 @@ CliOptions parse(int argc, char** argv)
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
         }
+    }
+    if (opt.workers == 0) {
+        std::fprintf(stderr, "--workers must be at least 1\n");
+        usage(argv[0]);
     }
     return opt;
 }
@@ -187,6 +195,7 @@ int main(int argc, char** argv)
         MultiObjectiveConfig mo;
         mo.generations = opt.generations;
         mo.seed = opt.seed;
+        mo.eval_workers = opt.workers;
         const Nsga2Engine engine{generator->space(), mo, dirs, eval,
                                  HintSet::none(generator->space())};
         const auto result = engine.run();
@@ -204,6 +213,7 @@ int main(int argc, char** argv)
     cfg.ga.generations = opt.generations;
     cfg.ga.population_size = opt.population;
     cfg.ga.seed = opt.seed;
+    cfg.ga.eval_workers = opt.workers;
 
     const exp::Query query = exp::Query::simple(
         std::string(direction_name(direction)) + " " + ip::metric_name(metric), metric,
