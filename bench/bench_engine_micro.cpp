@@ -7,7 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <memory>
+
 #include "core/ga.hpp"
+#include "obs/obs.hpp"
 #include "core/nautilus.hpp"
 #include "fft/fft_generator.hpp"
 #include "fft/fft_kernel.hpp"
@@ -123,6 +127,42 @@ void bm_full_ga_run(benchmark::State& state)
     for (auto _ : state) benchmark::DoNotOptimize(engine.run(seed++));
 }
 BENCHMARK(bm_full_ga_run);
+
+// Serializes events like a real sink but discards them, so the benchmark
+// measures event construction + serialization without filesystem noise.
+class CountingSink final : public obs::TraceSink {
+public:
+    void write(const obs::TraceEvent& event) override
+    {
+        benchmark::DoNotOptimize(obs::to_jsonl(event));
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+};
+
+// Same workload as bm_full_ga_run with tracing enabled.  The overhead budget
+// (DESIGN.md section 7) requires bm_full_ga_run itself to stay within 2% of
+// its pre-observability baseline; this variant documents the traced cost.
+void bm_full_ga_run_traced(benchmark::State& state)
+{
+    const auto space = bench_space();
+    const EvalFn eval = [](const Genome& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+        return Evaluation{true, v};
+    };
+    GaConfig cfg;
+    cfg.generations = 80;
+    cfg.obs = obs::Instrumentation::with_sink(std::make_shared<CountingSink>());
+    cfg.obs.metrics = std::make_shared<obs::MetricsRegistry>();
+    const GaEngine engine{space, cfg, Direction::maximize, eval, HintSet::none(space)};
+    std::uint64_t seed = 1;
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(seed++));
+}
+BENCHMARK(bm_full_ga_run_traced);
 
 }  // namespace
 

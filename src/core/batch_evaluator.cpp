@@ -120,6 +120,49 @@ void BatchEvaluator::run_batch(std::size_t count,
     pool_->run(count, item);
 }
 
+void BatchEvaluator::set_instrumentation(obs::Instrumentation inst)
+{
+    inst_ = std::move(inst);
+    m_waves_ = m_items_ = m_fresh_ = m_hits_ = m_waits_ = nullptr;
+    m_wave_seconds_ = nullptr;
+    if (obs::MetricsRegistry* reg = inst_.registry()) {
+        m_waves_ = &reg->counter("eval.waves");
+        m_items_ = &reg->counter("eval.items");
+        m_fresh_ = &reg->counter("eval.fresh");
+        m_hits_ = &reg->counter("eval.cache_hits");
+        m_waits_ = &reg->counter("eval.inflight_waits");
+        m_wave_seconds_ =
+            &reg->histogram("eval.wave_seconds", obs::Histogram::seconds_buckets());
+        reg->gauge("eval.workers").set(static_cast<double>(workers_));
+    }
+}
+
+void BatchEvaluator::record_wave(const WaveRecord& wave)
+{
+    ++wave_seq_;
+    if (m_waves_ != nullptr) {
+        m_waves_->add();
+        m_items_->add(wave.size);
+        m_fresh_->add(wave.fresh);
+        m_hits_->add(wave.size - wave.fresh);
+        m_waits_->add(wave.waits);
+        m_wave_seconds_->observe(wave.seconds);
+    }
+    if (!inst_.tracing()) return;
+    obs::TraceEvent event{"eval_wave"};
+    event.add("wave", wave_seq_)
+        .add("size", wave.size)
+        .add("fresh", wave.fresh)
+        .add("hits", wave.size - wave.fresh)
+        .add("waits", wave.waits)
+        .add("seconds", obs::FieldValue{wave.seconds})
+        .add("busy_seconds", obs::FieldValue{wave.busy_seconds})
+        .add("workers", workers_)
+        .add("distinct_total", wave.distinct_total)
+        .add("calls_total", wave.calls_total);
+    inst_.tracer.emit(std::move(event));
+}
+
 void BatchEvaluator::notify_observer(std::span<const Genome> genomes,
                                      const std::vector<unsigned char>& charged,
                                      double seconds)

@@ -16,14 +16,17 @@
 // BasicCachingEvaluator's in-flight deduplication, distinct_evaluations()
 // is identical to a serial run (see DESIGN.md, "Evaluation pipeline").
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/genome.hpp"
+#include "obs/obs.hpp"
 
 namespace nautilus {
 
@@ -49,6 +52,14 @@ public:
 
     void set_observer(BatchObserver observer) { observer_ = std::move(observer); }
 
+    // Attach tracing + metrics.  With a live tracer every evaluate() call
+    // emits one "eval_wave" event (wave size, wall/busy seconds, fresh vs.
+    // cached counts, in-flight dedup waits, cumulative accounting); with a
+    // registry the eval.* counters/histograms are updated.  Handles are
+    // resolved here, once, so the per-wave cost is a few relaxed atomics.
+    void set_instrumentation(obs::Instrumentation inst);
+    const obs::Instrumentation& instrumentation() const { return inst_; }
+
     // Evaluate genomes[i] into out[i] through the shared cache.  Duplicate
     // genomes within the batch are computed once (in-flight dedup).  Blocks
     // until the whole batch is done; exceptions from the evaluation function
@@ -59,16 +70,42 @@ public:
     {
         if (out.size() < genomes.size())
             throw std::invalid_argument("BatchEvaluator::evaluate: output span too small");
+        const bool instrumented = inst_.tracing() || inst_.registry() != nullptr;
+        const std::size_t waits_before = instrumented ? evaluator.inflight_waits() : 0;
         const auto start = std::chrono::steady_clock::now();
         std::vector<unsigned char> charged(genomes.size(), 0);
+        std::atomic<std::uint64_t> busy_ns{0};
         run_batch(genomes.size(), [&](std::size_t i) {
+            if (!instrumented) {
+                bool fresh = false;
+                out[i] = evaluator.evaluate(genomes[i], &fresh);
+                charged[i] = fresh ? 1 : 0;
+                return;
+            }
+            const auto item_start = std::chrono::steady_clock::now();
             bool fresh = false;
             out[i] = evaluator.evaluate(genomes[i], &fresh);
             charged[i] = fresh ? 1 : 0;
+            busy_ns.fetch_add(static_cast<std::uint64_t>(
+                                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                      std::chrono::steady_clock::now() - item_start)
+                                      .count()),
+                              std::memory_order_relaxed);
         });
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         eval_seconds_ += seconds;
+        if (instrumented) {
+            WaveRecord wave;
+            wave.size = genomes.size();
+            for (const unsigned char c : charged) wave.fresh += c;
+            wave.waits = evaluator.inflight_waits() - waits_before;
+            wave.seconds = seconds;
+            wave.busy_seconds = static_cast<double>(busy_ns.load()) * 1e-9;
+            wave.distinct_total = evaluator.distinct_evaluations();
+            wave.calls_total = evaluator.total_calls();
+            record_wave(wave);
+        }
         notify_observer(genomes, charged, seconds);
     }
 
@@ -88,6 +125,17 @@ public:
 private:
     struct Pool;  // persistent worker threads (absent when workers <= 1)
 
+    // One evaluate() call's accounting, for the trace/metrics layer.
+    struct WaveRecord {
+        std::size_t size = 0;           // genomes in the wave
+        std::size_t fresh = 0;          // cache misses charged to this wave
+        std::size_t waits = 0;          // in-flight dedup waits in this wave
+        double seconds = 0.0;           // wall-clock of the wave
+        double busy_seconds = 0.0;      // summed per-item execution time
+        std::size_t distinct_total = 0; // evaluator cumulative distinct
+        std::size_t calls_total = 0;    // evaluator cumulative calls
+    };
+
     // Run item(0..count-1) across the pool; the caller participates.  The
     // first exception thrown by any item is rethrown once all items finish.
     void run_batch(std::size_t count, const std::function<void(std::size_t)>& item);
@@ -95,10 +143,22 @@ private:
     void notify_observer(std::span<const Genome> genomes,
                          const std::vector<unsigned char>& charged, double seconds);
 
+    void record_wave(const WaveRecord& wave);
+
     std::size_t workers_;
     Pool* pool_ = nullptr;
     BatchObserver observer_;
     double eval_seconds_ = 0.0;
+
+    obs::Instrumentation inst_;
+    std::size_t wave_seq_ = 0;
+    // Metric handles resolved once in set_instrumentation (null = no registry).
+    obs::Counter* m_waves_ = nullptr;
+    obs::Counter* m_items_ = nullptr;
+    obs::Counter* m_fresh_ = nullptr;
+    obs::Counter* m_hits_ = nullptr;
+    obs::Counter* m_waits_ = nullptr;
+    obs::Histogram* m_wave_seconds_ = nullptr;
 };
 
 }  // namespace nautilus

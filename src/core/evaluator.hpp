@@ -58,12 +58,17 @@ public:
         if (charged) *charged = false;
         std::unique_lock lock{mutex_};
         ++calls_;
+        bool counted_wait = false;
         for (;;) {
             auto it = cache_.find(genome);
             if (it == cache_.end()) break;  // miss: this thread computes
             if (it->second) return *it->second;
             // In flight on another thread.  Wait; the slot is erased if that
             // thread's evaluation throws, in which case we retry the miss.
+            if (!counted_wait) {
+                ++inflight_waits_;
+                counted_wait = true;
+            }
             ready_.wait(lock);
         }
         cache_.emplace(genome, std::nullopt);
@@ -102,6 +107,14 @@ public:
         return calls_;
     }
 
+    // Calls that blocked on an in-flight evaluation of the same genome on
+    // another thread (each call counted once, however often it re-waits).
+    std::size_t inflight_waits() const
+    {
+        std::lock_guard lock{mutex_};
+        return inflight_waits_;
+    }
+
     // Forget everything (fresh query on the same IP).  Must not race with
     // in-flight evaluate() calls.
     void clear()
@@ -110,6 +123,7 @@ public:
         cache_.clear();
         distinct_ = 0;
         calls_ = 0;
+        inflight_waits_ = 0;
     }
 
 private:
@@ -120,6 +134,7 @@ private:
     std::unordered_map<Genome, std::optional<Value>, GenomeHash> cache_;
     std::size_t distinct_ = 0;
     std::size_t calls_ = 0;
+    std::size_t inflight_waits_ = 0;
 };
 
 using CachingEvaluator = BasicCachingEvaluator<Evaluation>;

@@ -8,6 +8,31 @@
 
 namespace nautilus {
 
+namespace {
+
+// Mean pairwise normalized Hamming distance of the population: 0 = all
+// clones, 1 = every pair differs in every gene.  Only computed when tracing
+// is enabled (O(pop^2 * genes), trivial at paper-scale populations).
+double population_diversity(const std::vector<Genome>& population)
+{
+    if (population.size() < 2 || population.front().empty()) return 0.0;
+    const std::size_t genes = population.front().size();
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+        for (std::size_t j = i + 1; j < population.size(); ++j) {
+            std::size_t differing = 0;
+            for (std::size_t g = 0; g < genes; ++g)
+                if (population[i].gene(g) != population[j].gene(g)) ++differing;
+            sum += static_cast<double>(differing) / static_cast<double>(genes);
+            ++pairs;
+        }
+    }
+    return sum / static_cast<double>(pairs);
+}
+
+}  // namespace
+
 void GaConfig::validate() const
 {
     if (population_size < 2)
@@ -62,6 +87,26 @@ RunResult GaEngine::run(std::uint64_t seed) const
     CachingEvaluator evaluator{eval_};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_observer(config_.eval_observer);
+    batch_eval.set_instrumentation(config_.obs);
+    const obs::Tracer& tracer = config_.obs.tracer;
+    obs::Counter* m_generations = nullptr;
+    if (obs::MetricsRegistry* reg = config_.obs.registry()) {
+        reg->counter("ga.runs").add();
+        m_generations = &reg->counter("ga.generations");
+    }
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_start"};
+        ev.add("engine", "ga")
+            .add("seed", std::size_t{seed})
+            .add("population", config_.population_size)
+            .add("generations", config_.generations)
+            .add("workers", config_.eval_workers)
+            .add("mutation_rate", obs::FieldValue{config_.mutation_rate})
+            .add("crossover_rate", obs::FieldValue{config_.crossover_rate})
+            .add("confidence", obs::FieldValue{hints_.confidence()});
+        tracer.emit(std::move(ev));
+    }
+    obs::ScopedTimer run_span{tracer, "ga.run"};
     const FitnessMapper mapper{direction_};
 
     std::vector<Genome> population;
@@ -124,6 +169,19 @@ RunResult GaEngine::run(std::uint64_t seed) const
         result.history.push_back(stats);
         if (have_best)
             result.curve.append(static_cast<double>(stats.distinct_evals), best_so_far);
+        if (m_generations != nullptr) m_generations->add();
+        if (tracer.enabled()) {
+            obs::TraceEvent ev{"generation"};
+            ev.add("gen", gen)
+                .add("best", obs::FieldValue{stats.best})
+                .add("mean", obs::FieldValue{stats.mean})
+                .add("worst", obs::FieldValue{stats.worst})
+                .add("feasible", stats.feasible)
+                .add("best_so_far", obs::FieldValue{stats.best_so_far})
+                .add("distinct_total", stats.distinct_evals)
+                .add("diversity", obs::FieldValue{population_diversity(population)});
+            tracer.emit(std::move(ev));
+        }
 
         // --- Early termination ---------------------------------------------
         if (config_.target_value && have_best &&
@@ -147,45 +205,82 @@ RunResult GaEngine::run(std::uint64_t seed) const
         const std::vector<std::size_t> order = rank_order(fitness);
         for (std::size_t e = 0; e < config_.elitism; ++e) next.push_back(population[order[e]]);
 
+        MutationStats mut_stats;
         MutationContext ctx;
         ctx.space = &space_;
         ctx.hints = &hints_;
         ctx.mutation_rate = config_.mutation_rate;
         ctx.generation = gen;
+        if (tracer.enabled()) ctx.stats = &mut_stats;
 
-        while (next.size() < config_.population_size) {
-            const std::size_t pa = select_parent(fitness, config_.selection, rng);
-            const std::size_t pb = select_parent(fitness, config_.selection, rng);
-            Genome child_a = population[pa];
-            Genome child_b = population[pb];
-            if (rng.bernoulli(config_.crossover_rate)) {
-                auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
-                child_a = std::move(xa);
-                child_b = std::move(xb);
+        std::size_t crossovers = 0;
+        {
+            obs::ScopedTimer breed_span{tracer, "ga.breed"};
+            while (next.size() < config_.population_size) {
+                const std::size_t pa = select_parent(fitness, config_.selection, rng);
+                const std::size_t pb = select_parent(fitness, config_.selection, rng);
+                Genome child_a = population[pa];
+                Genome child_b = population[pb];
+                if (rng.bernoulli(config_.crossover_rate)) {
+                    auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
+                    child_a = std::move(xa);
+                    child_b = std::move(xb);
+                    ++crossovers;
+                }
+                mutate(child_a, ctx, rng);
+                next.push_back(std::move(child_a));
+                if (next.size() < config_.population_size) {
+                    mutate(child_b, ctx, rng);
+                    next.push_back(std::move(child_b));
+                }
             }
-            mutate(child_a, ctx, rng);
-            next.push_back(std::move(child_a));
-            if (next.size() < config_.population_size) {
-                mutate(child_b, ctx, rng);
-                next.push_back(std::move(child_b));
-            }
+        }
+        if (tracer.enabled()) {
+            obs::TraceEvent ev{"breed"};
+            ev.add("gen", gen)
+                .add("children", next.size() - config_.elitism)
+                .add("elites", config_.elitism)
+                .add("crossovers", crossovers)
+                .add("genomes_mutated", std::size_t{mut_stats.genomes})
+                .add("genes_mutated", std::size_t{mut_stats.genes_mutated})
+                .add("bias_draws", std::size_t{mut_stats.bias_draws})
+                .add("target_draws", std::size_t{mut_stats.target_draws})
+                .add("uniform_draws", std::size_t{mut_stats.uniform_draws})
+                .add("importance", obs::FieldValue{hints_.effective_importances(gen)});
+            tracer.emit(std::move(ev));
         }
         population = std::move(next);
     }
 
     result.distinct_evals = evaluator.distinct_evaluations();
+    result.total_eval_calls = evaluator.total_calls();
     result.eval_seconds = batch_eval.eval_seconds();
     result.eval_workers = batch_eval.workers();
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_end"};
+        ev.add("engine", "ga")
+            .add("distinct_evals", result.distinct_evals)
+            .add("total_calls", result.total_eval_calls)
+            .add("inflight_waits", evaluator.inflight_waits())
+            .add("generations", result.history.size())
+            .add("feasible", obs::FieldValue{have_best})
+            .add("best", obs::FieldValue{have_best ? best_so_far : 0.0})
+            .add("hit_target", obs::FieldValue{result.hit_target})
+            .add("stalled", obs::FieldValue{result.stalled})
+            .add("eval_seconds", obs::FieldValue{result.eval_seconds});
+        tracer.emit(std::move(ev));
+    }
     return result;
 }
 
-MultiRunCurve GaEngine::run_many(std::size_t count) const
+MultiRunCurve GaEngine::run_many(std::size_t count, EvalSummary* summary) const
 {
     if (count == 0) throw std::invalid_argument("GaEngine::run_many: count must be >= 1");
     MultiRunCurve multi{direction_};
     Rng seeder{config_.seed};
     for (std::size_t i = 0; i < count; ++i) {
         const RunResult r = run(seeder.next_u64());
+        if (summary != nullptr) summary->absorb(r);
         if (!r.curve.empty()) multi.add_run(r.curve);
     }
     return multi;

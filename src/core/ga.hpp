@@ -51,6 +51,9 @@ struct GaConfig {
     // evaluated genomes and the measured wall-clock -- e.g. to drive a
     // simulated synth::SynthesisCluster alongside the real pool.
     BatchObserver eval_observer;
+    // Tracing + metrics (both off by default; see src/obs/ and DESIGN.md
+    // section 7).  Search results are identical with or without tracing.
+    obs::Instrumentation obs;
 
     void validate() const;  // throws std::invalid_argument on bad settings
 };
@@ -70,6 +73,7 @@ struct RunResult {
     Genome best_genome;
     Evaluation best_eval;
     std::size_t distinct_evals = 0;
+    std::size_t total_eval_calls = 0;  // including cache hits
     Curve curve;  // best-so-far vs distinct evaluations
     bool hit_target = false;     // stopped because target_value was reached
     bool stalled = false;        // stopped by the stall_generations criterion
@@ -78,6 +82,32 @@ struct RunResult {
 
     RunResult() : curve(Direction::maximize) {}
     explicit RunResult(Direction dir) : curve(dir) {}
+};
+
+// Aggregate evaluation-pipeline accounting over one or more runs, surfaced
+// by run_many() and printed in end-of-run summaries (CLI, experiments).
+struct EvalSummary {
+    double eval_seconds = 0.0;
+    std::size_t eval_workers = 1;
+    std::size_t distinct_evals = 0;   // synthesis jobs (the paper's cost)
+    std::size_t total_calls = 0;      // all evaluate() calls incl. cache hits
+    std::size_t runs = 0;
+
+    void absorb(const RunResult& r)
+    {
+        eval_seconds += r.eval_seconds;
+        eval_workers = r.eval_workers;
+        distinct_evals += r.distinct_evals;
+        total_calls += r.total_eval_calls;
+        ++runs;
+    }
+
+    // Fraction of calls answered from the memoization cache.
+    double cache_hit_rate() const
+    {
+        if (total_calls == 0) return 0.0;
+        return 1.0 - static_cast<double>(distinct_evals) / static_cast<double>(total_calls);
+    }
 };
 
 class GaEngine {
@@ -108,7 +138,9 @@ public:
 
     // `count` independent runs with seeds derived from config.seed, averaged
     // into a MultiRunCurve (the paper averages 20-40 runs per experiment).
-    MultiRunCurve run_many(std::size_t count) const;
+    // When `summary` is non-null it receives the aggregate evaluation
+    // accounting (wall-clock, distinct vs. total calls) across all runs.
+    MultiRunCurve run_many(std::size_t count, EvalSummary* summary = nullptr) const;
 
 private:
     const ParameterSpace& space_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -156,6 +157,24 @@ HintSet HintEstimator::estimate(const ParameterSpace& space, const EvalFn& eval)
             std::clamp(1.0 + 99.0 * std::sqrt(strength / max_abs), 1.0, 100.0);
         h.importance_decay = 0.90;
         if (space[p].domain.ordered()) h.bias = std::clamp(corr, -1.0, 1.0);
+    }
+
+    if (config_.tracer.enabled()) {
+        std::vector<double> importances(space.size());
+        std::vector<double> biases(space.size());  // NaN = no bias hint
+        for (std::size_t p = 0; p < space.size(); ++p) {
+            importances[p] = hints.param(p).importance;
+            biases[p] = hints.param(p).bias.value_or(
+                std::numeric_limits<double>::quiet_NaN());
+        }
+        obs::TraceEvent ev{"hint_estimate"};
+        ev.add("samples", samples.size())
+            .add("requested", config_.samples)
+            .add("noise_floor", obs::FieldValue{noise_floor})
+            .add("correlation", obs::FieldValue{abs_corr})
+            .add("importance", obs::FieldValue{std::move(importances)})
+            .add("bias", obs::FieldValue{std::move(biases)});
+        config_.tracer.emit(std::move(ev));
     }
     return hints;
 }

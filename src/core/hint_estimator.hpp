@@ -13,6 +13,7 @@
 #include "core/evaluator.hpp"
 #include "core/hints.hpp"
 #include "core/parameter.hpp"
+#include "obs/obs.hpp"
 
 namespace nautilus {
 
@@ -22,6 +23,9 @@ struct HintEstimatorConfig {
     // Correlations with |r| below this floor are treated as noise: the
     // parameter gets no bias hint and minimum importance.
     double correlation_floor = 0.05;
+    // When tracing is enabled, estimate() emits one "hint_estimate" event
+    // with the per-parameter correlations and derived hints.
+    obs::Tracer tracer;
 };
 
 class HintEstimator {

@@ -94,6 +94,13 @@ double HintSet::effective_importance(std::size_t i, std::size_t gen) const
     return 1.0 + (h.importance - 1.0) * std::pow(h.importance_decay, static_cast<double>(gen));
 }
 
+std::vector<double> HintSet::effective_importances(std::size_t gen) const
+{
+    std::vector<double> out(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) out[i] = effective_importance(i, gen);
+    return out;
+}
+
 HintSet merge_hints(std::span<const WeightedHintSet> components)
 {
     if (components.empty()) throw std::invalid_argument("merge_hints: no components");

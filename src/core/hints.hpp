@@ -94,6 +94,11 @@ public:
     //   1 + (importance - 1) * decay^gen
     double effective_importance(std::size_t i, std::size_t gen) const;
 
+    // All parameters' effective importances at generation `gen` -- the
+    // post-decay weights the mutation operator actually uses, emitted per
+    // generation by the tracing layer so decay schedules are auditable.
+    std::vector<double> effective_importances(std::size_t gen) const;
+
     const std::vector<ParamHints>& params() const { return params_; }
 
 private:

@@ -68,6 +68,31 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
     BatchEvaluator batch_eval{config_.eval_workers};
+    batch_eval.set_instrumentation(config_.obs);
+    const obs::Tracer& tracer = config_.obs.tracer;
+    if (obs::MetricsRegistry* reg = config_.obs.registry()) reg->counter("sa.runs").add();
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_start"};
+        ev.add("engine", "sa")
+            .add("seed", static_cast<std::size_t>(seed))
+            .add("budget", config_.max_distinct_evals)
+            .add("workers", config_.eval_workers)
+            .add("confidence", obs::FieldValue{hints_.confidence()});
+        tracer.emit(std::move(ev));
+    }
+    obs::ScopedTimer run_span{tracer, "sa.run"};
+    const auto emit_run_end = [&](bool feasible, double best_value) {
+        if (!tracer.enabled()) return;
+        obs::TraceEvent ev{"run_end"};
+        ev.add("engine", "sa")
+            .add("distinct_evals", evaluator.distinct_evaluations())
+            .add("total_calls", evaluator.total_calls())
+            .add("inflight_waits", evaluator.inflight_waits())
+            .add("feasible", obs::FieldValue{feasible})
+            .add("best", obs::FieldValue{feasible ? best_value : 0.0})
+            .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()});
+        tracer.emit(std::move(ev));
+    };
     const auto evaluate = [&](const Genome& g) {
         Evaluation out;
         batch_eval.evaluate(evaluator, std::span<const Genome>{&g, 1},
@@ -92,7 +117,10 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
         current = Genome::random(space_, rng);
         current_eval = evaluate(current);
     }
-    if (!current_eval.feasible) return curve;
+    if (!current_eval.feasible) {
+        emit_run_end(false, 0.0);
+        return curve;
+    }
 
     double best = current_eval.value;
     curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
@@ -139,6 +167,7 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
         if (++step % config_.steps_per_temperature == 0)
             temperature = std::max(temperature * config_.cooling, 1e-12);
     }
+    emit_run_end(true, best);
     return curve;
 }
 
@@ -183,6 +212,19 @@ Curve HillClimber::run(std::uint64_t seed) const
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
     BatchEvaluator batch_eval{config_.eval_workers};
+    batch_eval.set_instrumentation(config_.obs);
+    const obs::Tracer& tracer = config_.obs.tracer;
+    if (obs::MetricsRegistry* reg = config_.obs.registry()) reg->counter("hc.runs").add();
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_start"};
+        ev.add("engine", "hc")
+            .add("seed", static_cast<std::size_t>(seed))
+            .add("budget", config_.max_distinct_evals)
+            .add("workers", config_.eval_workers)
+            .add("confidence", obs::FieldValue{hints_.confidence()});
+        tracer.emit(std::move(ev));
+    }
+    obs::ScopedTimer run_span{tracer, "hc.run"};
     const auto evaluate = [&](const Genome& g) {
         Evaluation out;
         batch_eval.evaluate(evaluator, std::span<const Genome>{&g, 1},
@@ -235,6 +277,17 @@ Curve HillClimber::run(std::uint64_t seed) const
         else {
             ++stale;
         }
+    }
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_end"};
+        ev.add("engine", "hc")
+            .add("distinct_evals", evaluator.distinct_evaluations())
+            .add("total_calls", evaluator.total_calls())
+            .add("inflight_waits", evaluator.inflight_waits())
+            .add("feasible", obs::FieldValue{have_best})
+            .add("best", obs::FieldValue{have_best ? best : 0.0})
+            .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()});
+        tracer.emit(std::move(ev));
     }
     return curve;
 }

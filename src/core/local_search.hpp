@@ -16,6 +16,7 @@
 #include "core/hints.hpp"
 #include "core/operators.hpp"
 #include "core/run_stats.hpp"
+#include "obs/obs.hpp"
 
 namespace nautilus {
 
@@ -30,6 +31,8 @@ struct AnnealingConfig {
     // reject walk itself is inherently sequential.  Results are identical
     // for any worker count.
     std::size_t eval_workers = 1;
+    // Tracing + metrics (off by default); does not affect the walk.
+    obs::Instrumentation obs;
 
     void validate() const;
 };
@@ -61,6 +64,8 @@ struct HillClimbConfig {
     // Threads for the shared evaluation pipeline; the greedy walk evaluates
     // one candidate at a time, so this mainly standardizes accounting.
     std::size_t eval_workers = 1;
+    // Tracing + metrics (off by default); does not affect the walk.
+    obs::Instrumentation obs;
 
     void validate() const;
 };

@@ -121,6 +121,42 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
         return values;
     }};
     BatchEvaluator batch_eval{config_.eval_workers};
+    batch_eval.set_instrumentation(config_.obs);
+    const obs::Tracer& tracer = config_.obs.tracer;
+    obs::Counter* m_generations = nullptr;
+    if (obs::MetricsRegistry* reg = config_.obs.registry()) {
+        reg->counter("nsga2.runs").add();
+        m_generations = &reg->counter("nsga2.generations");
+    }
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_start"};
+        ev.add("engine", "nsga2")
+            .add("seed", static_cast<std::size_t>(seed))
+            .add("population", config_.population_size)
+            .add("generations", config_.generations)
+            .add("objectives", directions_.size())
+            .add("workers", config_.eval_workers)
+            .add("confidence", obs::FieldValue{hints_.confidence()});
+        tracer.emit(std::move(ev));
+    }
+    obs::ScopedTimer run_span{tracer, "nsga2.run"};
+    const auto finish = [&](MultiObjectiveResult result) {
+        result.distinct_evals = evaluator.distinct_evaluations();
+        result.total_eval_calls = evaluator.total_calls();
+        result.eval_seconds = batch_eval.eval_seconds();
+        result.eval_workers = batch_eval.workers();
+        if (tracer.enabled()) {
+            obs::TraceEvent ev{"run_end"};
+            ev.add("engine", "nsga2")
+                .add("distinct_evals", result.distinct_evals)
+                .add("total_calls", result.total_eval_calls)
+                .add("inflight_waits", evaluator.inflight_waits())
+                .add("front_size", result.front.size())
+                .add("eval_seconds", obs::FieldValue{result.eval_seconds});
+            tracer.emit(std::move(ev));
+        }
+        return result;
+    };
     std::vector<MultiValue> wave_values;
 
     struct Member {
@@ -156,13 +192,15 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
         for (std::size_t i = 0; i < chunk; ++i)
             if (wave_values[i]) population.push_back({wave[i], *wave_values[i]});
     }
-    if (population.size() < 4) return {{}, evaluator.distinct_evaluations()};
+    if (population.size() < 4) return finish({});
     for (const Member& m : population) archive.push_back(m);
 
+    MutationStats mut_stats;
     MutationContext ctx;
     ctx.space = &space_;
     ctx.hints = &hints_;
     ctx.mutation_rate = config_.mutation_rate;
+    if (tracer.enabled()) ctx.stats = &mut_stats;
 
     for (std::size_t gen = 0; gen < config_.generations; ++gen) {
         ctx.generation = gen;
@@ -251,6 +289,25 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
             }
             if (population.size() >= config_.population_size) break;
         }
+
+        if (m_generations != nullptr) m_generations->add();
+        if (tracer.enabled()) {
+            obs::TraceEvent ev{"generation"};
+            ev.add("gen", gen)
+                .add("engine", "nsga2")
+                .add("offspring", offspring.size())
+                .add("archive", archive.size())
+                .add("fronts", pool_fronts.size())
+                .add("front0", pool_fronts.empty() ? std::size_t{0} : pool_fronts[0].size())
+                .add("distinct_total", evaluator.distinct_evaluations())
+                .add("genes_mutated", std::size_t{mut_stats.genes_mutated})
+                .add("bias_draws", std::size_t{mut_stats.bias_draws})
+                .add("target_draws", std::size_t{mut_stats.target_draws})
+                .add("uniform_draws", std::size_t{mut_stats.uniform_draws})
+                .add("importance", obs::FieldValue{hints_.effective_importances(gen)});
+            tracer.emit(std::move(ev));
+            mut_stats.reset();
+        }
     }
 
     // Final front over the whole archive.
@@ -261,11 +318,10 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
     const auto front_idx = pareto_front(archive_points, directions_);
 
     MultiObjectiveResult result;
-    result.distinct_evals = evaluator.distinct_evaluations();
     result.front.reserve(front_idx.size());
     for (std::size_t idx : front_idx)
         result.front.push_back({archive[idx].genome, archive[idx].values});
-    return result;
+    return finish(std::move(result));
 }
 
 }  // namespace nautilus

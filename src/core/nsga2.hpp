@@ -19,6 +19,7 @@
 #include "core/hints.hpp"
 #include "core/operators.hpp"
 #include "core/pareto.hpp"
+#include "obs/obs.hpp"
 
 namespace nautilus {
 
@@ -36,6 +37,8 @@ struct MultiObjectiveConfig {
     // Threads evaluating each brood/initialization wave concurrently
     // (1 = serial); results are identical for any worker count.
     std::size_t eval_workers = 1;
+    // Tracing + metrics (off by default); does not affect search results.
+    obs::Instrumentation obs;
 
     void validate() const;
 };
@@ -49,6 +52,9 @@ struct MultiObjectiveResult {
     // Non-dominated set over everything evaluated during the run.
     std::vector<FrontPoint> front;
     std::size_t distinct_evals = 0;
+    std::size_t total_eval_calls = 0;  // including cache hits
+    double eval_seconds = 0.0;         // measured wall-clock spent evaluating
+    std::size_t eval_workers = 1;
 };
 
 class Nsga2Engine {

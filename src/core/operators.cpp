@@ -172,16 +172,26 @@ std::size_t mutate(Genome& genome, const MutationContext& ctx, Rng& rng)
 
     const std::vector<double> probs = gene_mutation_probabilities(ctx);
     std::size_t changed = 0;
+    if (ctx.stats != nullptr) ++ctx.stats->genomes;
     for (std::size_t i = 0; i < genome.size(); ++i) {
         if (!rng.bernoulli(probs[i])) continue;
         const ParamDomain& domain = ctx.space->at(i).domain;
         if (domain.cardinality() <= 1) continue;
+        const ParamHints& hints = ctx.hints->param(i);
         const std::vector<double> dist =
-            value_distribution(domain, ctx.hints->param(i), ctx.hints->confidence(),
-                               genome.gene(i));
+            value_distribution(domain, hints, ctx.hints->confidence(), genome.gene(i));
         const std::size_t pick = rng.weighted_index(dist);
         genome.set_gene(i, static_cast<std::uint32_t>(pick));
         ++changed;
+        if (ctx.stats != nullptr) {
+            ++ctx.stats->genes_mutated;
+            // Mirror value_distribution's choice of distribution.
+            const bool directed = ctx.hints->confidence() > 0.0 && domain.ordered() &&
+                                  (hints.bias || hints.target);
+            if (!directed) ++ctx.stats->uniform_draws;
+            else if (hints.bias) ++ctx.stats->bias_draws;
+            else ++ctx.stats->target_draws;
+        }
     }
     return changed;
 }

@@ -24,12 +24,28 @@
 
 namespace nautilus {
 
+// Tally of what the hint machinery actually did during mutation, classified
+// by the value distribution each gene draw used: bias-directed,
+// target-directed, or plain uniform (no hint, unordered domain, or
+// confidence 0).  Engines aggregate one of these per generation and emit it
+// in the "breed" trace event, making hint behavior auditable per run.
+struct MutationStats {
+    std::uint64_t genomes = 0;        // mutate() calls
+    std::uint64_t genes_mutated = 0;  // genes actually changed
+    std::uint64_t bias_draws = 0;
+    std::uint64_t target_draws = 0;
+    std::uint64_t uniform_draws = 0;
+
+    void reset() { *this = MutationStats{}; }
+};
+
 // Everything mutation needs to know; cheap to construct per generation.
 struct MutationContext {
     const ParameterSpace* space = nullptr;
     const HintSet* hints = nullptr;  // already direction-folded
     double mutation_rate = 0.1;      // baseline per-gene probability
     std::size_t generation = 0;      // for importance decay
+    MutationStats* stats = nullptr;  // optional draw-outcome tally
 };
 
 // Per-gene mutation probabilities for this generation.  With no hints every

@@ -11,14 +11,21 @@
 
 namespace nautilus {
 
+void RandomSearchConfig::validate() const
+{
+    if (max_distinct_evals == 0)
+        throw std::invalid_argument("RandomSearchConfig: max_distinct_evals must be >= 1");
+    if (eval_workers == 0)
+        throw std::invalid_argument("RandomSearchConfig: eval_workers must be >= 1");
+}
+
 RandomSearch::RandomSearch(const ParameterSpace& space, RandomSearchConfig config,
                            Direction direction, EvalFn eval)
     : space_(space), config_(config), direction_(direction), eval_(std::move(eval))
 {
     if (space_.empty()) throw std::invalid_argument("RandomSearch: empty parameter space");
     if (!eval_) throw std::invalid_argument("RandomSearch: null evaluation function");
-    if (config_.max_distinct_evals == 0)
-        throw std::invalid_argument("RandomSearch: max_distinct_evals must be >= 1");
+    config_.validate();
 }
 
 Curve RandomSearch::run(std::uint64_t seed) const
@@ -26,6 +33,18 @@ Curve RandomSearch::run(std::uint64_t seed) const
     Rng rng{seed};
     CachingEvaluator evaluator{eval_};
     BatchEvaluator batch_eval{config_.eval_workers};
+    batch_eval.set_instrumentation(config_.obs);
+    const obs::Tracer& tracer = config_.obs.tracer;
+    if (obs::MetricsRegistry* reg = config_.obs.registry()) reg->counter("random.runs").add();
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_start"};
+        ev.add("engine", "random")
+            .add("seed", static_cast<std::size_t>(seed))
+            .add("budget", config_.max_distinct_evals)
+            .add("workers", config_.eval_workers);
+        tracer.emit(std::move(ev));
+    }
+    obs::ScopedTimer run_span{tracer, "random.run"};
     Curve curve{direction_};
     double best = worst_value(direction_);
     bool have_best = false;
@@ -59,6 +78,18 @@ Curve RandomSearch::run(std::uint64_t seed) const
                 curve.append(static_cast<double>(distinct), best);
             }
         }
+    }
+    if (tracer.enabled()) {
+        obs::TraceEvent ev{"run_end"};
+        ev.add("engine", "random")
+            .add("distinct_evals", evaluator.distinct_evaluations())
+            .add("total_calls", evaluator.total_calls())
+            .add("inflight_waits", evaluator.inflight_waits())
+            .add("draws", draws)
+            .add("feasible", obs::FieldValue{have_best})
+            .add("best", obs::FieldValue{have_best ? best : 0.0})
+            .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()});
+        tracer.emit(std::move(ev));
     }
     return curve;
 }

@@ -13,6 +13,7 @@
 #include "core/fitness.hpp"
 #include "core/parameter.hpp"
 #include "core/run_stats.hpp"
+#include "obs/obs.hpp"
 
 namespace nautilus {
 
@@ -22,6 +23,10 @@ struct RandomSearchConfig {
     // Threads evaluating each wave of draws concurrently (1 = serial).  The
     // draw sequence and result curve are identical for any worker count.
     std::size_t eval_workers = 1;
+    // Tracing + metrics (off by default); does not affect the draw sequence.
+    obs::Instrumentation obs;
+
+    void validate() const;  // throws std::invalid_argument on bad settings
 };
 
 class RandomSearch {

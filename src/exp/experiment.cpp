@@ -64,13 +64,19 @@ ExperimentResult Experiment::run() const
         hints.set_confidence(confidence);
 
         const GaEngine engine{generator_.space(), config_.ga, query_.direction, eval, hints};
-        result.engines.emplace_back(spec, engine.run_many(config_.runs));
+        EvalSummary summary;
+        MultiRunCurve curve = engine.run_many(config_.runs, &summary);
+        result.engines.emplace_back(spec, std::move(curve), summary);
     }
 
     if (random_budget_) {
         RandomSearchConfig rc;
         rc.max_distinct_evals = *random_budget_;
         rc.seed = config_.ga.seed ^ 0x5eedull;
+        // Random search shares the GA's evaluation pipeline settings so the
+        // comparison (and any trace) covers both engines uniformly.
+        rc.eval_workers = config_.ga.eval_workers;
+        rc.obs = config_.ga.obs;
         const RandomSearch rs{generator_.space(), rc, query_.direction, eval};
         result.random_search = rs.run_many(config_.runs);
     }
@@ -165,6 +171,15 @@ void ExperimentResult::print(std::ostream& out) const
         out << "  " << std::setw(18) << std::left << e.spec.label << "final best (mean over runs): "
             << std::fixed << std::setprecision(3) << e.curve.mean_final_best() << " "
             << ip::metric_unit(query.metric) << '\n';
+    }
+    out << "  evaluation pipeline (" << config.ga.eval_workers << " worker"
+        << (config.ga.eval_workers == 1 ? "" : "s") << "):\n";
+    for (const auto& e : engines) {
+        const EvalSummary& s = e.eval;
+        out << "    " << std::setw(18) << std::left << e.spec.label << std::fixed
+            << std::setprecision(3) << s.eval_seconds << " s eval wall-clock, "
+            << s.distinct_evals << " distinct / " << s.total_calls << " calls ("
+            << std::setprecision(1) << s.cache_hit_rate() * 100.0 << "% cache hits)\n";
     }
 }
 

@@ -40,8 +40,12 @@ struct ExperimentConfig {
 struct EngineResult {
     EngineSpec spec;
     MultiRunCurve curve;
+    EvalSummary eval;  // aggregate pipeline accounting over all runs
 
-    EngineResult(EngineSpec s, MultiRunCurve c) : spec(std::move(s)), curve(std::move(c)) {}
+    EngineResult(EngineSpec s, MultiRunCurve c, EvalSummary e = {})
+        : spec(std::move(s)), curve(std::move(c)), eval(e)
+    {
+    }
 };
 
 struct ExperimentResult {

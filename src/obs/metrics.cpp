@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace nautilus::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds))
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+    if (std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+        throw std::invalid_argument("Histogram: duplicate bucket bound");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double old = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(old, old + x, std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::vector<double> Histogram::seconds_buckets()
+{
+    return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+}
+
+struct MetricsRegistry::Instrument {
+    enum class Kind { counter, gauge, histogram } kind;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard lock{mutex_};
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        auto inst = std::make_unique<Instrument>();
+        inst->kind = Instrument::Kind::counter;
+        it = instruments_.emplace(std::string{name}, std::move(inst)).first;
+    }
+    else if (it->second->kind != Instrument::Kind::counter) {
+        throw std::invalid_argument("MetricsRegistry: '" + std::string{name} +
+                                    "' already registered as a different kind");
+    }
+    return it->second->counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard lock{mutex_};
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        auto inst = std::make_unique<Instrument>();
+        inst->kind = Instrument::Kind::gauge;
+        it = instruments_.emplace(std::string{name}, std::move(inst)).first;
+    }
+    else if (it->second->kind != Instrument::Kind::gauge) {
+        throw std::invalid_argument("MetricsRegistry: '" + std::string{name} +
+                                    "' already registered as a different kind");
+    }
+    return it->second->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds)
+{
+    std::lock_guard lock{mutex_};
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        auto inst = std::make_unique<Instrument>();
+        inst->kind = Instrument::Kind::histogram;
+        inst->histogram = std::make_unique<Histogram>(std::move(bounds));
+        it = instruments_.emplace(std::string{name}, std::move(inst)).first;
+    }
+    else if (it->second->kind != Instrument::Kind::histogram) {
+        throw std::invalid_argument("MetricsRegistry: '" + std::string{name} +
+                                    "' already registered as a different kind");
+    }
+    else if (it->second->histogram->bounds() != bounds) {
+        throw std::invalid_argument("MetricsRegistry: '" + std::string{name} +
+                                    "' re-registered with different bounds");
+    }
+    return *it->second->histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const
+{
+    std::lock_guard lock{mutex_};
+    MetricsSnapshot snap;
+    for (const auto& [name, inst] : instruments_) {
+        switch (inst->kind) {
+        case Instrument::Kind::counter:
+            snap.counters.emplace_back(name, inst->counter.value());
+            break;
+        case Instrument::Kind::gauge:
+            snap.gauges.emplace_back(name, inst->gauge.value());
+            break;
+        case Instrument::Kind::histogram:
+            snap.histograms.push_back({name, inst->histogram->bounds(),
+                                       inst->histogram->counts(), inst->histogram->count(),
+                                       inst->histogram->sum()});
+            break;
+        }
+    }
+    return snap;
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const
+{
+    // Callers may leave the stream in std::fixed/low-precision mode; dump
+    // with default float formatting so small bounds don't collapse to 0.0.
+    const std::ios_base::fmtflags flags = out.flags();
+    const std::streamsize precision = out.precision();
+    out.unsetf(std::ios_base::floatfield);
+    out.precision(6);
+
+    const MetricsSnapshot snap = snapshot();
+    for (const auto& [name, v] : snap.counters) out << "counter " << name << ' ' << v << '\n';
+    for (const auto& [name, v] : snap.gauges) out << "gauge " << name << ' ' << v << '\n';
+    for (const auto& h : snap.histograms) {
+        out << "histogram " << h.name << " count " << h.count << " sum " << h.sum << '\n';
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (h.counts[i] == 0) continue;
+            out << "  le ";
+            if (i < h.bounds.size()) out << h.bounds[i];
+            else out << "+inf";
+            out << ' ' << h.counts[i] << '\n';
+        }
+    }
+
+    out.flags(flags);
+    out.precision(precision);
+}
+
+}  // namespace nautilus::obs

@@ -1,0 +1,108 @@
+#pragma once
+// Thread-safe metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// The registry is the *naming* layer: instruments are created (or found) by
+// name under a mutex, once, and live as long as the registry.  The returned
+// handles are plain references to stable storage, so hot paths -- including
+// BatchEvaluator worker threads -- update lock-free atomics and never touch
+// the registry again.  Reading (snapshot / write_text) is safe concurrently
+// with updates; values are individually atomic, not mutually consistent.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nautilus::obs {
+
+// Monotonically increasing count (events, items, cache hits, ...).
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins scalar (worker count, current temperature, ...).
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram.  Bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket counts the rest.  Bounds are set at creation and
+// immutable, so observe() is a branch-light scan plus one atomic increment.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x);
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    // counts() has bounds().size() + 1 entries (the last is overflow).
+    std::vector<std::uint64_t> counts() const;
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    // Default bucket bounds for wall-clock seconds (1us .. 100s, decades).
+    static std::vector<double> seconds_buckets();
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+// Point-in-time copy of every instrument, for reporting and tests.
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct HistogramRow {
+        std::string name;
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+    std::vector<HistogramRow> histograms;
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry();
+    ~MetricsRegistry();  // out-of-line: Instrument is incomplete here
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    // Create-or-get by name.  Throws std::invalid_argument when the name is
+    // already registered as a different instrument kind (or, for histograms,
+    // with different bounds).
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    // "counter eval.items 1234"-style dump, sorted by name.
+    void write_text(std::ostream& out) const;
+
+private:
+    struct Instrument;  // tagged union of the three kinds
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Instrument>, std::less<>> instruments_;
+};
+
+}  // namespace nautilus::obs

@@ -1,0 +1,34 @@
+#pragma once
+// Instrumentation: the observability bundle threaded through engine configs.
+//
+// One small value type carries both the structured-trace handle and the
+// metrics registry, so every search config grows a single `obs` member and
+// stays cheap to copy (two shared_ptr copies).  Both halves default to off:
+// a default-constructed Instrumentation traces nothing and records nothing,
+// and the instrumented hot paths guard on `tracer.enabled()` /
+// `metrics != nullptr` so the disabled cost is a branch per site.
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nautilus::obs {
+
+struct Instrumentation {
+    Tracer tracer;
+    std::shared_ptr<MetricsRegistry> metrics;
+
+    bool tracing() const { return tracer.enabled(); }
+    MetricsRegistry* registry() const { return metrics.get(); }
+
+    // Convenience constructors for the common wirings.
+    static Instrumentation with_sink(std::shared_ptr<TraceSink> sink)
+    {
+        Instrumentation inst;
+        inst.tracer = Tracer{std::move(sink)};
+        return inst;
+    }
+};
+
+}  // namespace nautilus::obs

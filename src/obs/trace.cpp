@@ -1,0 +1,394 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace nautilus::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            }
+            else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+// Shortest round-trip decimal; non-finite values become JSON null.  A plain
+// integer rendering gets ".0" appended so the parser can tell doubles from
+// integer fields.
+void append_double(std::string& out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+    if (out.find_first_of(".eE", out.size() - std::char_traits<char>::length(buf)) ==
+        std::string::npos)
+        out += ".0";
+}
+
+void append_value(std::string& out, const FieldValue& value)
+{
+    switch (value.index()) {
+    case 0: out += std::get<bool>(value) ? "true" : "false"; break;
+    case 1: out += std::to_string(std::get<std::int64_t>(value)); break;
+    case 2: out += std::to_string(std::get<std::uint64_t>(value)); break;
+    case 3: append_double(out, std::get<double>(value)); break;
+    case 4: append_escaped(out, std::get<std::string>(value)); break;
+    case 5: {
+        const auto& vec = std::get<std::vector<double>>(value);
+        out += '[';
+        for (std::size_t i = 0; i < vec.size(); ++i) {
+            if (i > 0) out += ',';
+            append_double(out, vec[i]);
+        }
+        out += ']';
+        break;
+    }
+    }
+}
+
+// --- Minimal parser for the emitted subset --------------------------------
+
+struct Parser {
+    std::string_view in;
+    std::size_t pos = 0;
+
+    bool eof() const { return pos >= in.size(); }
+    char peek() const { return in[pos]; }
+    bool consume(char c)
+    {
+        if (eof() || in[pos] != c) return false;
+        ++pos;
+        return true;
+    }
+    void skip_ws()
+    {
+        while (!eof() && (in[pos] == ' ' || in[pos] == '\t')) ++pos;
+    }
+
+    bool parse_string(std::string& out)
+    {
+        if (!consume('"')) return false;
+        out.clear();
+        while (!eof()) {
+            const char c = in[pos++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof()) return false;
+            const char esc = in[pos++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'u': {
+                if (pos + 4 > in.size()) return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = in[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                    else return false;
+                }
+                if (code > 0xff) return false;  // writer only escapes control bytes
+                out += static_cast<char>(code);
+                break;
+            }
+            default: return false;
+            }
+        }
+        return false;
+    }
+
+    // Numbers keep their emitted kind: a '.', exponent or out-of-range
+    // mantissa means double; a leading '-' means int64; otherwise uint64.
+    bool parse_number(FieldValue& out)
+    {
+        const std::size_t start = pos;
+        if (!eof() && in[pos] == '-') ++pos;
+        bool is_double = false;
+        while (!eof() &&
+               (std::isdigit(static_cast<unsigned char>(in[pos])) || in[pos] == '.' ||
+                in[pos] == 'e' || in[pos] == 'E' || in[pos] == '+' || in[pos] == '-')) {
+            if (in[pos] == '.' || in[pos] == 'e' || in[pos] == 'E') is_double = true;
+            ++pos;
+        }
+        if (pos == start) return false;
+        const std::string text{in.substr(start, pos - start)};
+        errno = 0;
+        if (is_double) {
+            out = std::strtod(text.c_str(), nullptr);
+            return errno == 0;
+        }
+        if (text[0] == '-') {
+            out = static_cast<std::int64_t>(std::strtoll(text.c_str(), nullptr, 10));
+            return errno == 0;
+        }
+        out = static_cast<std::uint64_t>(std::strtoull(text.c_str(), nullptr, 10));
+        return errno == 0;
+    }
+
+    bool parse_value(FieldValue& out)
+    {
+        skip_ws();
+        if (eof()) return false;
+        if (peek() == '"') {
+            std::string s;
+            if (!parse_string(s)) return false;
+            out = std::move(s);
+            return true;
+        }
+        if (in.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out = true;
+            return true;
+        }
+        if (in.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out = false;
+            return true;
+        }
+        if (in.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out = std::numeric_limits<double>::quiet_NaN();
+            return true;
+        }
+        if (peek() == '[') {
+            ++pos;
+            std::vector<double> arr;
+            skip_ws();
+            if (consume(']')) {
+                out = std::move(arr);
+                return true;
+            }
+            for (;;) {
+                FieldValue elem;
+                skip_ws();
+                if (in.compare(pos, 4, "null") == 0) {
+                    pos += 4;
+                    arr.push_back(std::numeric_limits<double>::quiet_NaN());
+                }
+                else {
+                    if (!parse_number(elem)) return false;
+                    if (const auto* d = std::get_if<double>(&elem)) arr.push_back(*d);
+                    else if (const auto* i = std::get_if<std::int64_t>(&elem))
+                        arr.push_back(static_cast<double>(*i));
+                    else arr.push_back(static_cast<double>(std::get<std::uint64_t>(elem)));
+                }
+                skip_ws();
+                if (consume(']')) break;
+                if (!consume(',')) return false;
+            }
+            out = std::move(arr);
+            return true;
+        }
+        return parse_number(out);
+    }
+};
+
+}  // namespace
+
+const FieldValue* TraceEvent::find(std::string_view key) const
+{
+    for (const auto& [k, v] : fields)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+std::optional<double> TraceEvent::number(std::string_view key) const
+{
+    const FieldValue* v = find(key);
+    if (v == nullptr) return std::nullopt;
+    if (const auto* d = std::get_if<double>(v)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(v)) return static_cast<double>(*i);
+    if (const auto* u = std::get_if<std::uint64_t>(v)) return static_cast<double>(*u);
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t> TraceEvent::unsigned_int(std::string_view key) const
+{
+    const FieldValue* v = find(key);
+    if (v == nullptr) return std::nullopt;
+    if (const auto* u = std::get_if<std::uint64_t>(v)) return *u;
+    if (const auto* i = std::get_if<std::int64_t>(v); i != nullptr && *i >= 0)
+        return static_cast<std::uint64_t>(*i);
+    return std::nullopt;
+}
+
+std::optional<std::string> TraceEvent::string(std::string_view key) const
+{
+    const FieldValue* v = find(key);
+    if (v == nullptr) return std::nullopt;
+    if (const auto* s = std::get_if<std::string>(v)) return *s;
+    return std::nullopt;
+}
+
+std::string to_jsonl(const TraceEvent& event)
+{
+    std::string out;
+    out.reserve(64 + event.fields.size() * 16);
+    out += "{\"type\":";
+    append_escaped(out, event.type);
+    out += ",\"t\":";
+    append_double(out, event.t);
+    for (const auto& [key, value] : event.fields) {
+        out += ',';
+        append_escaped(out, key);
+        out += ':';
+        append_value(out, value);
+    }
+    out += '}';
+    return out;
+}
+
+std::optional<TraceEvent> parse_jsonl_line(std::string_view line)
+{
+    Parser p{line};
+    p.skip_ws();
+    if (!p.consume('{')) return std::nullopt;
+
+    TraceEvent event{""};
+    bool have_type = false;
+    bool first = true;
+    for (;;) {
+        p.skip_ws();
+        if (p.consume('}')) break;
+        if (!first && !p.consume(',')) return std::nullopt;
+        p.skip_ws();
+        first = false;
+        std::string key;
+        if (!p.parse_string(key)) return std::nullopt;
+        p.skip_ws();
+        if (!p.consume(':')) return std::nullopt;
+        FieldValue value;
+        if (!p.parse_value(value)) return std::nullopt;
+        if (key == "type") {
+            const auto* s = std::get_if<std::string>(&value);
+            if (s == nullptr) return std::nullopt;
+            event.type = *s;
+            have_type = true;
+        }
+        else if (key == "t") {
+            const auto* d = std::get_if<double>(&value);
+            if (d == nullptr) return std::nullopt;
+            event.t = *d;
+        }
+        else {
+            event.fields.emplace_back(std::move(key), std::move(value));
+        }
+    }
+    p.skip_ws();
+    if (!p.eof() || !have_type) return std::nullopt;
+    return event;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path, std::ios::trunc)
+{
+    if (!out_) throw std::runtime_error("JsonlFileSink: cannot open '" + path + "'");
+}
+
+JsonlFileSink::~JsonlFileSink()
+{
+    flush();
+}
+
+void JsonlFileSink::write(const TraceEvent& event)
+{
+    const std::string line = to_jsonl(event);
+    std::lock_guard lock{mutex_};
+    out_ << line << '\n';
+}
+
+void JsonlFileSink::flush()
+{
+    std::lock_guard lock{mutex_};
+    out_.flush();
+}
+
+void MemorySink::write(const TraceEvent& event)
+{
+    std::lock_guard lock{mutex_};
+    events_.push_back(event);
+}
+
+std::vector<TraceEvent> MemorySink::events() const
+{
+    std::lock_guard lock{mutex_};
+    return events_;
+}
+
+std::size_t MemorySink::size() const
+{
+    std::lock_guard lock{mutex_};
+    return events_.size();
+}
+
+std::vector<TraceEvent> MemorySink::events_of(std::string_view type) const
+{
+    std::lock_guard lock{mutex_};
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_)
+        if (e.type == type) out.push_back(e);
+    return out;
+}
+
+namespace {
+thread_local int g_span_depth = 0;
+}
+
+ScopedTimer::ScopedTimer(const Tracer& tracer, std::string_view name)
+{
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    name_ = name;
+    start_ = std::chrono::steady_clock::now();
+    depth_ = ++g_span_depth;
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (tracer_ == nullptr) return;
+    --g_span_depth;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    TraceEvent event{"span"};
+    event.add("name", FieldValue{std::move(name_)});
+    event.add("seconds", FieldValue{seconds});
+    event.add("depth", depth_);
+    tracer_->emit(std::move(event));
+}
+
+}  // namespace nautilus::obs

@@ -146,6 +146,76 @@ TEST(MultiRunCurve, EmptyStatisticsThrow)
     EXPECT_THROW(m.best_final_best(), std::logic_error);
 }
 
+TEST(Curve, EvalsToReachOnEmptyCurve)
+{
+    const Curve c{Direction::maximize};
+    EXPECT_FALSE(c.evals_to_reach(1.0).has_value());
+    EXPECT_FALSE(c.value_at(10.0).has_value());
+}
+
+TEST(Curve, EvalsToReachThresholdNeverReached)
+{
+    const Curve max_c = make_curve(Direction::maximize, {{10, 1.0}, {20, 2.0}});
+    EXPECT_FALSE(max_c.evals_to_reach(2.0001).has_value());
+    const Curve min_c = make_curve(Direction::minimize, {{10, 5.0}, {20, 3.0}});
+    EXPECT_FALSE(min_c.evals_to_reach(2.9999).has_value());
+    // The exact final value still counts as reached.
+    EXPECT_DOUBLE_EQ(*max_c.evals_to_reach(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(*min_c.evals_to_reach(3.0), 20.0);
+}
+
+TEST(Curve, SinglePointCurve)
+{
+    const Curve c = make_curve(Direction::maximize, {{25, 4.0}});
+    EXPECT_DOUBLE_EQ(c.final_evals(), 25.0);
+    EXPECT_DOUBLE_EQ(c.final_best(), 4.0);
+    EXPECT_FALSE(c.value_at(24.9).has_value());
+    EXPECT_DOUBLE_EQ(*c.value_at(25.0), 4.0);
+    EXPECT_DOUBLE_EQ(*c.value_at(1e9), 4.0);
+    EXPECT_DOUBLE_EQ(*c.evals_to_reach(4.0), 25.0);
+    EXPECT_FALSE(c.evals_to_reach(4.5).has_value());
+}
+
+TEST(MultiRunCurve, MeanCurveDropsGridPointsBeforeAnyRunStarts)
+{
+    MultiRunCurve m{Direction::maximize};
+    m.add_run(make_curve(Direction::maximize, {{20, 1.0}, {40, 3.0}}));
+    m.add_run(make_curve(Direction::maximize, {{30, 2.0}}));
+    // Grid points 5 and 10 precede every run's first evaluation: no mean is
+    // defined there, so they are dropped rather than emitted as zeros.
+    const auto mean = m.mean_curve({5.0, 10.0, 20.0, 30.0, 50.0});
+    ASSERT_EQ(mean.size(), 3u);
+    EXPECT_DOUBLE_EQ(mean[0].evals, 20.0);
+    EXPECT_DOUBLE_EQ(mean[0].best, 1.0);   // only run 0 started
+    EXPECT_DOUBLE_EQ(mean[1].best, 1.5);   // (1.0 + 2.0) / 2
+    EXPECT_DOUBLE_EQ(mean[2].best, 2.5);   // (3.0 + 2.0) / 2
+}
+
+TEST(MultiRunCurve, MeanCurveOfSinglePointRuns)
+{
+    MultiRunCurve m{Direction::minimize};
+    m.add_run(make_curve(Direction::minimize, {{10, 6.0}}));
+    m.add_run(make_curve(Direction::minimize, {{10, 2.0}}));
+    const auto mean = m.mean_curve({5.0, 10.0, 15.0});
+    ASSERT_EQ(mean.size(), 2u);
+    EXPECT_DOUBLE_EQ(mean[0].evals, 10.0);
+    EXPECT_DOUBLE_EQ(mean[0].best, 4.0);
+    EXPECT_DOUBLE_EQ(mean[1].best, 4.0);  // single points hold their value
+    const auto conv = m.evals_to_reach(4.0);
+    EXPECT_EQ(conv.reached, 1u);  // only the 2.0 run reaches 4.0
+    EXPECT_DOUBLE_EQ(conv.mean_evals, 10.0);
+}
+
+TEST(MultiRunCurve, MeanCurveOnEmptyAggregateIsEmpty)
+{
+    const MultiRunCurve m{Direction::maximize};
+    EXPECT_TRUE(m.mean_curve({1.0, 2.0}).empty());
+    EXPECT_TRUE(m.default_grid().empty());
+    const auto conv = m.evals_to_reach(1.0);
+    EXPECT_EQ(conv.runs, 0u);
+    EXPECT_EQ(conv.reached, 0u);
+}
+
 TEST(SpeedupAtThreshold, ComputesRatio)
 {
     MultiRunCurve baseline{Direction::maximize};

@@ -25,6 +25,9 @@
 //   --pareto METRIC2            map the METRIC x METRIC2 Pareto front with
 //                               the multi-objective engine instead of a
 //                               single-metric query
+//   --trace PATH                write a structured JSONL trace of the run
+//                               (inspect with trace_inspect)
+//   --metrics                   print the metrics registry dump at the end
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +39,7 @@
 #include "core/hint_estimator.hpp"
 #include "core/nsga2.hpp"
 #include "exp/experiment.hpp"
+#include "obs/obs.hpp"
 #include "fft/fft_generator.hpp"
 #include "ip/analysis.hpp"
 #include "noc/network_generator.hpp"
@@ -61,6 +65,8 @@ struct CliOptions {
     std::string save_dataset;
     std::string dataset;
     std::string pareto_metric;
+    std::string trace_path;
+    bool metrics = false;
 };
 
 [[noreturn]] void usage(const char* argv0)
@@ -70,7 +76,7 @@ struct CliOptions {
                  "          [--direction min|max] [--guidance none|weak|strong|estimated]\n"
                  "          [--runs N] [--generations N] [--population N] [--seed N]\n"
                  "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
-                 "          [--dataset PATH] [--pareto METRIC2]\n",
+                 "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n",
                  argv0);
     std::exit(2);
 }
@@ -98,6 +104,8 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--save-dataset") opt.save_dataset = need_value(i);
         else if (arg == "--dataset") opt.dataset = need_value(i);
         else if (arg == "--pareto") opt.pareto_metric = need_value(i);
+        else if (arg == "--trace") opt.trace_path = need_value(i);
+        else if (arg == "--metrics") opt.metrics = true;
         else if (arg == "--help" || arg == "-h") usage(argv[0]);
         else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -154,6 +162,27 @@ int main(int argc, char** argv)
                 generator->name().c_str(), generator->space().size(),
                 generator->space().cardinality());
 
+    // Observability: tracing to a JSONL file and/or an end-of-run metrics
+    // dump.  Both default off; a default-constructed Instrumentation costs a
+    // predicted branch per site.
+    obs::Instrumentation inst;
+    if (!opt.trace_path.empty()) {
+        try {
+            inst.tracer = obs::Tracer{std::make_shared<obs::JsonlFileSink>(opt.trace_path)};
+        }
+        catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        std::printf("tracing to %s\n", opt.trace_path.c_str());
+    }
+    if (opt.metrics) inst.metrics = std::make_shared<obs::MetricsRegistry>();
+    const auto dump_metrics = [&] {
+        if (!inst.metrics) return;
+        std::cout << "-- metrics --\n";
+        inst.metrics->write_text(std::cout);
+    };
+
     if (!opt.save_dataset.empty() || opt.sensitivity) {
         std::printf("characterizing the full design space...\n");
         const ip::Dataset ds = ip::Dataset::enumerate(*generator);
@@ -196,6 +225,7 @@ int main(int argc, char** argv)
         mo.generations = opt.generations;
         mo.seed = opt.seed;
         mo.eval_workers = opt.workers;
+        mo.obs = inst;
         const Nsga2Engine engine{generator->space(), mo, dirs, eval,
                                  HintSet::none(generator->space())};
         const auto result = engine.run();
@@ -205,6 +235,10 @@ int main(int argc, char** argv)
         for (const auto& p : result.front)
             std::printf("  %12.2f  %12.2f   %s\n", p.values[0], p.values[1],
                         p.genome.to_string(generator->space()).c_str());
+        std::printf("evaluation pipeline: %.3f s @ %zu workers, %zu distinct / %zu calls\n",
+                    result.eval_seconds, result.eval_workers, result.distinct_evals,
+                    result.total_eval_calls);
+        dump_metrics();
         return 0;
     }
 
@@ -214,6 +248,7 @@ int main(int argc, char** argv)
     cfg.ga.population_size = opt.population;
     cfg.ga.seed = opt.seed;
     cfg.ga.eval_workers = opt.workers;
+    cfg.ga.obs = inst;
 
     const exp::Query query = exp::Query::simple(
         std::string(direction_name(direction)) + " " + ip::metric_name(metric), metric,
@@ -243,6 +278,7 @@ int main(int argc, char** argv)
         HintEstimatorConfig ec;
         ec.samples = opt.samples;
         ec.seed = opt.seed ^ 0xe57;
+        ec.tracer = inst.tracer;
         HintSet estimated =
             HintEstimator{ec}.estimate(generator->space(), generator->metric_eval(metric));
         if (direction == Direction::minimize) estimated = estimated.negated_bias();
@@ -255,5 +291,6 @@ int main(int argc, char** argv)
 
     const exp::ExperimentResult result = experiment.run();
     result.print(std::cout);
+    dump_metrics();
     return 0;
 }

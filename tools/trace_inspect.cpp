@@ -1,0 +1,275 @@
+// trace_inspect: summarize and validate JSONL traces written by
+// `nautilus_cli --trace PATH` (or any obs::JsonlFileSink).
+//
+//   trace_inspect run.jsonl            human-readable summary
+//   trace_inspect run.jsonl --check    validation mode: every line must parse
+//                                      and per-run evaluation accounting must
+//                                      be self-consistent; exits nonzero on
+//                                      any failure
+//
+// The summary reports event counts by type, aggregate span timings, a
+// per-run table (engine, waves, distinct vs. total evaluations, cache hit
+// rate, wall-clock) and the hint-guided mutation draw distribution.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+using nautilus::obs::TraceEvent;
+
+namespace {
+
+struct SpanAgg {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+};
+
+// Accounting for one run_start..run_end window.  Waves are attributed to the
+// innermost open run; engines run sequentially so runs never nest.
+struct RunAgg {
+    std::string engine;
+    std::size_t first_line = 0;
+    std::uint64_t waves = 0;
+    std::uint64_t items = 0;
+    std::uint64_t fresh = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t waits = 0;
+    double wave_seconds = 0.0;
+    // From run_end (absent if the trace was truncated mid-run).
+    std::optional<std::uint64_t> distinct_evals;
+    std::optional<std::uint64_t> total_calls;
+    std::optional<double> best;
+    bool feasible = false;
+};
+
+[[noreturn]] void usage(const char* argv0)
+{
+    std::fprintf(stderr, "usage: %s TRACE.jsonl [--check]\n", argv0);
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::string path;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) check = true;
+        else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
+            usage(argv[0]);
+        else if (path.empty()) path = argv[i];
+        else usage(argv[0]);
+    }
+    if (path.empty()) usage(argv[0]);
+
+    std::ifstream in{path};
+    if (!in) {
+        std::fprintf(stderr, "trace_inspect: cannot read %s\n", path.c_str());
+        return 1;
+    }
+
+    std::map<std::string, std::uint64_t> counts;
+    std::map<std::string, SpanAgg> spans;
+    std::vector<RunAgg> runs;
+    std::optional<std::size_t> open_run;  // index into runs
+    std::uint64_t bias_draws = 0;
+    std::uint64_t target_draws = 0;
+    std::uint64_t uniform_draws = 0;
+    std::uint64_t genes_mutated = 0;
+    std::size_t lines = 0;
+    std::size_t parse_errors = 0;
+    double last_t = 0.0;
+
+    std::string line;
+    for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+        if (line.empty()) continue;
+        ++lines;
+        const std::optional<TraceEvent> parsed = nautilus::obs::parse_jsonl_line(line);
+        if (!parsed) {
+            ++parse_errors;
+            std::fprintf(stderr, "%s:%zu: unparseable trace line\n", path.c_str(), lineno);
+            continue;
+        }
+        const TraceEvent& ev = *parsed;
+        ++counts[ev.type];
+        last_t = ev.t;
+
+        if (ev.type == "span") {
+            SpanAgg& agg = spans[ev.string("name").value_or("?")];
+            ++agg.count;
+            agg.seconds += ev.number("seconds").value_or(0.0);
+        }
+        else if (ev.type == "run_start") {
+            RunAgg run;
+            run.engine = ev.string("engine").value_or("?");
+            run.first_line = lineno;
+            runs.push_back(std::move(run));
+            open_run = runs.size() - 1;
+        }
+        else if (ev.type == "eval_wave") {
+            if (open_run) {
+                RunAgg& run = runs[*open_run];
+                ++run.waves;
+                run.items += ev.unsigned_int("size").value_or(0);
+                run.fresh += ev.unsigned_int("fresh").value_or(0);
+                run.hits += ev.unsigned_int("hits").value_or(0);
+                run.waits += ev.unsigned_int("waits").value_or(0);
+                run.wave_seconds += ev.number("seconds").value_or(0.0);
+            }
+            else if (check) {
+                ++parse_errors;
+                std::fprintf(stderr, "%s:%zu: eval_wave outside any run\n", path.c_str(),
+                             lineno);
+            }
+        }
+        else if (ev.type == "run_end") {
+            if (open_run) {
+                RunAgg& run = runs[*open_run];
+                run.distinct_evals = ev.unsigned_int("distinct_evals");
+                run.total_calls = ev.unsigned_int("total_calls");
+                run.best = ev.number("best");
+                if (const nautilus::obs::FieldValue* f = ev.find("feasible"))
+                    if (const bool* b = std::get_if<bool>(f)) run.feasible = *b;
+                open_run.reset();
+            }
+            else if (check) {
+                ++parse_errors;
+                std::fprintf(stderr, "%s:%zu: run_end without run_start\n", path.c_str(),
+                             lineno);
+            }
+        }
+        else if (ev.type == "breed") {
+            bias_draws += ev.unsigned_int("bias_draws").value_or(0);
+            target_draws += ev.unsigned_int("target_draws").value_or(0);
+            uniform_draws += ev.unsigned_int("uniform_draws").value_or(0);
+            genes_mutated += ev.unsigned_int("genes_mutated").value_or(0);
+        }
+        else if (ev.type == "generation") {
+            // NSGA-II reports draws on the generation event instead of breed.
+            bias_draws += ev.unsigned_int("bias_draws").value_or(0);
+            target_draws += ev.unsigned_int("target_draws").value_or(0);
+            uniform_draws += ev.unsigned_int("uniform_draws").value_or(0);
+            genes_mutated += ev.unsigned_int("genes_mutated").value_or(0);
+        }
+    }
+
+    if (lines == 0) {
+        std::fprintf(stderr, "trace_inspect: %s holds no events\n", path.c_str());
+        return 1;
+    }
+
+    // -- validation ---------------------------------------------------------
+    std::size_t accounting_errors = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunAgg& run = runs[i];
+        if (!run.distinct_evals) {
+            if (check) {
+                ++accounting_errors;
+                std::fprintf(stderr, "run %zu (%s, line %zu): run_start without run_end\n",
+                             i, run.engine.c_str(), run.first_line);
+            }
+            continue;
+        }
+        if (run.fresh != *run.distinct_evals) {
+            ++accounting_errors;
+            std::fprintf(stderr,
+                         "run %zu (%s): summed wave fresh %llu != run distinct_evals %llu\n",
+                         i, run.engine.c_str(),
+                         static_cast<unsigned long long>(run.fresh),
+                         static_cast<unsigned long long>(*run.distinct_evals));
+        }
+        if (run.items != run.fresh + run.hits) {
+            ++accounting_errors;
+            std::fprintf(stderr,
+                         "run %zu (%s): wave items %llu != fresh %llu + hits %llu\n", i,
+                         run.engine.c_str(), static_cast<unsigned long long>(run.items),
+                         static_cast<unsigned long long>(run.fresh),
+                         static_cast<unsigned long long>(run.hits));
+        }
+    }
+
+    if (check) {
+        if (parse_errors > 0 || accounting_errors > 0) {
+            std::fprintf(stderr,
+                         "trace_inspect: FAIL (%zu parse errors, %zu accounting errors)\n",
+                         parse_errors, accounting_errors);
+            return 1;
+        }
+        std::printf("trace_inspect: OK (%zu events, %zu runs, accounting consistent)\n",
+                    lines, runs.size());
+        return 0;
+    }
+
+    // -- summary ------------------------------------------------------------
+    std::printf("trace: %s (%zu events, %.3f s span)\n", path.c_str(), lines, last_t);
+    std::printf("events by type:\n");
+    for (const auto& [type, n] : counts)
+        std::printf("  %-14s %8llu\n", type.c_str(), static_cast<unsigned long long>(n));
+
+    if (!spans.empty()) {
+        std::printf("span timings:\n");
+        for (const auto& [name, agg] : spans)
+            std::printf("  %-14s %8llu x %10.4f s total\n", name.c_str(),
+                        static_cast<unsigned long long>(agg.count), agg.seconds);
+    }
+
+    if (!runs.empty()) {
+        std::printf("runs:\n");
+        std::printf("  %3s  %-8s %6s %8s %9s %8s %6s %9s %12s\n", "#", "engine", "waves",
+                    "items", "distinct", "hits", "hit%", "eval s", "best");
+        std::uint64_t total_items = 0;
+        std::uint64_t total_fresh = 0;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const RunAgg& run = runs[i];
+            total_items += run.items;
+            total_fresh += run.fresh;
+            const double hit_rate =
+                run.items > 0
+                    ? 100.0 * static_cast<double>(run.hits) / static_cast<double>(run.items)
+                    : 0.0;
+            std::printf("  %3zu  %-8s %6llu %8llu %9llu %8llu %5.1f%% %9.4f ", i,
+                        run.engine.c_str(), static_cast<unsigned long long>(run.waves),
+                        static_cast<unsigned long long>(run.items),
+                        static_cast<unsigned long long>(run.fresh),
+                        static_cast<unsigned long long>(run.hits), hit_rate,
+                        run.wave_seconds);
+            if (run.best && run.feasible) std::printf("%12.3f", *run.best);
+            else std::printf("%12s", "-");
+            if (!run.distinct_evals) std::printf("  [unterminated]");
+            std::printf("\n");
+        }
+        const double overall_hit =
+            total_items > 0 ? 100.0 * static_cast<double>(total_items - total_fresh) /
+                                  static_cast<double>(total_items)
+                            : 0.0;
+        std::printf("  overall: %llu items, %llu distinct, %.1f%% cache hits\n",
+                    static_cast<unsigned long long>(total_items),
+                    static_cast<unsigned long long>(total_fresh), overall_hit);
+    }
+
+    const std::uint64_t draws = bias_draws + target_draws + uniform_draws;
+    if (draws > 0) {
+        std::printf("mutation draws: %llu genes (bias %.1f%%, target %.1f%%, uniform "
+                    "%.1f%%)\n",
+                    static_cast<unsigned long long>(genes_mutated),
+                    100.0 * static_cast<double>(bias_draws) / static_cast<double>(draws),
+                    100.0 * static_cast<double>(target_draws) / static_cast<double>(draws),
+                    100.0 * static_cast<double>(uniform_draws) /
+                        static_cast<double>(draws));
+    }
+
+    if (accounting_errors > 0) {
+        std::fprintf(stderr, "trace_inspect: %zu accounting inconsistencies (see above)\n",
+                     accounting_errors);
+        return 1;
+    }
+    return 0;
+}
