@@ -114,7 +114,20 @@ void BatchEvaluator::run_batch(std::size_t count,
 {
     if (count == 0) return;
     if (pool_ == nullptr || count == 1) {
-        for (std::size_t i = 0; i < count; ++i) item(i);
+        // Match the pool's semantics exactly: finish every item, then
+        // rethrow the first error.  Aborting mid-batch would leave the
+        // shared cache in a different state than a parallel run, breaking
+        // the worker-count-independence contract when evaluations throw.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                item(i);
+            }
+            catch (...) {
+                if (!error) error = std::current_exception();
+            }
+        }
+        if (error) std::rethrow_exception(error);
         return;
     }
     pool_->run(count, item);

@@ -1,0 +1,352 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nautilus {
+
+namespace {
+
+std::uint64_t double_bits(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+double bits_double(std::uint64_t b)
+{
+    return std::bit_cast<double>(b);
+}
+
+void write_genome(std::ostream& out, const Genome& g)
+{
+    out << g.size();
+    for (std::uint32_t gene : g.genes()) out << ' ' << gene;
+}
+
+void write_values(std::ostream& out, const std::vector<double>& values)
+{
+    out << values.size();
+    for (double v : values) out << ' ' << double_bits(v);
+}
+
+void write_fault(std::ostream& out, const FaultCounters& f)
+{
+    out << "fault " << f.attempts << ' ' << f.retries << ' ' << f.failures << ' '
+        << f.timeouts << ' ' << f.quarantined << ' ' << f.penalties << '\n';
+}
+
+void write_quarantine(std::ostream& out, const std::vector<std::uint64_t>& q)
+{
+    out << "quarantine " << q.size();
+    for (std::uint64_t key : q) out << ' ' << key;
+    out << '\n';
+}
+
+// Token-stream reader with keyword checking; throws std::runtime_error with
+// the offending path and token on any mismatch.
+class Reader {
+public:
+    Reader(std::istream& in, std::string path) : in_(in), path_(std::move(path)) {}
+
+    void expect(const char* keyword)
+    {
+        std::string token;
+        if (!(in_ >> token) || token != keyword)
+            fail(std::string{"expected '"} + keyword + "', got '" + token + "'");
+    }
+
+    std::uint64_t u64()
+    {
+        std::uint64_t v = 0;
+        if (!(in_ >> v)) fail("expected integer");
+        return v;
+    }
+
+    std::size_t size()
+    {
+        return static_cast<std::size_t>(u64());
+    }
+
+    std::uint32_t u32()
+    {
+        return static_cast<std::uint32_t>(u64());
+    }
+
+    double dbl() { return bits_double(u64()); }
+
+    bool boolean() { return u64() != 0; }
+
+    Genome genome()
+    {
+        const std::size_t n = size();
+        std::vector<std::uint32_t> genes;
+        genes.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) genes.push_back(u32());
+        return Genome{std::move(genes)};
+    }
+
+    std::vector<double> values()
+    {
+        const std::size_t n = size();
+        std::vector<double> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) out.push_back(dbl());
+        return out;
+    }
+
+    std::vector<std::uint64_t> quarantine()
+    {
+        expect("quarantine");
+        const std::size_t n = size();
+        std::vector<std::uint64_t> keys;
+        keys.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) keys.push_back(u64());
+        return keys;
+    }
+
+    FaultCounters fault()
+    {
+        expect("fault");
+        FaultCounters f;
+        f.attempts = u64();
+        f.retries = u64();
+        f.failures = u64();
+        f.timeouts = u64();
+        f.quarantined = u64();
+        f.penalties = u64();
+        return f;
+    }
+
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw std::runtime_error("checkpoint " + path_ + ": " + what);
+    }
+
+private:
+    std::istream& in_;
+    std::string path_;
+};
+
+void commit(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out{tmp, std::ios::trunc};
+        if (!out) throw std::runtime_error("checkpoint " + path + ": cannot write " + tmp);
+        out << content;
+        out.flush();
+        if (!out) throw std::runtime_error("checkpoint " + path + ": write failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("checkpoint " + path + ": rename from " + tmp + " failed");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const GaCheckpoint& cp)
+{
+    std::ostringstream out;
+    out << "nautilus-checkpoint " << k_checkpoint_version << " ga\n";
+    out << "config " << cp.config_hash << ' ' << cp.seed << ' ' << cp.generation << '\n';
+    out << "rng " << cp.rng_state[0] << ' ' << cp.rng_state[1] << ' ' << cp.rng_state[2]
+        << ' ' << cp.rng_state[3] << '\n';
+    out << "best " << (cp.have_best ? 1 : 0) << ' ' << (cp.best_eval.feasible ? 1 : 0)
+        << ' ' << double_bits(cp.best_eval.value) << ' ' << double_bits(cp.best_so_far)
+        << ' ' << cp.stall << ' ';
+    write_genome(out, cp.best_genome);
+    out << '\n';
+    out << "history " << cp.history.size() << '\n';
+    for (const GenerationStats& s : cp.history) {
+        out << s.generation << ' ' << double_bits(s.best) << ' ' << double_bits(s.mean)
+            << ' ' << double_bits(s.worst) << ' ' << s.feasible << ' '
+            << double_bits(s.best_so_far) << ' ' << s.distinct_evals << '\n';
+    }
+    out << "curve " << cp.curve.size() << '\n';
+    for (const CurvePoint& p : cp.curve)
+        out << double_bits(p.evals) << ' ' << double_bits(p.best) << '\n';
+    out << "population " << cp.population.size() << '\n';
+    for (const Genome& g : cp.population) {
+        write_genome(out, g);
+        out << '\n';
+    }
+    out << "cache " << cp.cache.size() << '\n';
+    for (const auto& [genome, eval] : cp.cache) {
+        write_genome(out, genome);
+        out << ' ' << (eval.feasible ? 1 : 0) << ' ' << double_bits(eval.value) << '\n';
+    }
+    out << "counters " << cp.distinct << ' ' << cp.calls << '\n';
+    write_quarantine(out, cp.quarantine);
+    write_fault(out, cp.fault);
+    out << "end\n";
+    commit(path, out.str());
+}
+
+void save_checkpoint(const std::string& path, const Nsga2Checkpoint& cp)
+{
+    std::ostringstream out;
+    out << "nautilus-checkpoint " << k_checkpoint_version << " nsga2\n";
+    out << "config " << cp.config_hash << ' ' << cp.seed << ' ' << cp.generation << ' '
+        << cp.objectives << '\n';
+    out << "rng " << cp.rng_state[0] << ' ' << cp.rng_state[1] << ' ' << cp.rng_state[2]
+        << ' ' << cp.rng_state[3] << '\n';
+    out << "population " << cp.population.size() << '\n';
+    for (std::size_t i = 0; i < cp.population.size(); ++i) {
+        write_genome(out, cp.population[i]);
+        out << ' ';
+        write_values(out, cp.population_values[i]);
+        out << '\n';
+    }
+    out << "archive " << cp.archive.size() << '\n';
+    for (std::size_t i = 0; i < cp.archive.size(); ++i) {
+        write_genome(out, cp.archive[i]);
+        out << ' ';
+        write_values(out, cp.archive_values[i]);
+        out << '\n';
+    }
+    out << "cache " << cp.cache.size() << '\n';
+    for (const auto& [genome, value] : cp.cache) {
+        write_genome(out, genome);
+        out << ' ' << (value.has_value() ? 1 : 0);
+        if (value.has_value()) {
+            out << ' ';
+            write_values(out, *value);
+        }
+        out << '\n';
+    }
+    out << "counters " << cp.distinct << ' ' << cp.calls << '\n';
+    write_quarantine(out, cp.quarantine);
+    write_fault(out, cp.fault);
+    out << "end\n";
+    commit(path, out.str());
+}
+
+std::string checkpoint_engine(const std::string& path)
+{
+    std::ifstream in{path};
+    if (!in) throw std::runtime_error("checkpoint " + path + ": cannot open");
+    Reader r{in, path};
+    r.expect("nautilus-checkpoint");
+    const std::uint64_t version = r.u64();
+    if (version != k_checkpoint_version)
+        r.fail("unsupported version " + std::to_string(version) + " (this build reads " +
+               std::to_string(k_checkpoint_version) + ")");
+    std::string engine;
+    if (!(in >> engine) || (engine != "ga" && engine != "nsga2"))
+        r.fail("unknown engine tag '" + engine + "'");
+    return engine;
+}
+
+GaCheckpoint load_ga_checkpoint(const std::string& path)
+{
+    std::ifstream in{path};
+    if (!in) throw std::runtime_error("checkpoint " + path + ": cannot open");
+    Reader r{in, path};
+    r.expect("nautilus-checkpoint");
+    if (const std::uint64_t version = r.u64(); version != k_checkpoint_version)
+        r.fail("unsupported version " + std::to_string(version));
+    r.expect("ga");
+
+    GaCheckpoint cp;
+    r.expect("config");
+    cp.config_hash = r.u64();
+    cp.seed = r.u64();
+    cp.generation = r.size();
+    r.expect("rng");
+    for (auto& word : cp.rng_state) word = r.u64();
+    r.expect("best");
+    cp.have_best = r.boolean();
+    cp.best_eval.feasible = r.boolean();
+    cp.best_eval.value = r.dbl();
+    cp.best_so_far = r.dbl();
+    cp.stall = r.size();
+    cp.best_genome = r.genome();
+    r.expect("history");
+    cp.history.resize(r.size());
+    for (GenerationStats& s : cp.history) {
+        s.generation = r.size();
+        s.best = r.dbl();
+        s.mean = r.dbl();
+        s.worst = r.dbl();
+        s.feasible = r.size();
+        s.best_so_far = r.dbl();
+        s.distinct_evals = r.size();
+    }
+    r.expect("curve");
+    cp.curve.resize(r.size());
+    for (CurvePoint& p : cp.curve) {
+        p.evals = r.dbl();
+        p.best = r.dbl();
+    }
+    r.expect("population");
+    cp.population.resize(r.size());
+    for (Genome& g : cp.population) g = r.genome();
+    r.expect("cache");
+    cp.cache.resize(r.size());
+    for (auto& [genome, eval] : cp.cache) {
+        genome = r.genome();
+        eval.feasible = r.boolean();
+        eval.value = r.dbl();
+    }
+    r.expect("counters");
+    cp.distinct = r.size();
+    cp.calls = r.size();
+    cp.quarantine = r.quarantine();
+    cp.fault = r.fault();
+    r.expect("end");
+    return cp;
+}
+
+Nsga2Checkpoint load_nsga2_checkpoint(const std::string& path)
+{
+    std::ifstream in{path};
+    if (!in) throw std::runtime_error("checkpoint " + path + ": cannot open");
+    Reader r{in, path};
+    r.expect("nautilus-checkpoint");
+    if (const std::uint64_t version = r.u64(); version != k_checkpoint_version)
+        r.fail("unsupported version " + std::to_string(version));
+    r.expect("nsga2");
+
+    Nsga2Checkpoint cp;
+    r.expect("config");
+    cp.config_hash = r.u64();
+    cp.seed = r.u64();
+    cp.generation = r.size();
+    cp.objectives = r.size();
+    r.expect("rng");
+    for (auto& word : cp.rng_state) word = r.u64();
+    r.expect("population");
+    const std::size_t pop = r.size();
+    cp.population.resize(pop);
+    cp.population_values.resize(pop);
+    for (std::size_t i = 0; i < pop; ++i) {
+        cp.population[i] = r.genome();
+        cp.population_values[i] = r.values();
+    }
+    r.expect("archive");
+    const std::size_t arch = r.size();
+    cp.archive.resize(arch);
+    cp.archive_values.resize(arch);
+    for (std::size_t i = 0; i < arch; ++i) {
+        cp.archive[i] = r.genome();
+        cp.archive_values[i] = r.values();
+    }
+    r.expect("cache");
+    cp.cache.resize(r.size());
+    for (auto& [genome, value] : cp.cache) {
+        genome = r.genome();
+        if (r.boolean()) value = r.values();
+        else value = std::nullopt;
+    }
+    r.expect("counters");
+    cp.distinct = r.size();
+    cp.calls = r.size();
+    cp.quarantine = r.quarantine();
+    cp.fault = r.fault();
+    r.expect("end");
+    return cp;
+}
+
+}  // namespace nautilus

@@ -1,0 +1,98 @@
+#pragma once
+// Run-state checkpointing for the search engines.
+//
+// Long queries are cluster-scale workloads (the paper's characterization runs
+// took "200+ cores ... about 2 weeks"); losing 79 generations of GA state to
+// a killed process is not acceptable at that scale.  A checkpoint captures
+// *everything* the engine loop depends on -- generation index, population,
+// RNG stream, memoization cache with its accounting counters, quarantine
+// state and best-so-far bookkeeping -- so a resumed run is bit-for-bit
+// identical to an uninterrupted one at any worker count.
+//
+// File format: versioned line-oriented text ("nautilus-checkpoint <version>
+// <engine>" header, one section per state group, "end" trailer).  Doubles
+// are stored as their IEEE-754 bit patterns (hex u64), never as decimal, so
+// values round-trip exactly.  Files are written to "<path>.tmp" and renamed
+// into place, so a crash mid-write never corrupts the previous checkpoint.
+// Loaders validate the header, version and trailer and throw
+// std::runtime_error on any mismatch; engines additionally compare
+// `config_hash` (a fingerprint of the space shape and the
+// determinism-relevant config fields) before resuming.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/ga.hpp"
+#include "core/run_stats.hpp"
+
+namespace nautilus {
+
+inline constexpr std::uint32_t k_checkpoint_version = 1;
+
+// Single-objective GA run state, captured at "about to evaluate generation
+// `generation`".
+struct GaCheckpoint {
+    std::uint64_t config_hash = 0;
+    std::uint64_t seed = 0;
+    std::size_t generation = 0;  // next generation to evaluate
+    std::array<std::uint64_t, 4> rng_state{};
+    std::vector<Genome> population;
+
+    // Engine bookkeeping through generation - 1.
+    std::vector<GenerationStats> history;
+    std::vector<CurvePoint> curve;
+    bool have_best = false;
+    Genome best_genome;
+    Evaluation best_eval;
+    double best_so_far = 0.0;
+    std::size_t stall = 0;
+
+    // Evaluator state.
+    std::vector<std::pair<Genome, Evaluation>> cache;
+    std::size_t distinct = 0;
+    std::size_t calls = 0;
+    std::vector<std::uint64_t> quarantine;
+    FaultCounters fault;
+};
+
+// NSGA-II run state, captured at the top of the generation loop.
+struct Nsga2Checkpoint {
+    using MultiValue = std::optional<std::vector<double>>;
+
+    std::uint64_t config_hash = 0;
+    std::uint64_t seed = 0;
+    std::size_t generation = 0;
+    std::size_t objectives = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+
+    std::vector<Genome> population;
+    std::vector<std::vector<double>> population_values;
+    std::vector<Genome> archive;
+    std::vector<std::vector<double>> archive_values;
+
+    std::vector<std::pair<Genome, MultiValue>> cache;
+    std::size_t distinct = 0;
+    std::size_t calls = 0;
+    std::vector<std::uint64_t> quarantine;
+    FaultCounters fault;
+};
+
+// Atomically write `cp` to `path` (via "<path>.tmp" + rename).  Throws
+// std::runtime_error when the file cannot be written.
+void save_checkpoint(const std::string& path, const GaCheckpoint& cp);
+void save_checkpoint(const std::string& path, const Nsga2Checkpoint& cp);
+
+// Engine tag of a checkpoint file ("ga" or "nsga2"); validates the header.
+std::string checkpoint_engine(const std::string& path);
+
+// Parse a checkpoint.  Throws std::runtime_error on missing file, version
+// mismatch, wrong engine tag or malformed content.
+GaCheckpoint load_ga_checkpoint(const std::string& path);
+Nsga2Checkpoint load_nsga2_checkpoint(const std::string& path);
+
+}  // namespace nautilus

@@ -15,6 +15,7 @@
 // runs' distinct_evaluations() identical to serial runs (DESIGN.md,
 // "Evaluation pipeline").
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -22,6 +23,8 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/fitness.hpp"
 #include "core/genome.hpp"
@@ -123,6 +126,44 @@ public:
         cache_.clear();
         distinct_ = 0;
         calls_ = 0;
+        inflight_waits_ = 0;
+    }
+
+    // Checkpointable view of the cache: published entries plus the
+    // accounting counters.  Entries are sorted by genome key so snapshots
+    // serialize identically regardless of hash-map iteration order.
+    struct Snapshot {
+        std::vector<std::pair<Genome, Value>> entries;
+        std::size_t distinct = 0;
+        std::size_t calls = 0;
+    };
+
+    // Must not race with in-flight evaluate() calls (engines snapshot
+    // between evaluation waves; in-flight slots would be lost).
+    Snapshot snapshot() const
+    {
+        std::lock_guard lock{mutex_};
+        Snapshot snap;
+        snap.entries.reserve(cache_.size());
+        for (const auto& [genome, value] : cache_)
+            if (value) snap.entries.emplace_back(genome, *value);
+        std::sort(snap.entries.begin(), snap.entries.end(),
+                  [](const auto& a, const auto& b) { return a.first.key() < b.first.key(); });
+        snap.distinct = distinct_;
+        snap.calls = calls_;
+        return snap;
+    }
+
+    // Replace the cache with a checkpointed snapshot.  The restored distinct
+    // and call counters make a resumed run's accounting bit-for-bit equal to
+    // an uninterrupted one.  Must not race with evaluate().
+    void restore(const Snapshot& snap)
+    {
+        std::lock_guard lock{mutex_};
+        cache_.clear();
+        for (const auto& [genome, value] : snap.entries) cache_[genome] = value;
+        distinct_ = snap.distinct;
+        calls_ = snap.calls;
         inflight_waits_ = 0;
     }
 

@@ -1,0 +1,44 @@
+#include "core/fault.hpp"
+
+#include <cmath>
+
+namespace nautilus {
+
+const char* eval_status_name(EvalStatus status)
+{
+    switch (status) {
+        case EvalStatus::ok: return "ok";
+        case EvalStatus::failed: return "failed";
+        case EvalStatus::timed_out: return "timed_out";
+    }
+    return "?";
+}
+
+void RetryPolicy::validate() const
+{
+    if (max_attempts == 0)
+        throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+    if (backoff_ms < 0.0) throw std::invalid_argument("RetryPolicy: backoff_ms < 0");
+    if (backoff_multiplier < 1.0)
+        throw std::invalid_argument("RetryPolicy: backoff_multiplier must be >= 1");
+    if (jitter < 0.0 || jitter > 1.0)
+        throw std::invalid_argument("RetryPolicy: jitter out of [0, 1]");
+    if (timeout_seconds < 0.0)
+        throw std::invalid_argument("RetryPolicy: timeout_seconds < 0");
+}
+
+double RetryPolicy::backoff_before(std::size_t attempt, std::uint64_t key) const
+{
+    if (attempt < 2 || backoff_ms <= 0.0) return 0.0;
+    const double base =
+        backoff_ms * std::pow(backoff_multiplier, static_cast<double>(attempt - 2));
+    if (jitter <= 0.0) return base;
+    // Hash (seed, key, attempt) to a deterministic unit draw; no shared RNG,
+    // so concurrent evaluations cannot perturb each other's schedules.
+    const std::uint64_t h =
+        mix64(hash_combine(hash_combine(jitter_seed, key), static_cast<std::uint64_t>(attempt)));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return base * (1.0 + jitter * (2.0 * unit - 1.0));
+}
+
+}  // namespace nautilus

@@ -1,10 +1,13 @@
 #include "core/ga.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <span>
 #include <stdexcept>
+
+#include "core/checkpoint.hpp"
 
 namespace nautilus {
 
@@ -50,6 +53,11 @@ void GaConfig::validate() const
         throw std::invalid_argument("GaConfig: tournament_size must be >= 1");
     if (eval_workers == 0)
         throw std::invalid_argument("GaConfig: eval_workers must be >= 1");
+    fault.validate();
+    if (checkpoint_every == 0)
+        throw std::invalid_argument("GaConfig: checkpoint_every must be >= 1");
+    if (halt_at_generation != 0 && checkpoint_path.empty())
+        throw std::invalid_argument("GaConfig: halt_at_generation requires checkpoint_path");
 }
 
 void GaEngine::seed_population(std::vector<Genome> seeds)
@@ -83,17 +91,104 @@ RunResult GaEngine::run() const
 
 RunResult GaEngine::run(std::uint64_t seed) const
 {
+    return run_impl(seed, nullptr);
+}
+
+std::uint64_t GaEngine::config_fingerprint(std::uint64_t seed) const
+{
+    std::uint64_t h = 0x6e6175746975ull;  // "nautiu" tag
+    h = hash_combine(h, space_.size());
+    for (const Parameter& p : space_) h = hash_combine(h, p.domain.cardinality());
+    h = hash_combine(h, config_.population_size);
+    h = hash_combine(h, config_.generations);
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.mutation_rate));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.crossover_rate));
+    h = hash_combine(h, static_cast<std::uint64_t>(config_.crossover));
+    h = hash_combine(h, static_cast<std::uint64_t>(config_.selection.kind));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.selection.rank_pressure));
+    h = hash_combine(h, config_.selection.tournament_size);
+    h = hash_combine(h, config_.elitism);
+    h = hash_combine(h, config_.target_value
+                            ? std::bit_cast<std::uint64_t>(*config_.target_value)
+                            : 0x7a11);
+    h = hash_combine(h, config_.stall_generations);
+    h = hash_combine(h, config_.fault.retry.max_attempts);
+    h = hash_combine(h, config_.fault.tolerate_failures ? 1 : 0);
+    h = hash_combine(h, config_.fault_penalty.feasible ? 1 : 0);
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.fault_penalty.value));
+    h = hash_combine(h, static_cast<std::uint64_t>(direction_));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(hints_.confidence()));
+    for (const Genome& g : seeds_) h = hash_combine(h, g.key());
+    return hash_combine(h, seed);
+}
+
+RunResult GaEngine::resume(const std::string& checkpoint_path) const
+{
+    const GaCheckpoint cp = load_ga_checkpoint(checkpoint_path);
+    if (cp.config_hash != config_fingerprint(cp.seed))
+        throw std::runtime_error(
+            "GaEngine::resume: checkpoint " + checkpoint_path +
+            " was written with a different space/config/hints/seed");
+    return run_impl(cp.seed, &cp);
+}
+
+RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) const
+{
     Rng rng{seed};
-    CachingEvaluator evaluator{eval_};
+    // The fault guard sits *below* the memoization cache: every cache miss is
+    // one guarded call, so penalties are cached like ordinary results and
+    // attempts == distinct evals + retries (DESIGN.md section 8).
+    FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
+    guard.set_instrumentation(config_.obs);
+    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_observer(config_.eval_observer);
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
     obs::Counter* m_generations = nullptr;
+    obs::Counter* m_checkpoints = nullptr;
     if (obs::MetricsRegistry* reg = config_.obs.registry()) {
         reg->counter("ga.runs").add();
         m_generations = &reg->counter("ga.generations");
+        if (!config_.checkpoint_path.empty())
+            m_checkpoints = &reg->counter("checkpoint.writes");
     }
+
+    const FitnessMapper mapper{direction_};
+    RunResult result{direction_};
+    result.history.reserve(config_.generations);
+    double best_so_far = worst_value(direction_);
+    bool have_best = false;
+    std::size_t stall = 0;
+    std::size_t start_gen = 0;
+    std::vector<Genome> population;
+    population.reserve(config_.population_size);
+
+    if (restored != nullptr) {
+        start_gen = restored->generation;
+        rng.restore(restored->rng_state);
+        population = restored->population;
+        result.history = restored->history;
+        for (const CurvePoint& p : restored->curve) result.curve.append(p.evals, p.best);
+        have_best = restored->have_best;
+        result.best_genome = restored->best_genome;
+        result.best_eval = restored->best_eval;
+        best_so_far = restored->best_so_far;
+        stall = restored->stall;
+        CachingEvaluator::Snapshot snap;
+        snap.entries = restored->cache;
+        snap.distinct = restored->distinct;
+        snap.calls = restored->calls;
+        evaluator.restore(snap);
+        guard.restore(restored->quarantine, restored->fault);
+    }
+    else {
+        for (const Genome& g : seeds_) population.push_back(g);
+        while (population.size() < config_.population_size)
+            population.push_back(Genome::random(space_, rng));
+    }
+    result.start_generation = start_gen;
+
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "ga")
@@ -104,27 +199,67 @@ RunResult GaEngine::run(std::uint64_t seed) const
             .add("mutation_rate", obs::FieldValue{config_.mutation_rate})
             .add("crossover_rate", obs::FieldValue{config_.crossover_rate})
             .add("confidence", obs::FieldValue{hints_.confidence()});
+        if (restored != nullptr) {
+            const FaultCounters fc = guard.counters();
+            ev.add("resumed", obs::FieldValue{true})
+                .add("start_generation", start_gen)
+                .add("distinct_at_start", evaluator.distinct_evaluations())
+                .add("attempts_at_start", std::size_t{fc.attempts})
+                .add("retries_at_start", std::size_t{fc.retries});
+        }
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "ga.run"};
-    const FitnessMapper mapper{direction_};
 
-    std::vector<Genome> population;
-    population.reserve(config_.population_size);
-    for (const Genome& seed : seeds_) population.push_back(seed);
-    while (population.size() < config_.population_size)
-        population.push_back(Genome::random(space_, rng));
-
-    RunResult result{direction_};
-    result.history.reserve(config_.generations);
-    double best_so_far = worst_value(direction_);
-    bool have_best = false;
+    // Capture the loop state as "about to evaluate generation `gen`" and
+    // write it out atomically.
+    const auto write_checkpoint = [&](std::size_t gen) {
+        GaCheckpoint cp;
+        cp.config_hash = config_fingerprint(seed);
+        cp.seed = seed;
+        cp.generation = gen;
+        cp.rng_state = rng.state();
+        cp.population = population;
+        cp.history = result.history;
+        cp.curve = result.curve.points();
+        cp.have_best = have_best;
+        cp.best_genome = result.best_genome;
+        cp.best_eval = result.best_eval;
+        cp.best_so_far = best_so_far;
+        cp.stall = stall;
+        CachingEvaluator::Snapshot snap = evaluator.snapshot();
+        cp.cache = std::move(snap.entries);
+        cp.distinct = snap.distinct;
+        cp.calls = snap.calls;
+        cp.quarantine = guard.quarantined_keys();
+        cp.fault = guard.counters();
+        save_checkpoint(config_.checkpoint_path, cp);
+        if (m_checkpoints != nullptr) m_checkpoints->add();
+        if (tracer.enabled()) {
+            obs::TraceEvent ev{"checkpoint"};
+            ev.add("engine", "ga")
+                .add("path", config_.checkpoint_path.c_str())
+                .add("generation", gen)
+                .add("cache", cp.cache.size())
+                .add("quarantined", cp.quarantine.size());
+            tracer.emit(std::move(ev));
+        }
+    };
 
     std::vector<Evaluation> evals(config_.population_size);
     std::vector<double> fitness(config_.population_size);
-    std::size_t stall = 0;
 
-    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
+        const bool halt_here =
+            config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
+            gen > start_gen;
+        if (!config_.checkpoint_path.empty() && gen > start_gen &&
+            (gen % config_.checkpoint_every == 0 || halt_here))
+            write_checkpoint(gen);
+        if (halt_here) {
+            result.halted = true;
+            break;
+        }
         // --- Evaluate (fans out across the worker pool) -------------------
         batch_eval.evaluate(evaluator, population, std::span<Evaluation>{evals});
         for (std::size_t i = 0; i < population.size(); ++i)
@@ -256,6 +391,9 @@ RunResult GaEngine::run(std::uint64_t seed) const
     result.total_eval_calls = evaluator.total_calls();
     result.eval_seconds = batch_eval.eval_seconds();
     result.eval_workers = batch_eval.workers();
+    result.final_population = std::move(population);
+    result.final_rng_state = rng.state();
+    result.fault = guard.counters();
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_end"};
         ev.add("engine", "ga")
@@ -267,7 +405,14 @@ RunResult GaEngine::run(std::uint64_t seed) const
             .add("best", obs::FieldValue{have_best ? best_so_far : 0.0})
             .add("hit_target", obs::FieldValue{result.hit_target})
             .add("stalled", obs::FieldValue{result.stalled})
-            .add("eval_seconds", obs::FieldValue{result.eval_seconds});
+            .add("halted", obs::FieldValue{result.halted})
+            .add("eval_seconds", obs::FieldValue{result.eval_seconds})
+            .add("attempts", std::size_t{result.fault.attempts})
+            .add("retries", std::size_t{result.fault.retries})
+            .add("eval_failures", std::size_t{result.fault.failures})
+            .add("eval_timeouts", std::size_t{result.fault.timeouts})
+            .add("quarantined", std::size_t{result.fault.quarantined})
+            .add("penalties", std::size_t{result.fault.penalties});
         tracer.emit(std::move(ev));
     }
     return result;

@@ -7,13 +7,16 @@
 // *Nautilus*.  The evaluation cost model (distinct synthesized designs) is
 // delegated to CachingEvaluator.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/batch_evaluator.hpp"
 #include "core/evaluator.hpp"
+#include "core/fault.hpp"
 #include "core/fitness.hpp"
 #include "core/genome.hpp"
 #include "core/hints.hpp"
@@ -22,6 +25,8 @@
 #include "core/selection.hpp"
 
 namespace nautilus {
+
+struct GaCheckpoint;  // core/checkpoint.hpp
 
 struct GaConfig {
     std::size_t population_size = 10;   // paper section 4.1
@@ -55,6 +60,23 @@ struct GaConfig {
     // section 7).  Search results are identical with or without tracing.
     obs::Instrumentation obs;
 
+    // Fault tolerance (DESIGN.md section 8).  With tolerate_failures on,
+    // evaluations that still fail after the retry ladder are quarantined and
+    // answered with `fault_penalty` (infeasible by default) instead of
+    // aborting the run.
+    FaultPolicy fault;
+    Evaluation fault_penalty{false, 0.0};
+
+    // Checkpoint/resume.  When `checkpoint_path` is set, the full run state
+    // is written there every `checkpoint_every` generations (atomically, via
+    // a temp file).  `halt_at_generation` (when nonzero) writes a checkpoint
+    // at that generation and stops the run with result.halted = true -- a
+    // deterministic stand-in for "the process was killed", used by the
+    // resume tests and `nautilus_cli --die-at-gen`.
+    std::string checkpoint_path;
+    std::size_t checkpoint_every = 1;
+    std::size_t halt_at_generation = 0;  // 0 = never halt
+
     void validate() const;  // throws std::invalid_argument on bad settings
 };
 
@@ -77,8 +99,18 @@ struct RunResult {
     Curve curve;  // best-so-far vs distinct evaluations
     bool hit_target = false;     // stopped because target_value was reached
     bool stalled = false;        // stopped by the stall_generations criterion
+    bool halted = false;         // stopped by halt_at_generation (checkpointed)
     double eval_seconds = 0.0;   // measured wall-clock spent evaluating
     std::size_t eval_workers = 1;  // parallelism the run evaluated with
+    std::size_t start_generation = 0;  // nonzero when resumed from a checkpoint
+
+    // End-of-run engine state, for resume-determinism auditing: a resumed
+    // run must reproduce these bit-for-bit.
+    std::vector<Genome> final_population;
+    std::array<std::uint64_t, 4> final_rng_state{};
+
+    // Fault-tolerance accounting (attempts == distinct evals + retries).
+    FaultCounters fault;
 
     RunResult() : curve(Direction::maximize) {}
     explicit RunResult(Direction dir) : curve(dir) {}
@@ -136,6 +168,19 @@ public:
     // Run once with an explicit seed (overrides config.seed).
     RunResult run(std::uint64_t seed) const;
 
+    // Resume a checkpointed run.  The engine must be constructed over the
+    // same space/config/hints the checkpoint was written with (validated by
+    // a config fingerprint; throws std::runtime_error on mismatch).  The
+    // returned result -- history, curve, best genome, final population, RNG
+    // state, distinct-eval counts -- is bit-for-bit identical to a run that
+    // was never interrupted, at any eval_workers count.
+    RunResult resume(const std::string& checkpoint_path) const;
+
+    // Fingerprint of everything resume-determinism depends on: the space
+    // shape, the determinism-relevant config fields, the hints and the run
+    // seed.  Stored in checkpoints and compared on resume.
+    std::uint64_t config_fingerprint(std::uint64_t seed) const;
+
     // `count` independent runs with seeds derived from config.seed, averaged
     // into a MultiRunCurve (the paper averages 20-40 runs per experiment).
     // When `summary` is non-null it receives the aggregate evaluation
@@ -143,6 +188,8 @@ public:
     MultiRunCurve run_many(std::size_t count, EvalSummary* summary = nullptr) const;
 
 private:
+    RunResult run_impl(std::uint64_t seed, const GaCheckpoint* restored) const;
+
     const ParameterSpace& space_;
     GaConfig config_;
     Direction direction_;

@@ -49,6 +49,7 @@ void AnnealingConfig::validate() const
         throw std::invalid_argument("AnnealingConfig: negative initial temperature");
     if (eval_workers == 0)
         throw std::invalid_argument("AnnealingConfig: eval_workers must be >= 1");
+    fault.validate();
 }
 
 SimulatedAnnealing::SimulatedAnnealing(const ParameterSpace& space, AnnealingConfig config,
@@ -66,7 +67,9 @@ SimulatedAnnealing::SimulatedAnnealing(const ParameterSpace& space, AnnealingCon
 Curve SimulatedAnnealing::run(std::uint64_t seed) const
 {
     Rng rng{seed};
-    CachingEvaluator evaluator{eval_};
+    FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
+    guard.set_instrumentation(config_.obs);
+    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
@@ -193,6 +196,7 @@ void HillClimbConfig::validate() const
         throw std::invalid_argument("HillClimbConfig: mutation_rate out of (0, 1]");
     if (eval_workers == 0)
         throw std::invalid_argument("HillClimbConfig: eval_workers must be >= 1");
+    fault.validate();
 }
 
 HillClimber::HillClimber(const ParameterSpace& space, HillClimbConfig config,
@@ -210,7 +214,9 @@ HillClimber::HillClimber(const ParameterSpace& space, HillClimbConfig config,
 Curve HillClimber::run(std::uint64_t seed) const
 {
     Rng rng{seed};
-    CachingEvaluator evaluator{eval_};
+    FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
+    guard.set_instrumentation(config_.obs);
+    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/evaluator.hpp"
+#include "core/fault.hpp"
 #include "core/fitness.hpp"
 #include "core/hints.hpp"
 #include "core/operators.hpp"
@@ -33,6 +34,9 @@ struct AnnealingConfig {
     std::size_t eval_workers = 1;
     // Tracing + metrics (off by default); does not affect the walk.
     obs::Instrumentation obs;
+    // Fault tolerance (DESIGN.md section 8); shared semantics with GaConfig.
+    FaultPolicy fault;
+    Evaluation fault_penalty{false, 0.0};
 
     void validate() const;
 };
@@ -66,6 +70,9 @@ struct HillClimbConfig {
     std::size_t eval_workers = 1;
     // Tracing + metrics (off by default); does not affect the walk.
     obs::Instrumentation obs;
+    // Fault tolerance (DESIGN.md section 8); shared semantics with GaConfig.
+    FaultPolicy fault;
+    Evaluation fault_penalty{false, 0.0};
 
     void validate() const;
 };

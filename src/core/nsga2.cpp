@@ -1,11 +1,13 @@
 #include "core/nsga2.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/batch_evaluator.hpp"
+#include "core/checkpoint.hpp"
 #include "core/evaluator.hpp"
 
 namespace nautilus {
@@ -22,6 +24,12 @@ void MultiObjectiveConfig::validate() const
         throw std::invalid_argument("MultiObjectiveConfig: crossover_rate out of [0, 1]");
     if (eval_workers == 0)
         throw std::invalid_argument("MultiObjectiveConfig: eval_workers must be >= 1");
+    fault.validate();
+    if (checkpoint_every == 0)
+        throw std::invalid_argument("MultiObjectiveConfig: checkpoint_every must be >= 1");
+    if (halt_at_generation != 0 && checkpoint_path.empty())
+        throw std::invalid_argument(
+            "MultiObjectiveConfig: halt_at_generation requires checkpoint_path");
 }
 
 std::vector<std::vector<std::size_t>> non_dominated_sort(
@@ -109,25 +117,99 @@ Nsga2Engine::Nsga2Engine(const ParameterSpace& space, MultiObjectiveConfig confi
 
 MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
 {
+    return run_impl(seed, nullptr);
+}
+
+std::uint64_t Nsga2Engine::config_fingerprint(std::uint64_t seed) const
+{
+    std::uint64_t h = 0x6e736761ull;  // "nsga" tag
+    h = hash_combine(h, space_.size());
+    for (const Parameter& p : space_) h = hash_combine(h, p.domain.cardinality());
+    h = hash_combine(h, config_.population_size);
+    h = hash_combine(h, config_.generations);
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.mutation_rate));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.crossover_rate));
+    h = hash_combine(h, static_cast<std::uint64_t>(config_.crossover));
+    h = hash_combine(h, config_.fault.retry.max_attempts);
+    h = hash_combine(h, config_.fault.tolerate_failures ? 1 : 0);
+    h = hash_combine(h, directions_.size());
+    for (Direction d : directions_) h = hash_combine(h, static_cast<std::uint64_t>(d));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(hints_.confidence()));
+    return hash_combine(h, seed);
+}
+
+MultiObjectiveResult Nsga2Engine::resume(const std::string& checkpoint_path) const
+{
+    const Nsga2Checkpoint cp = load_nsga2_checkpoint(checkpoint_path);
+    if (cp.config_hash != config_fingerprint(cp.seed))
+        throw std::runtime_error(
+            "Nsga2Engine::resume: checkpoint " + checkpoint_path +
+            " was written with a different space/config/hints/seed");
+    if (cp.objectives != directions_.size())
+        throw std::runtime_error("Nsga2Engine::resume: objective count mismatch");
+    return run_impl(cp.seed, &cp);
+}
+
+MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
+                                           const Nsga2Checkpoint* restored) const
+{
     Rng rng{seed};
 
     // Memoized evaluation with distinct counting (the paper's cost model),
-    // fanned out across the worker pool one wave at a time.
+    // fanned out across the worker pool one wave at a time.  The fault guard
+    // sits below the cache (see core/fault.hpp); the multi-objective penalty
+    // is nullopt, so quarantined designs are simply infeasible.
     using MultiValue = std::optional<std::vector<double>>;
-    BasicCachingEvaluator<MultiValue> evaluator{[this](const Genome& g) {
-        MultiValue values = eval_(g);
-        if (values && values->size() != directions_.size())
-            throw std::runtime_error("Nsga2Engine: objective arity mismatch");
-        return values;
-    }};
+    FaultTolerantEvaluator<MultiValue> guard{
+        [this](const Genome& g) {
+            MultiValue values = eval_(g);
+            if (values && values->size() != directions_.size())
+                throw std::runtime_error("Nsga2Engine: objective arity mismatch");
+            return values;
+        },
+        config_.fault, MultiValue{}};
+    guard.set_instrumentation(config_.obs);
+    BasicCachingEvaluator<MultiValue> evaluator{
+        [&guard](const Genome& g) { return guard.evaluate(g); }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
     obs::Counter* m_generations = nullptr;
+    obs::Counter* m_checkpoints = nullptr;
     if (obs::MetricsRegistry* reg = config_.obs.registry()) {
         reg->counter("nsga2.runs").add();
         m_generations = &reg->counter("nsga2.generations");
+        if (!config_.checkpoint_path.empty())
+            m_checkpoints = &reg->counter("checkpoint.writes");
     }
+
+    struct Member {
+        Genome genome;
+        std::vector<double> values;  // feasible members only join the pool
+    };
+
+    // Archive of every feasible point seen (for the final front).
+    std::vector<Member> archive;
+    std::vector<Member> population;
+    std::size_t start_gen = 0;
+
+    if (restored != nullptr) {
+        start_gen = restored->generation;
+        rng.restore(restored->rng_state);
+        population.reserve(restored->population.size());
+        for (std::size_t i = 0; i < restored->population.size(); ++i)
+            population.push_back({restored->population[i], restored->population_values[i]});
+        archive.reserve(restored->archive.size());
+        for (std::size_t i = 0; i < restored->archive.size(); ++i)
+            archive.push_back({restored->archive[i], restored->archive_values[i]});
+        BasicCachingEvaluator<MultiValue>::Snapshot snap;
+        snap.entries = restored->cache;
+        snap.distinct = restored->distinct;
+        snap.calls = restored->calls;
+        evaluator.restore(snap);
+        guard.restore(restored->quarantine, restored->fault);
+    }
+
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "nsga2")
@@ -137,6 +219,14 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
             .add("objectives", directions_.size())
             .add("workers", config_.eval_workers)
             .add("confidence", obs::FieldValue{hints_.confidence()});
+        if (restored != nullptr) {
+            const FaultCounters fc = guard.counters();
+            ev.add("resumed", obs::FieldValue{true})
+                .add("start_generation", start_gen)
+                .add("distinct_at_start", evaluator.distinct_evaluations())
+                .add("attempts_at_start", std::size_t{fc.attempts})
+                .add("retries_at_start", std::size_t{fc.retries});
+        }
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "nsga2.run"};
@@ -145,6 +235,8 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
         result.total_eval_calls = evaluator.total_calls();
         result.eval_seconds = batch_eval.eval_seconds();
         result.eval_workers = batch_eval.workers();
+        result.start_generation = start_gen;
+        result.fault = guard.counters();
         if (tracer.enabled()) {
             obs::TraceEvent ev{"run_end"};
             ev.add("engine", "nsga2")
@@ -152,20 +244,19 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
                 .add("total_calls", result.total_eval_calls)
                 .add("inflight_waits", evaluator.inflight_waits())
                 .add("front_size", result.front.size())
-                .add("eval_seconds", obs::FieldValue{result.eval_seconds});
+                .add("halted", obs::FieldValue{result.halted})
+                .add("eval_seconds", obs::FieldValue{result.eval_seconds})
+                .add("attempts", std::size_t{result.fault.attempts})
+                .add("retries", std::size_t{result.fault.retries})
+                .add("eval_failures", std::size_t{result.fault.failures})
+                .add("eval_timeouts", std::size_t{result.fault.timeouts})
+                .add("quarantined", std::size_t{result.fault.quarantined})
+                .add("penalties", std::size_t{result.fault.penalties});
             tracer.emit(std::move(ev));
         }
         return result;
     };
     std::vector<MultiValue> wave_values;
-
-    struct Member {
-        Genome genome;
-        std::vector<double> values;  // feasible members only join the pool
-    };
-
-    // Archive of every feasible point seen (for the final front).
-    std::vector<Member> archive;
 
     auto to_points = [&](const std::vector<Member>& pool) {
         std::vector<ObjectivePoint> pts;
@@ -174,26 +265,64 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
         return pts;
     };
 
-    // Initial population (feasible members only; bounded resampling).  Waves
-    // are sized by the remaining need so the draw sequence is identical to a
-    // serial run while each wave evaluates concurrently.
-    std::vector<Member> population;
-    std::size_t draws = 0;
-    const std::size_t draw_cap = config_.population_size * 50;
-    std::vector<Genome> wave;
-    while (population.size() < config_.population_size && draws < draw_cap) {
-        const std::size_t chunk =
-            std::min(config_.population_size - population.size(), draw_cap - draws);
-        wave.clear();
-        for (std::size_t i = 0; i < chunk; ++i) wave.push_back(Genome::random(space_, rng));
-        draws += chunk;
-        wave_values.assign(chunk, MultiValue{});
-        batch_eval.evaluate(evaluator, wave, std::span<MultiValue>{wave_values});
-        for (std::size_t i = 0; i < chunk; ++i)
-            if (wave_values[i]) population.push_back({wave[i], *wave_values[i]});
+    // State captured at the top of the generation loop ("about to run
+    // generation `gen`"), written atomically.
+    const auto write_checkpoint = [&](std::size_t gen) {
+        Nsga2Checkpoint cp;
+        cp.config_hash = config_fingerprint(seed);
+        cp.seed = seed;
+        cp.generation = gen;
+        cp.objectives = directions_.size();
+        cp.rng_state = rng.state();
+        for (const Member& m : population) {
+            cp.population.push_back(m.genome);
+            cp.population_values.push_back(m.values);
+        }
+        for (const Member& m : archive) {
+            cp.archive.push_back(m.genome);
+            cp.archive_values.push_back(m.values);
+        }
+        typename BasicCachingEvaluator<MultiValue>::Snapshot snap = evaluator.snapshot();
+        cp.cache = std::move(snap.entries);
+        cp.distinct = snap.distinct;
+        cp.calls = snap.calls;
+        cp.quarantine = guard.quarantined_keys();
+        cp.fault = guard.counters();
+        save_checkpoint(config_.checkpoint_path, cp);
+        if (m_checkpoints != nullptr) m_checkpoints->add();
+        if (tracer.enabled()) {
+            obs::TraceEvent ev{"checkpoint"};
+            ev.add("engine", "nsga2")
+                .add("path", config_.checkpoint_path.c_str())
+                .add("generation", gen)
+                .add("cache", cp.cache.size())
+                .add("quarantined", cp.quarantine.size());
+            tracer.emit(std::move(ev));
+        }
+    };
+
+    if (restored == nullptr) {
+        // Initial population (feasible members only; bounded resampling).
+        // Waves are sized by the remaining need so the draw sequence is
+        // identical to a serial run while each wave evaluates concurrently.
+        std::size_t draws = 0;
+        const std::size_t draw_cap = config_.population_size * 50;
+        std::vector<Genome> wave;
+        while (population.size() < config_.population_size && draws < draw_cap) {
+            const std::size_t chunk =
+                std::min(config_.population_size - population.size(), draw_cap - draws);
+            wave.clear();
+            for (std::size_t i = 0; i < chunk; ++i)
+                wave.push_back(Genome::random(space_, rng));
+            draws += chunk;
+            wave_values.assign(chunk, MultiValue{});
+            batch_eval.evaluate(evaluator, wave, std::span<MultiValue>{wave_values});
+            for (std::size_t i = 0; i < chunk; ++i)
+                if (wave_values[i]) population.push_back({wave[i], *wave_values[i]});
+        }
+        if (population.size() < 4) return finish({});
+        for (const Member& m : population) archive.push_back(m);
     }
-    if (population.size() < 4) return finish({});
-    for (const Member& m : population) archive.push_back(m);
 
     MutationStats mut_stats;
     MutationContext ctx;
@@ -202,7 +331,18 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
     ctx.mutation_rate = config_.mutation_rate;
     if (tracer.enabled()) ctx.stats = &mut_stats;
 
-    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    bool halted = false;
+    for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
+        const bool halt_here =
+            config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
+            gen > start_gen;
+        if (!config_.checkpoint_path.empty() && gen > start_gen &&
+            (gen % config_.checkpoint_every == 0 || halt_here))
+            write_checkpoint(gen);
+        if (halt_here) {
+            halted = true;
+            break;
+        }
         ctx.generation = gen;
 
         // Rank the current pool.
@@ -318,6 +458,7 @@ MultiObjectiveResult Nsga2Engine::run(std::uint64_t seed) const
     const auto front_idx = pareto_front(archive_points, directions_);
 
     MultiObjectiveResult result;
+    result.halted = halted;
     result.front.reserve(front_idx.size());
     for (std::size_t idx : front_idx)
         result.front.push_back({archive[idx].genome, archive[idx].values});

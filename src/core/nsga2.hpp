@@ -13,8 +13,10 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/genome.hpp"
 #include "core/hints.hpp"
 #include "core/operators.hpp"
@@ -22,6 +24,8 @@
 #include "obs/obs.hpp"
 
 namespace nautilus {
+
+struct Nsga2Checkpoint;  // core/checkpoint.hpp
 
 // Multi-objective evaluation: objective values in natural units, or nullopt
 // for infeasible configurations.  Must be deterministic per genome.
@@ -40,6 +44,16 @@ struct MultiObjectiveConfig {
     // Tracing + metrics (off by default); does not affect search results.
     obs::Instrumentation obs;
 
+    // Fault tolerance (DESIGN.md section 8).  The multi-objective penalty is
+    // always "infeasible" (nullopt): a quarantined design simply never joins
+    // the pool or the archive.
+    FaultPolicy fault;
+
+    // Checkpoint/resume; same semantics as GaConfig (DESIGN.md section 8).
+    std::string checkpoint_path;
+    std::size_t checkpoint_every = 1;
+    std::size_t halt_at_generation = 0;  // 0 = never halt
+
     void validate() const;
 };
 
@@ -55,6 +69,9 @@ struct MultiObjectiveResult {
     std::size_t total_eval_calls = 0;  // including cache hits
     double eval_seconds = 0.0;         // measured wall-clock spent evaluating
     std::size_t eval_workers = 1;
+    bool halted = false;               // stopped by halt_at_generation
+    std::size_t start_generation = 0;  // nonzero when resumed from a checkpoint
+    FaultCounters fault;               // attempts == distinct evals + retries
 };
 
 class Nsga2Engine {
@@ -71,7 +88,17 @@ public:
     MultiObjectiveResult run(std::uint64_t seed) const;
     MultiObjectiveResult run() const { return run(config_.seed); }
 
+    // Resume a checkpointed run; same contract as GaEngine::resume (config
+    // fingerprint validated, result bit-for-bit equal to an uninterrupted
+    // run at any eval_workers count).
+    MultiObjectiveResult resume(const std::string& checkpoint_path) const;
+
+    // Fingerprint of everything resume-determinism depends on.
+    std::uint64_t config_fingerprint(std::uint64_t seed) const;
+
 private:
+    MultiObjectiveResult run_impl(std::uint64_t seed, const Nsga2Checkpoint* restored) const;
+
     const ParameterSpace& space_;
     MultiObjectiveConfig config_;
     std::vector<Direction> directions_;

@@ -250,4 +250,25 @@ std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverK
     return {std::move(child_a), std::move(child_b)};
 }
 
+std::size_t repair(Genome& genome, const ParameterSpace& space)
+{
+    std::size_t changed = 0;
+    std::vector<std::uint32_t> genes = genome.genes();
+    if (genes.size() != space.size()) {
+        changed += genes.size() > space.size() ? genes.size() - space.size()
+                                               : space.size() - genes.size();
+        genes.resize(space.size(), 0);
+    }
+    for (std::size_t i = 0; i < genes.size(); ++i) {
+        const auto cardinality =
+            static_cast<std::uint32_t>(space[i].domain.cardinality());
+        if (genes[i] >= cardinality) {
+            genes[i] = cardinality - 1;
+            ++changed;
+        }
+    }
+    if (changed > 0) genome = Genome{std::move(genes)};
+    return changed;
+}
+
 }  // namespace nautilus

@@ -74,4 +74,11 @@ const char* crossover_name(CrossoverKind kind);
 std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverKind kind,
                                     Rng& rng);
 
+// Force `genome` back into `space`: truncate or zero-extend to the space's
+// parameter count and clamp every out-of-domain gene index to its domain's
+// last value.  Used when seeding populations from external sources (files,
+// checkpoints of a since-grown space).  Returns the number of genes changed;
+// afterwards genome.compatible_with(space) always holds.
+std::size_t repair(Genome& genome, const ParameterSpace& space);
+
 }  // namespace nautilus

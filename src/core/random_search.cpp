@@ -17,6 +17,7 @@ void RandomSearchConfig::validate() const
         throw std::invalid_argument("RandomSearchConfig: max_distinct_evals must be >= 1");
     if (eval_workers == 0)
         throw std::invalid_argument("RandomSearchConfig: eval_workers must be >= 1");
+    fault.validate();
 }
 
 RandomSearch::RandomSearch(const ParameterSpace& space, RandomSearchConfig config,
@@ -31,7 +32,9 @@ RandomSearch::RandomSearch(const ParameterSpace& space, RandomSearchConfig confi
 Curve RandomSearch::run(std::uint64_t seed) const
 {
     Rng rng{seed};
-    CachingEvaluator evaluator{eval_};
+    FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
+    guard.set_instrumentation(config_.obs);
+    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
@@ -88,7 +91,10 @@ Curve RandomSearch::run(std::uint64_t seed) const
             .add("draws", draws)
             .add("feasible", obs::FieldValue{have_best})
             .add("best", obs::FieldValue{have_best ? best : 0.0})
-            .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()});
+            .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()})
+            .add("attempts", std::size_t{guard.counters().attempts})
+            .add("retries", std::size_t{guard.counters().retries})
+            .add("quarantined", std::size_t{guard.counters().quarantined});
         tracer.emit(std::move(ev));
     }
     return curve;

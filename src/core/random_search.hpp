@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/evaluator.hpp"
+#include "core/fault.hpp"
 #include "core/fitness.hpp"
 #include "core/parameter.hpp"
 #include "core/run_stats.hpp"
@@ -25,6 +26,9 @@ struct RandomSearchConfig {
     std::size_t eval_workers = 1;
     // Tracing + metrics (off by default); does not affect the draw sequence.
     obs::Instrumentation obs;
+    // Fault tolerance (DESIGN.md section 8); shared semantics with GaConfig.
+    FaultPolicy fault;
+    Evaluation fault_penalty{false, 0.0};
 
     void validate() const;  // throws std::invalid_argument on bad settings
 };

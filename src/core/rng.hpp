@@ -63,6 +63,11 @@ public:
     // Derive an independent child generator (for parallel or nested use).
     Rng split();
 
+    // Raw 256-bit generator state, for checkpoint/resume.  restore() resumes
+    // the stream bit-for-bit where state() captured it.
+    std::array<std::uint64_t, 4> state() const { return state_; }
+    void restore(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
     // In-place Fisher-Yates shuffle.
     template <typename T>
     void shuffle(std::vector<T>& items)

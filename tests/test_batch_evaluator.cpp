@@ -181,6 +181,43 @@ TEST(BatchEvaluator, PropagatesEvalExceptions)
                  std::runtime_error);
 }
 
+TEST(BatchEvaluator, SerialPathFinishesBatchBeforeRethrowingLikeThePool)
+{
+    // Regression: the serial path used to abort on the first throwing item,
+    // leaving fewer cached entries than a pooled run of the same batch and
+    // breaking worker-count independence under failing evaluations.
+    const auto make_eval = [] {
+        return CachingEvaluator{[](const Genome& g) -> Evaluation {
+            if (g.gene(0) == 3) throw std::runtime_error("bad design point");
+            return Evaluation{true, static_cast<double>(g.gene(0))};
+        }};
+    };
+    const auto space = small_space();
+    std::vector<Genome> genomes;
+    for (std::size_t rank = 0; rank < 60; ++rank)
+        genomes.push_back(Genome::from_rank(space, rank));
+
+    CachingEvaluator serial_ev = make_eval();
+    BatchEvaluator serial{1};
+    EXPECT_THROW(serial.evaluate(serial_ev, genomes), std::runtime_error);
+
+    CachingEvaluator pooled_ev = make_eval();
+    BatchEvaluator pooled{4};
+    EXPECT_THROW(pooled.evaluate(pooled_ev, genomes), std::runtime_error);
+
+    // Same cache state either way: every non-throwing item was still
+    // evaluated and charged.
+    EXPECT_EQ(serial_ev.distinct_evaluations(), pooled_ev.distinct_evaluations());
+    EXPECT_GT(serial_ev.distinct_evaluations(), 1u);
+    for (const auto& g : genomes) {
+        if (g.gene(0) == 3) continue;
+        // A cached point re-evaluates without charging a new distinct job.
+        const std::size_t before = serial_ev.distinct_evaluations();
+        EXPECT_DOUBLE_EQ(serial_ev.evaluate(g).value, static_cast<double>(g.gene(0)));
+        EXPECT_EQ(serial_ev.distinct_evaluations(), before);
+    }
+}
+
 // ---- engine determinism: 1 worker vs N workers ------------------------------
 
 GaConfig parallel_ga_config(std::size_t workers)

@@ -28,6 +28,24 @@
 //   --trace PATH                write a structured JSONL trace of the run
 //                               (inspect with trace_inspect)
 //   --metrics                   print the metrics registry dump at the end
+//
+// Fault tolerance / checkpointing (single-run GA mode; any of these flags
+// switches from the multi-run experiment harness to one GA run):
+//   --checkpoint PATH           write run state to PATH every
+//                               --checkpoint-every generations (default 1)
+//   --resume PATH               resume a checkpointed run (bit-for-bit
+//                               identical to an uninterrupted one at any
+//                               --workers count)
+//   --die-at-gen N              write a checkpoint at generation N and stop
+//                               (deterministic stand-in for a killed run)
+//   --retries N                 evaluation attempts per design point
+//   --retry-backoff MS          base backoff before retry 2 (exponential)
+//   --eval-timeout S            per-attempt watchdog timeout in seconds
+//   --chaos-fail R              inject failures with probability R (chaos
+//                               mode; implies quarantine-on-exhaustion)
+//   --chaos-hang R              inject hangs (sleep) with probability R
+//   --chaos-flaky R             perturb values with probability R
+//   --chaos-seed N              fault-injection seed (default 0xc4a05)
 
 #include <cstdio>
 #include <cstring>
@@ -36,7 +54,9 @@
 #include <memory>
 #include <string>
 
+#include "core/fault_injection.hpp"
 #include "core/hint_estimator.hpp"
+#include "core/nautilus.hpp"
 #include "core/nsga2.hpp"
 #include "exp/experiment.hpp"
 #include "obs/obs.hpp"
@@ -67,6 +87,26 @@ struct CliOptions {
     std::string pareto_metric;
     std::string trace_path;
     bool metrics = false;
+
+    // Single-run fault-tolerance / checkpoint mode.
+    std::string checkpoint;
+    std::size_t checkpoint_every = 1;
+    std::string resume;
+    std::size_t die_at_gen = 0;
+    std::size_t retries = 1;
+    double retry_backoff_ms = 0.0;
+    double eval_timeout = 0.0;
+    double chaos_fail = 0.0;
+    double chaos_hang = 0.0;
+    double chaos_flaky = 0.0;
+    std::uint64_t chaos_seed = 0xc4a05;
+
+    bool single_run() const
+    {
+        return !checkpoint.empty() || !resume.empty() || die_at_gen != 0 ||
+               chaos_fail > 0.0 || chaos_hang > 0.0 || chaos_flaky > 0.0 ||
+               retries > 1 || eval_timeout > 0.0;
+    }
 };
 
 [[noreturn]] void usage(const char* argv0)
@@ -76,7 +116,11 @@ struct CliOptions {
                  "          [--direction min|max] [--guidance none|weak|strong|estimated]\n"
                  "          [--runs N] [--generations N] [--population N] [--seed N]\n"
                  "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
-                 "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n",
+                 "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n"
+                 "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
+                 "          [--die-at-gen N] [--retries N] [--retry-backoff MS]\n"
+                 "          [--eval-timeout S] [--chaos-fail R] [--chaos-hang R]\n"
+                 "          [--chaos-flaky R] [--chaos-seed N]\n",
                  argv0);
     std::exit(2);
 }
@@ -106,6 +150,17 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--pareto") opt.pareto_metric = need_value(i);
         else if (arg == "--trace") opt.trace_path = need_value(i);
         else if (arg == "--metrics") opt.metrics = true;
+        else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
+        else if (arg == "--checkpoint-every") opt.checkpoint_every = std::stoul(need_value(i));
+        else if (arg == "--resume") opt.resume = need_value(i);
+        else if (arg == "--die-at-gen") opt.die_at_gen = std::stoul(need_value(i));
+        else if (arg == "--retries") opt.retries = std::stoul(need_value(i));
+        else if (arg == "--retry-backoff") opt.retry_backoff_ms = std::stod(need_value(i));
+        else if (arg == "--eval-timeout") opt.eval_timeout = std::stod(need_value(i));
+        else if (arg == "--chaos-fail") opt.chaos_fail = std::stod(need_value(i));
+        else if (arg == "--chaos-hang") opt.chaos_hang = std::stod(need_value(i));
+        else if (arg == "--chaos-flaky") opt.chaos_flaky = std::stod(need_value(i));
+        else if (arg == "--chaos-seed") opt.chaos_seed = std::stoull(need_value(i));
         else if (arg == "--help" || arg == "-h") usage(argv[0]);
         else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -238,6 +293,85 @@ int main(int argc, char** argv)
         std::printf("evaluation pipeline: %.3f s @ %zu workers, %zu distinct / %zu calls\n",
                     result.eval_seconds, result.eval_workers, result.distinct_evals,
                     result.total_eval_calls);
+        dump_metrics();
+        return 0;
+    }
+
+    // Single-run GA mode: fault tolerance, chaos injection, checkpoints.
+    // The experiment harness averages many runs; checkpoint/resume and chaos
+    // accounting are about *one* long-lived run, so these flags bypass it.
+    if (opt.single_run()) {
+        EvalFn eval = generator->metric_eval(metric);
+        std::unique_ptr<FaultInjectingEvaluator> chaos;
+        const bool chaotic =
+            opt.chaos_fail > 0.0 || opt.chaos_hang > 0.0 || opt.chaos_flaky > 0.0;
+        if (chaotic) {
+            FaultInjectionConfig fic;
+            fic.fail_rate = opt.chaos_fail;
+            fic.hang_rate = opt.chaos_hang;
+            fic.flaky_value_rate = opt.chaos_flaky;
+            fic.seed = opt.chaos_seed;
+            chaos = std::make_unique<FaultInjectingEvaluator>(std::move(eval), fic);
+            eval = chaos->as_eval_fn();
+            std::printf("chaos mode: fail %.3f, hang %.3f, flaky %.3f (seed %llu)\n",
+                        opt.chaos_fail, opt.chaos_hang, opt.chaos_flaky,
+                        static_cast<unsigned long long>(opt.chaos_seed));
+        }
+
+        GaConfig ga;
+        ga.generations = opt.generations;
+        ga.population_size = opt.population;
+        ga.seed = opt.seed;
+        ga.eval_workers = opt.workers;
+        ga.obs = inst;
+        ga.fault.retry.max_attempts = std::max<std::size_t>(opt.retries, 1);
+        ga.fault.retry.backoff_ms = opt.retry_backoff_ms;
+        ga.fault.retry.timeout_seconds = opt.eval_timeout;
+        ga.fault.tolerate_failures = chaotic || opt.retries > 1;
+        ga.checkpoint_path = !opt.checkpoint.empty() ? opt.checkpoint : opt.resume;
+        ga.checkpoint_every = opt.checkpoint_every;
+        ga.halt_at_generation = opt.die_at_gen;
+
+        HintSet hints = HintSet::none(generator->space());
+        if (opt.guidance == "weak" || opt.guidance == "strong") {
+            const GuidanceLevel level =
+                opt.guidance == "weak" ? GuidanceLevel::weak : GuidanceLevel::strong;
+            hints = apply_guidance(generator->author_hints(metric), direction, level);
+        }
+
+        try {
+            const GaEngine engine{generator->space(), ga, direction, eval, hints};
+            const RunResult r =
+                opt.resume.empty() ? engine.run() : engine.resume(opt.resume);
+            if (r.halted)
+                std::printf("halted at generation %zu (checkpoint written to %s)\n",
+                            ga.halt_at_generation, ga.checkpoint_path.c_str());
+            else if (r.best_eval.feasible)
+                std::printf("best %s = %.4f after %zu generations: %s\n",
+                            ip::metric_name(metric), r.best_eval.value,
+                            r.history.size(),  // includes pre-checkpoint gens
+                            r.best_genome.to_string(generator->space()).c_str());
+            else
+                std::printf("no feasible design found\n");
+            std::printf(
+                "evaluations: %zu distinct / %zu calls; attempts %llu (retries %llu, "
+                "failures %llu, timeouts %llu, quarantined %llu)\n",
+                r.distinct_evals, r.total_eval_calls,
+                static_cast<unsigned long long>(r.fault.attempts),
+                static_cast<unsigned long long>(r.fault.retries),
+                static_cast<unsigned long long>(r.fault.failures),
+                static_cast<unsigned long long>(r.fault.timeouts),
+                static_cast<unsigned long long>(r.fault.quarantined));
+            if (chaos)
+                std::printf("chaos injected: %llu failures, %llu hangs, %llu flaky\n",
+                            static_cast<unsigned long long>(chaos->injected_failures()),
+                            static_cast<unsigned long long>(chaos->injected_hangs()),
+                            static_cast<unsigned long long>(chaos->injected_flaky()));
+        }
+        catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
         dump_metrics();
         return 0;
     }

@@ -10,6 +10,13 @@
 // The summary reports event counts by type, aggregate span timings, a
 // per-run table (engine, waves, distinct vs. total evaluations, cache hit
 // rate, wall-clock) and the hint-guided mutation draw distribution.
+//
+// Validation covers the fault-tolerance invariants (DESIGN.md section 8):
+// per run, summed wave `fresh` must equal the distinct evaluations charged
+// *in this trace* (run_end distinct_evals minus the checkpointed
+// distinct_at_start on resumed runs), and every guarded attempt must be
+// accounted for: attempts - attempts_at_start == fresh + (retries -
+// retries_at_start).
 
 #include <cstdio>
 #include <cstring>
@@ -42,9 +49,21 @@ struct RunAgg {
     std::uint64_t hits = 0;
     std::uint64_t waits = 0;
     double wave_seconds = 0.0;
+    // From run_start: resume baselines (zero for fresh runs).
+    bool resumed = false;
+    std::uint64_t distinct_at_start = 0;
+    std::uint64_t attempts_at_start = 0;
+    std::uint64_t retries_at_start = 0;
+    // Event tallies within the run window.
+    std::uint64_t fault_events = 0;
+    std::uint64_t quarantine_events = 0;
+    std::uint64_t checkpoint_events = 0;
     // From run_end (absent if the trace was truncated mid-run).
     std::optional<std::uint64_t> distinct_evals;
     std::optional<std::uint64_t> total_calls;
+    std::optional<std::uint64_t> attempts;
+    std::optional<std::uint64_t> retries;
+    std::optional<std::uint64_t> quarantined;
     std::optional<double> best;
     bool feasible = false;
 };
@@ -111,8 +130,27 @@ int main(int argc, char** argv)
             RunAgg run;
             run.engine = ev.string("engine").value_or("?");
             run.first_line = lineno;
+            if (const nautilus::obs::FieldValue* f = ev.find("resumed"))
+                if (const bool* b = std::get_if<bool>(f)) run.resumed = *b;
+            run.distinct_at_start = ev.unsigned_int("distinct_at_start").value_or(0);
+            run.attempts_at_start = ev.unsigned_int("attempts_at_start").value_or(0);
+            run.retries_at_start = ev.unsigned_int("retries_at_start").value_or(0);
             runs.push_back(std::move(run));
             open_run = runs.size() - 1;
+        }
+        else if (ev.type == "eval_fault" || ev.type == "quarantine" ||
+                 ev.type == "checkpoint") {
+            if (open_run) {
+                RunAgg& run = runs[*open_run];
+                if (ev.type == "eval_fault") ++run.fault_events;
+                else if (ev.type == "quarantine") ++run.quarantine_events;
+                else ++run.checkpoint_events;
+            }
+            else if (check) {
+                ++parse_errors;
+                std::fprintf(stderr, "%s:%zu: %s outside any run\n", path.c_str(), lineno,
+                             ev.type.c_str());
+            }
         }
         else if (ev.type == "eval_wave") {
             if (open_run) {
@@ -135,6 +173,9 @@ int main(int argc, char** argv)
                 RunAgg& run = runs[*open_run];
                 run.distinct_evals = ev.unsigned_int("distinct_evals");
                 run.total_calls = ev.unsigned_int("total_calls");
+                run.attempts = ev.unsigned_int("attempts");
+                run.retries = ev.unsigned_int("retries");
+                run.quarantined = ev.unsigned_int("quarantined");
                 run.best = ev.number("best");
                 if (const nautilus::obs::FieldValue* f = ev.find("feasible"))
                     if (const bool* b = std::get_if<bool>(f)) run.feasible = *b;
@@ -178,13 +219,34 @@ int main(int argc, char** argv)
             }
             continue;
         }
-        if (run.fresh != *run.distinct_evals) {
+        // Resumed runs restored distinct_at_start evaluations from the
+        // checkpoint; only the delta was freshly charged in this trace.
+        const std::uint64_t expect_fresh = *run.distinct_evals - run.distinct_at_start;
+        if (run.fresh != expect_fresh) {
             ++accounting_errors;
             std::fprintf(stderr,
-                         "run %zu (%s): summed wave fresh %llu != run distinct_evals %llu\n",
+                         "run %zu (%s): summed wave fresh %llu != run distinct_evals %llu"
+                         " - distinct_at_start %llu\n",
                          i, run.engine.c_str(),
                          static_cast<unsigned long long>(run.fresh),
-                         static_cast<unsigned long long>(*run.distinct_evals));
+                         static_cast<unsigned long long>(*run.distinct_evals),
+                         static_cast<unsigned long long>(run.distinct_at_start));
+        }
+        // Guard invariant: every cache miss is exactly one guarded call, and
+        // each guarded call makes 1 + retries attempts, so
+        //   attempts - attempts_at_start == fresh + (retries - retries_at_start).
+        if (run.attempts && run.retries) {
+            const std::uint64_t d_attempts = *run.attempts - run.attempts_at_start;
+            const std::uint64_t d_retries = *run.retries - run.retries_at_start;
+            if (d_attempts != run.fresh + d_retries) {
+                ++accounting_errors;
+                std::fprintf(stderr,
+                             "run %zu (%s): attempts %llu != fresh %llu + retries %llu\n",
+                             i, run.engine.c_str(),
+                             static_cast<unsigned long long>(d_attempts),
+                             static_cast<unsigned long long>(run.fresh),
+                             static_cast<unsigned long long>(d_retries));
+            }
         }
         if (run.items != run.fresh + run.hits) {
             ++accounting_errors;
@@ -243,6 +305,15 @@ int main(int argc, char** argv)
                         run.wave_seconds);
             if (run.best && run.feasible) std::printf("%12.3f", *run.best);
             else std::printf("%12s", "-");
+            if (run.resumed) std::printf("  [resumed @%llu]",
+                                         static_cast<unsigned long long>(run.distinct_at_start));
+            if (run.fault_events > 0 || run.quarantine_events > 0)
+                std::printf("  [faults %llu, quarantined %llu]",
+                            static_cast<unsigned long long>(run.fault_events),
+                            static_cast<unsigned long long>(run.quarantine_events));
+            if (run.checkpoint_events > 0)
+                std::printf("  [checkpoints %llu]",
+                            static_cast<unsigned long long>(run.checkpoint_events));
             if (!run.distinct_evals) std::printf("  [unterminated]");
             std::printf("\n");
         }
