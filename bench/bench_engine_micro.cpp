@@ -8,10 +8,17 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "core/ga.hpp"
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "core/nautilus.hpp"
 #include "fft/fft_generator.hpp"
 #include "fft/fft_kernel.hpp"
@@ -164,6 +171,156 @@ void bm_full_ga_run_traced(benchmark::State& state)
 }
 BENCHMARK(bm_full_ga_run_traced);
 
+// Same workload again with only the progress tracker attached -- the cost a
+// `--serve`/`--progress` user pays even when tracing and metrics are off.
+void bm_full_ga_run_progress(benchmark::State& state)
+{
+    const auto space = bench_space();
+    const EvalFn eval = [](const Genome& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+        return Evaluation{true, v};
+    };
+    GaConfig cfg;
+    cfg.generations = 80;
+    cfg.obs.progress = std::make_shared<obs::ProgressTracker>();
+    const GaEngine engine{space, cfg, Direction::maximize, eval, HintSet::none(space)};
+    std::uint64_t seed = 1;
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(seed++));
+}
+BENCHMARK(bm_full_ga_run_progress);
+
+// ---- BENCH_obs.json ---------------------------------------------------------
+//
+// `--obs-json PATH` measures the observability plane directly (outside the
+// google-benchmark harness, whose JSON reporter buries the numbers we gate
+// on) and writes the compact artifact documented in EXPERIMENTS.md.
+
+double seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+// Median-of-3 wall time for `reps` GA runs under the given instrumentation.
+double time_ga_runs(const obs::Instrumentation& inst, int reps)
+{
+    const auto space = bench_space();
+    const EvalFn eval = [](const Genome& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+        return Evaluation{true, v};
+    };
+    GaConfig cfg;
+    cfg.generations = 80;
+    cfg.obs = inst;
+    const GaEngine engine{space, cfg, Direction::maximize, eval, HintSet::none(space)};
+    double samples[3];
+    for (double& sample : samples) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t seed = 1;
+        for (int r = 0; r < reps; ++r) benchmark::DoNotOptimize(engine.run(seed++));
+        sample = seconds_since(t0);
+    }
+    if (samples[0] > samples[1]) std::swap(samples[0], samples[1]);
+    if (samples[1] > samples[2]) std::swap(samples[1], samples[2]);
+    if (samples[0] > samples[1]) std::swap(samples[0], samples[1]);
+    return samples[1];
+}
+
+int write_obs_bench(const std::string& path)
+{
+    constexpr int kReps = 20;
+
+    // 1) GA wall time: plain, tracing+metrics, progress-only.
+    const double plain = time_ga_runs({}, kReps);
+    auto sink = std::make_shared<CountingSink>();
+    obs::Instrumentation traced = obs::Instrumentation::with_sink(sink);
+    traced.metrics = std::make_shared<obs::MetricsRegistry>();
+    const double traced_time = time_ga_runs(traced, kReps);
+    obs::Instrumentation progressed;
+    progressed.progress = std::make_shared<obs::ProgressTracker>();
+    const double progress_time = time_ga_runs(progressed, kReps);
+
+    // 2) Trace serialization throughput: events/s through a discarding sink.
+    const std::uint64_t events = sink->count();
+    obs::TraceEvent wave{"eval_wave"};
+    wave.add("size", std::size_t{20})
+        .add("fresh", std::size_t{17})
+        .add("seconds", obs::FieldValue{0.001});
+    constexpr std::uint64_t kSerializeIters = 200000;
+    const auto ser0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kSerializeIters; ++i)
+        benchmark::DoNotOptimize(obs::to_jsonl(wave));
+    const double events_per_second =
+        static_cast<double>(kSerializeIters) / seconds_since(ser0);
+
+    // 3) Scrape latency: Prometheus exposition and /status JSON over a
+    //    registry shaped like a real traced run's.
+    obs::ProgressSnapshot snap = progressed.progress->snapshot();
+    constexpr int kScrapeIters = 2000;
+    const auto exp0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScrapeIters; ++i) {
+        std::string text = obs::to_prometheus(traced.metrics->snapshot());
+        obs::append_progress_exposition(text, snap);
+        benchmark::DoNotOptimize(text);
+    }
+    const double exposition_us = seconds_since(exp0) / kScrapeIters * 1e6;
+    const auto st0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScrapeIters; ++i)
+        benchmark::DoNotOptimize(obs::to_json(snap));
+    const double status_us = seconds_since(st0) / kScrapeIters * 1e6;
+
+    std::ofstream out{path};
+    if (!out) {
+        std::fprintf(stderr, "bench_engine_micro: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    char buf[1024];
+    std::snprintf(buf, sizeof buf,
+                  "{\n"
+                  "  \"schema\": \"nautilus-bench-obs/1\",\n"
+                  "  \"ga_runs\": %d,\n"
+                  "  \"ga_plain_seconds\": %.6f,\n"
+                  "  \"ga_traced_seconds\": %.6f,\n"
+                  "  \"ga_progress_seconds\": %.6f,\n"
+                  "  \"traced_overhead_pct\": %.2f,\n"
+                  "  \"progress_overhead_pct\": %.2f,\n"
+                  "  \"trace_events_per_run\": %.1f,\n"
+                  "  \"trace_serialize_events_per_second\": %.0f,\n"
+                  "  \"prometheus_exposition_us\": %.2f,\n"
+                  "  \"status_json_us\": %.2f\n"
+                  "}\n",
+                  kReps, plain, traced_time, progress_time,
+                  (traced_time / plain - 1.0) * 100.0,
+                  (progress_time / plain - 1.0) * 100.0,
+                  static_cast<double>(events) / (3.0 * kReps),
+                  events_per_second, exposition_us, status_us);
+    out << buf;
+    std::printf("%s", buf);
+    std::printf("bench_engine_micro: wrote %s\n", path.c_str());
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    // Strip --obs-json before google-benchmark sees (and rejects) it.
+    std::string obs_json;
+    int out_argc = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc)
+            obs_json = argv[++i];
+        else
+            argv[out_argc++] = argv[i];
+    }
+    argc = out_argc;
+    if (!obs_json.empty()) return write_obs_bench(obs_json);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

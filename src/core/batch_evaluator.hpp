@@ -95,6 +95,11 @@ public:
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
         eval_seconds_ += seconds;
+        if (obs::ProgressTracker* progress = inst_.progress_tracker()) {
+            std::uint64_t fresh = 0;
+            for (const unsigned char c : charged) fresh += c;
+            progress->on_wave(genomes.size(), fresh, seconds);
+        }
         if (instrumented) {
             WaveRecord wave;
             wave.size = genomes.size();

@@ -189,6 +189,10 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     }
     result.start_generation = start_gen;
 
+    obs::ProgressTracker* progress = config_.obs.progress_tracker();
+    if (progress != nullptr)
+        progress->on_run_start("ga", config_.generations, start_gen);
+
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "ga")
@@ -305,6 +309,10 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
         if (have_best)
             result.curve.append(static_cast<double>(stats.distinct_evals), best_so_far);
         if (m_generations != nullptr) m_generations->add();
+        if (progress != nullptr) {
+            progress->on_units(gen + 1);
+            if (have_best) progress->on_best(best_so_far);
+        }
         if (tracer.enabled()) {
             obs::TraceEvent ev{"generation"};
             ev.add("gen", gen)
@@ -394,6 +402,7 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     result.final_population = std::move(population);
     result.final_rng_state = rng.state();
     result.fault = guard.counters();
+    if (progress != nullptr) progress->on_run_end();
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_end"};
         ev.add("engine", "ga")

@@ -74,6 +74,8 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
     if (obs::MetricsRegistry* reg = config_.obs.registry()) reg->counter("sa.runs").add();
+    obs::ProgressTracker* progress = config_.obs.progress_tracker();
+    if (progress != nullptr) progress->on_run_start("sa", config_.max_distinct_evals);
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "sa")
@@ -85,6 +87,11 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
     }
     obs::ScopedTimer run_span{tracer, "sa.run"};
     const auto emit_run_end = [&](bool feasible, double best_value) {
+        if (progress != nullptr) {
+            progress->on_units(evaluator.distinct_evaluations());
+            if (feasible) progress->on_best(best_value);
+            progress->on_run_end();
+        }
         if (!tracer.enabled()) return;
         obs::TraceEvent ev{"run_end"};
         ev.add("engine", "sa")
@@ -169,6 +176,10 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
         }
         if (++step % config_.steps_per_temperature == 0)
             temperature = std::max(temperature * config_.cooling, 1e-12);
+        if (progress != nullptr) {
+            progress->on_units(evaluator.distinct_evaluations());
+            progress->on_best(best);
+        }
     }
     emit_run_end(true, best);
     return curve;
@@ -221,6 +232,8 @@ Curve HillClimber::run(std::uint64_t seed) const
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
     if (obs::MetricsRegistry* reg = config_.obs.registry()) reg->counter("hc.runs").add();
+    obs::ProgressTracker* progress = config_.obs.progress_tracker();
+    if (progress != nullptr) progress->on_run_start("hc", config_.max_distinct_evals);
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "hc")
@@ -283,6 +296,14 @@ Curve HillClimber::run(std::uint64_t seed) const
         else {
             ++stale;
         }
+        if (progress != nullptr) {
+            progress->on_units(evaluator.distinct_evaluations());
+            if (have_best) progress->on_best(best);
+        }
+    }
+    if (progress != nullptr) {
+        progress->on_units(evaluator.distinct_evaluations());
+        progress->on_run_end();
     }
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_end"};

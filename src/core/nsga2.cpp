@@ -210,6 +210,10 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         guard.restore(restored->quarantine, restored->fault);
     }
 
+    obs::ProgressTracker* progress = config_.obs.progress_tracker();
+    if (progress != nullptr)
+        progress->on_run_start("nsga2", config_.generations, start_gen);
+
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "nsga2")
@@ -231,6 +235,7 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
     }
     obs::ScopedTimer run_span{tracer, "nsga2.run"};
     const auto finish = [&](MultiObjectiveResult result) {
+        if (progress != nullptr) progress->on_run_end();
         result.distinct_evals = evaluator.distinct_evaluations();
         result.total_eval_calls = evaluator.total_calls();
         result.eval_seconds = batch_eval.eval_seconds();
@@ -431,6 +436,7 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         }
 
         if (m_generations != nullptr) m_generations->add();
+        if (progress != nullptr) progress->on_units(gen + 1);
         if (tracer.enabled()) {
             obs::TraceEvent ev{"generation"};
             ev.add("gen", gen)

@@ -39,6 +39,8 @@ Curve RandomSearch::run(std::uint64_t seed) const
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
     if (obs::MetricsRegistry* reg = config_.obs.registry()) reg->counter("random.runs").add();
+    obs::ProgressTracker* progress = config_.obs.progress_tracker();
+    if (progress != nullptr) progress->on_run_start("random", config_.max_distinct_evals);
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_start"};
         ev.add("engine", "random")
@@ -81,7 +83,12 @@ Curve RandomSearch::run(std::uint64_t seed) const
                 curve.append(static_cast<double>(distinct), best);
             }
         }
+        if (progress != nullptr) {
+            progress->on_units(distinct);
+            if (have_best) progress->on_best(best);
+        }
     }
+    if (progress != nullptr) progress->on_run_end();
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_end"};
         ev.add("engine", "random")

@@ -1,0 +1,208 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+
+namespace nautilus::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string make_response(int status, const char* reason, std::string_view content_type,
+                          std::string_view body)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + ' ' + reason + "\r\n";
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void send_all(int fd, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return;  // client went away; nothing useful to do
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+ObsHttpServer::ObsHttpServer(HttpServerConfig config,
+                             std::shared_ptr<MetricsRegistry> metrics,
+                             std::shared_ptr<ProgressTracker> progress)
+    : config_(std::move(config)), metrics_(std::move(metrics)), progress_(std::move(progress))
+{
+}
+
+ObsHttpServer::~ObsHttpServer()
+{
+    stop();
+}
+
+void ObsHttpServer::start()
+{
+    if (running_.load(std::memory_order_acquire)) return;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("ObsHttpServer: socket() failed");
+
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("ObsHttpServer: bad bind address '" +
+                                 config_.bind_address + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("ObsHttpServer: cannot bind " + config_.bind_address +
+                                 ":" + std::to_string(config_.port) + " (" +
+                                 std::strerror(err) + ")");
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("ObsHttpServer: listen() failed");
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+        port_ = ntohs(bound.sin_port);
+
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread{[this] { accept_loop(); }};
+}
+
+void ObsHttpServer::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+        if (thread_.joinable()) thread_.join();
+        return;
+    }
+    stopping_.store(true, std::memory_order_release);
+    // Unblock accept(): shutdown makes it return on Linux; close follows
+    // after the join so the fd cannot be reused while the thread runs.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void ObsHttpServer::accept_loop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            if (stopping_.load(std::memory_order_acquire)) return;
+            if (errno == ECONNABORTED) continue;
+            return;  // listening socket is gone; nothing left to serve
+        }
+        handle_connection(fd);
+        ::close(fd);
+    }
+}
+
+std::string ObsHttpServer::body_for(std::string_view path) const
+{
+    if (path == "/metrics") {
+        std::string body =
+            metrics_ != nullptr ? to_prometheus(metrics_->snapshot()) : std::string{};
+        if (progress_ != nullptr) append_progress_exposition(body, progress_->snapshot());
+        return body;
+    }
+    if (path == "/status")
+        return progress_ != nullptr ? to_json(progress_->snapshot()) + "\n" : "{}\n";
+    if (path == "/healthz") return "ok\n";
+    if (path == "/")
+        return "nautilus observability endpoint\n"
+               "  /metrics  Prometheus text exposition\n"
+               "  /status   JSON run progress\n"
+               "  /healthz  liveness probe\n";
+    return {};
+}
+
+void ObsHttpServer::handle_connection(int fd)
+{
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+    // Read until the end of the request head (GETs carry no body).
+    std::string request;
+    char buf[1024];
+    while (request.size() < kMaxRequestBytes &&
+           request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            break;
+        }
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = request.find("\r\n");
+    if (line_end == std::string::npos) return;  // malformed or timed out
+
+    // "METHOD SP request-target SP HTTP-version"
+    const std::string_view line{request.data(), line_end};
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string_view::npos
+                                ? std::string_view::npos
+                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        send_all(fd, make_response(400, "Bad Request", "text/plain", "bad request\n"));
+        return;
+    }
+    const std::string_view method = line.substr(0, sp1);
+    std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t query = path.find('?'); query != std::string_view::npos)
+        path = path.substr(0, query);
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (method != "GET" && method != "HEAD") {
+        send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
+                                   "only GET is supported\n"));
+        return;
+    }
+
+    std::string body = body_for(path);
+    if (body.empty() && path != "/metrics") {
+        send_all(fd, make_response(404, "Not Found", "text/plain", "not found\n"));
+        return;
+    }
+    const std::string_view content_type =
+        path == "/status" ? "application/json"
+        : path == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
+                             : "text/plain; charset=utf-8";
+    if (method == "HEAD") body.clear();
+    send_all(fd, make_response(200, "OK", content_type, body));
+}
+
+}  // namespace nautilus::obs

@@ -1,0 +1,83 @@
+#pragma once
+// Embedded observability HTTP endpoint: a dependency-free POSIX-socket
+// HTTP/1.1 server exposing the live metrics registry and progress tracker
+// while a search runs.
+//
+// Endpoints:
+//   GET /metrics   Prometheus text exposition (v0.0.4) of the registry plus
+//                  the progress gauges -- scrapeable by Prometheus
+//   GET /status    JSON run progress (obs::ProgressSnapshot)
+//   GET /healthz   "ok" liveness probe
+//   GET /          plain-text index of the above
+//
+// Design: one bounded accept thread handles connections serially -- scrape
+// traffic is one collector every few seconds, not user traffic, so there is
+// nothing to win by going multi-threaded and a lot of shutdown complexity
+// to lose.  Each request is parsed with a receive timeout, answered with
+// Connection: close, and the socket is torn down; stop() shuts the
+// listening socket down and joins the thread.  Reads of the registry and
+// tracker are the snapshot paths, which are safe concurrently with engine
+// and worker-thread updates.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+
+namespace nautilus::obs {
+
+struct HttpServerConfig {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
+};
+
+class ObsHttpServer {
+public:
+    // Either source may be null; the matching endpoint then serves an
+    // empty exposition / `{}`.
+    ObsHttpServer(HttpServerConfig config, std::shared_ptr<MetricsRegistry> metrics,
+                  std::shared_ptr<ProgressTracker> progress);
+    ~ObsHttpServer();
+
+    ObsHttpServer(const ObsHttpServer&) = delete;
+    ObsHttpServer& operator=(const ObsHttpServer&) = delete;
+
+    // Bind + listen + spawn the accept thread.  Throws std::runtime_error
+    // when the address cannot be bound.
+    void start();
+
+    // Idempotent; joins the accept thread.
+    void stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+    // The bound port (resolved after start() when config.port was 0).
+    std::uint16_t port() const { return port_; }
+    std::uint64_t requests_served() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    // Exposed for tests: the response body for a given request path.
+    std::string body_for(std::string_view path) const;
+
+private:
+    void accept_loop();
+    void handle_connection(int fd);
+
+    HttpServerConfig config_;
+    std::shared_ptr<MetricsRegistry> metrics_;
+    std::shared_ptr<ProgressTracker> progress_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace nautilus::obs

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -32,6 +34,32 @@ std::vector<std::uint64_t> Histogram::counts() const
     for (std::size_t i = 0; i < out.size(); ++i)
         out[i] = buckets_[i].load(std::memory_order_relaxed);
     return out;
+}
+
+double Histogram::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0 || std::isnan(q))
+        throw std::invalid_argument("Histogram::quantile: q out of [0, 1]");
+    const std::vector<std::uint64_t> counts = this->counts();
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+    if (bounds_.empty()) return std::numeric_limits<double>::quiet_NaN();
+
+    const double rank = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < bounds_.size(); ++b) {
+        const double in_bucket = static_cast<double>(counts[b]);
+        if (cumulative + in_bucket >= rank) {
+            const double hi = bounds_[b];
+            if (in_bucket == 0.0) return hi;  // rank == cumulative boundary
+            double lo = b > 0 ? bounds_[b - 1] : (hi > 0.0 ? 0.0 : hi);
+            return lo + (hi - lo) * (rank - cumulative) / in_bucket;
+        }
+        cumulative += in_bucket;
+    }
+    // Overflow bucket: no finite upper edge to interpolate toward.
+    return bounds_.back();
 }
 
 std::vector<double> Histogram::seconds_buckets()

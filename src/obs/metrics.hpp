@@ -55,6 +55,14 @@ public:
     std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
     double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+    // Estimate the q-quantile (q in [0, 1], else std::invalid_argument)
+    // from the bucket counts, Prometheus histogram_quantile style: locate
+    // the bucket holding rank q*count and interpolate linearly inside it
+    // (the first bucket's lower edge is 0 when its bound is positive,
+    // otherwise the bound itself).  Ranks falling in the overflow bucket
+    // clamp to the highest finite bound.  NaN when the histogram is empty.
+    double quantile(double q) const;
+
     // Default bucket bounds for wall-clock seconds (1us .. 100s, decades).
     static std::vector<double> seconds_buckets();
 

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
 namespace nautilus::obs {
@@ -18,9 +19,13 @@ namespace nautilus::obs {
 struct Instrumentation {
     Tracer tracer;
     std::shared_ptr<MetricsRegistry> metrics;
+    // Live run progress (generation, best, eval counters) feeding the
+    // `/status` endpoint and the `--progress` heartbeat.  Null by default.
+    std::shared_ptr<ProgressTracker> progress;
 
     bool tracing() const { return tracer.enabled(); }
     MetricsRegistry* registry() const { return metrics.get(); }
+    ProgressTracker* progress_tracker() const { return progress.get(); }
 
     // Convenience constructors for the common wirings.
     static Instrumentation with_sink(std::shared_ptr<TraceSink> sink)

@@ -1,0 +1,146 @@
+#pragma once
+// Live run-progress tracking: the shared state behind `/status`, the
+// `--progress` heartbeat and the progress gauges on `/metrics`.
+//
+// A ProgressTracker is a process-lifetime accumulator the engines and the
+// evaluation pipeline update as a run advances: the engine reports run
+// lifecycle and progress units (generations for GA/NSGA-II, distinct
+// evaluations for the budgeted engines), BatchEvaluator reports every
+// evaluation wave.  All hot-path updates are relaxed atomics, so a scraper
+// thread (ObsHttpServer, ProgressHeartbeat) can snapshot concurrently with
+// a running search at any worker count.  Like the rest of obs::, it is off
+// by default: Instrumentation carries a null shared_ptr and every site
+// guards on it.
+//
+// Evaluation counters are cumulative over the process (they keep growing
+// across the runs of a multi-run experiment), so for a single-run CLI
+// invocation the final snapshot matches the trace's `run_end` totals
+// exactly: `distinct_evals` equals summed wave fresh counts and
+// `units_done` equals the generations the engine completed.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace nautilus::obs {
+
+// Point-in-time copy of the tracker, with the derived rates used by every
+// consumer (/status JSON, heartbeat line, Prometheus gauges).
+struct ProgressSnapshot {
+    std::string engine;            // empty until the first run starts
+    bool running = false;
+    std::uint64_t runs_started = 0;
+    std::uint64_t runs_completed = 0;
+    // Progress units: generations (GA, NSGA-II) or distinct evaluations
+    // (random search, SA, HC).  On resumed runs units_at_start is nonzero
+    // and pace/ETA are computed over the delta actually run here.
+    std::uint64_t units_done = 0;
+    std::uint64_t units_total = 0;
+    std::uint64_t units_at_start = 0;
+    bool have_best = false;
+    double best = 0.0;             // best-so-far fitness value (scalar engines)
+    // Evaluation pipeline accounting, cumulative across runs.
+    std::uint64_t distinct_evals = 0;  // cache misses (the paper's cost)
+    std::uint64_t eval_calls = 0;      // items through the pipeline incl. hits
+    std::uint64_t cache_hits = 0;
+    double eval_seconds = 0.0;         // summed wave wall-clock
+    double elapsed_seconds = 0.0;      // since the tracker was created
+    double run_elapsed_seconds = 0.0;  // since the current/last run started
+
+    double cache_hit_rate() const
+    {
+        if (eval_calls == 0) return 0.0;
+        return static_cast<double>(cache_hits) / static_cast<double>(eval_calls);
+    }
+    // Distinct evaluations per second of run wall-clock.
+    double evals_per_second() const;
+    // Projected seconds to finish the current run from the observed unit
+    // pace; nullopt when not running or no pace is measurable yet.
+    std::optional<double> eta_seconds() const;
+};
+
+// `{"engine":"ga","running":true,...}` -- one flat JSON object.  Non-finite
+// doubles serialize as null; `best`/`eta_seconds` are null when absent.
+std::string to_json(const ProgressSnapshot& snap);
+
+// One human-readable status line (no trailing newline), shared by the
+// `--progress` heartbeat and tests:
+//   ga gen 12/80  best 123.456  evals 340 (74.6/s, 57.5% cached)  eta 17s
+std::string format_progress_line(const ProgressSnapshot& snap);
+
+class ProgressTracker {
+public:
+    ProgressTracker();
+
+    // Engine lifecycle.  `units_total` is the run's planned extent in the
+    // engine's own units; `units_at_start` is nonzero when resuming.
+    void on_run_start(std::string_view engine, std::uint64_t units_total,
+                      std::uint64_t units_at_start = 0);
+    void on_units(std::uint64_t units_done);
+    void on_best(double best);
+    void on_run_end();
+
+    // One BatchEvaluator wave: `items` genomes of which `fresh` were cache
+    // misses, taking `seconds` of wall-clock.
+    void on_wave(std::uint64_t items, std::uint64_t fresh, double seconds);
+
+    ProgressSnapshot snapshot() const;
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    mutable std::mutex mutex_;  // guards engine_ and run_start_ only
+    std::string engine_;
+    Clock::time_point created_;
+    Clock::time_point run_start_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> runs_started_{0};
+    std::atomic<std::uint64_t> runs_completed_{0};
+    std::atomic<std::uint64_t> units_done_{0};
+    std::atomic<std::uint64_t> units_total_{0};
+    std::atomic<std::uint64_t> units_at_start_{0};
+    std::atomic<bool> have_best_{false};
+    std::atomic<double> best_{0.0};
+    std::atomic<std::uint64_t> distinct_{0};
+    std::atomic<std::uint64_t> calls_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<double> eval_seconds_{0.0};
+};
+
+// Periodic one-line status to a stream (stderr by default): start() spawns
+// a thread that writes format_progress_line() every `interval_seconds`;
+// stop()/destruction wakes and joins it promptly.  Lines are only written
+// once a run has started, so idle phases (dataset loading, ...) stay quiet.
+class ProgressHeartbeat {
+public:
+    ProgressHeartbeat(std::shared_ptr<ProgressTracker> tracker, double interval_seconds,
+                      std::ostream* out = nullptr);  // null = std::cerr
+    ~ProgressHeartbeat();
+
+    ProgressHeartbeat(const ProgressHeartbeat&) = delete;
+    ProgressHeartbeat& operator=(const ProgressHeartbeat&) = delete;
+
+    void stop();
+
+private:
+    void loop();
+
+    std::shared_ptr<ProgressTracker> tracker_;
+    double interval_seconds_;
+    std::ostream* out_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+}  // namespace nautilus::obs

@@ -1,0 +1,189 @@
+// ObsHttpServer tests: endpoint routing, real-socket round trips, and a
+// scrape-under-load test that runs HTTP GETs concurrently with a
+// multi-worker GA evaluation (exercised under TSan in CI).
+
+#include "obs/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/ga.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
+using namespace nautilus;
+using namespace nautilus::obs;
+
+namespace {
+
+// Minimal blocking HTTP client: one GET, returns the full response text.
+std::string http_get(std::uint16_t port, const std::string& target,
+                     const std::string& method = "GET")
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string request =
+        method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    (void)!::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buf[2048];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(ObsHttpServer, BindsEphemeralPortAndReportsIt)
+{
+    ObsHttpServer server{{}, nullptr, nullptr};
+    server.start();
+    EXPECT_TRUE(server.running());
+    EXPECT_NE(server.port(), 0);
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(ObsHttpServer, StopIsIdempotentAndRestartable)
+{
+    ObsHttpServer server{{}, nullptr, nullptr};
+    server.start();
+    server.stop();
+    server.stop();
+    server.start();
+    EXPECT_TRUE(server.running());
+    server.stop();
+}
+
+TEST(ObsHttpServer, RoutesBodies)
+{
+    auto metrics = std::make_shared<MetricsRegistry>();
+    metrics->counter("eval.items").add(5);
+    auto progress = std::make_shared<ProgressTracker>();
+    progress->on_run_start("ga", 10);
+    ObsHttpServer server{{}, metrics, progress};
+
+    EXPECT_EQ(server.body_for("/healthz"), "ok\n");
+    const std::string exposition = server.body_for("/metrics");
+    EXPECT_NE(exposition.find("nautilus_eval_items_total 5"), std::string::npos);
+    EXPECT_NE(exposition.find("nautilus_progress_running 1"), std::string::npos);
+    const std::string status = server.body_for("/status");
+    EXPECT_NE(status.find("\"engine\":\"ga\""), std::string::npos);
+    EXPECT_NE(status.find("\"running\":true"), std::string::npos);
+    EXPECT_NE(server.body_for("/").find("/metrics"), std::string::npos);
+    EXPECT_TRUE(server.body_for("/nope").empty());
+}
+
+TEST(ObsHttpServer, NullSourcesServeEmptyDefaults)
+{
+    ObsHttpServer server{{}, nullptr, nullptr};
+    EXPECT_EQ(server.body_for("/status"), "{}\n");
+    EXPECT_TRUE(server.body_for("/metrics").empty());
+}
+
+TEST(ObsHttpServer, ServesOverRealSockets)
+{
+    auto metrics = std::make_shared<MetricsRegistry>();
+    metrics->counter("eval.items").add(9);
+    auto progress = std::make_shared<ProgressTracker>();
+    ObsHttpServer server{{}, metrics, progress};
+    server.start();
+
+    const std::string health = http_get(server.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+    const std::string metrics_response = http_get(server.port(), "/metrics");
+    EXPECT_NE(metrics_response.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(metrics_response.find("nautilus_eval_items_total 9"), std::string::npos);
+
+    const std::string status = http_get(server.port(), "/status");
+    EXPECT_NE(status.find("Content-Type: application/json"), std::string::npos);
+    EXPECT_NE(status.find("\"runs_started\":0"), std::string::npos);
+
+    // Query strings are ignored; unknown paths 404; non-GET methods 405.
+    EXPECT_NE(http_get(server.port(), "/healthz?probe=1").find("200 OK"),
+              std::string::npos);
+    EXPECT_NE(http_get(server.port(), "/nope").find("404 Not Found"),
+              std::string::npos);
+    EXPECT_NE(http_get(server.port(), "/metrics", "POST").find("405"),
+              std::string::npos);
+
+    EXPECT_GE(server.requests_served(), 6u);
+    server.stop();
+}
+
+// The TSan target: scrape /metrics and /status over live sockets while a GA
+// run evaluates with 4 workers, all three obs surfaces (tracer off, metrics,
+// progress) attached.  Snapshot paths must be data-race free against the
+// engine thread and the evaluator pool.
+TEST(ObsHttpServerConcurrency, ScrapingDuringParallelEvaluationIsSafe)
+{
+    ParameterSpace space;
+    for (int i = 0; i < 4; ++i)
+        space.add("p" + std::to_string(i), ParamDomain::int_range(0, 7));
+
+    GaConfig cfg;
+    cfg.generations = 30;
+    cfg.population_size = 16;
+    cfg.seed = 2015;
+    cfg.eval_workers = 4;
+    cfg.obs.metrics = std::make_shared<MetricsRegistry>();
+    cfg.obs.progress = std::make_shared<ProgressTracker>();
+
+    ObsHttpServer server{{}, cfg.obs.metrics, cfg.obs.progress};
+    server.start();
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> scrapes{0};
+    std::thread scraper{[&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const std::string m = http_get(server.port(), "/metrics");
+            const std::string s = http_get(server.port(), "/status");
+            if (!m.empty() && !s.empty()) scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+    }};
+
+    const GaEngine engine{space, cfg, Direction::maximize,
+                          [](const Genome& g) {
+                              double v = 0.0;
+                              for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+                              return Evaluation{true, v};
+                          },
+                          HintSet::none(space)};
+    const RunResult result = engine.run();
+
+    done.store(true, std::memory_order_release);
+    scraper.join();
+    server.stop();
+
+    EXPECT_GT(scrapes.load(), 0u);
+    // The final scrape-visible state agrees with the run result.
+    const ProgressSnapshot snap = cfg.obs.progress->snapshot();
+    EXPECT_EQ(snap.distinct_evals, result.distinct_evals);
+    EXPECT_EQ(snap.eval_calls, result.total_eval_calls);
+    EXPECT_EQ(snap.runs_completed, 1u);
+    EXPECT_FALSE(snap.running);
+}
+
+}  // namespace

@@ -28,6 +28,14 @@
 //   --trace PATH                write a structured JSONL trace of the run
 //                               (inspect with trace_inspect)
 //   --metrics                   print the metrics registry dump at the end
+//   --serve PORT                serve live observability over HTTP while the
+//                               search runs: /metrics (Prometheus text),
+//                               /status (JSON progress), /healthz.  PORT 0
+//                               picks an ephemeral port (printed at startup)
+//   --serve-grace S             keep the HTTP endpoint alive S seconds after
+//                               the run finishes (scrape-after-completion)
+//   --progress [S]              print a one-line progress heartbeat to
+//                               stderr every S seconds (default 5)
 //
 // Fault tolerance / checkpointing (single-run GA mode; any of these flags
 // switches from the multi-run experiment harness to one GA run):
@@ -47,18 +55,22 @@
 //   --chaos-flaky R             perturb values with probability R
 //   --chaos-seed N              fault-injection seed (default 0xc4a05)
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/fault_injection.hpp"
 #include "core/hint_estimator.hpp"
 #include "core/nautilus.hpp"
 #include "core/nsga2.hpp"
 #include "exp/experiment.hpp"
+#include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 #include "fft/fft_generator.hpp"
 #include "ip/analysis.hpp"
@@ -87,6 +99,9 @@ struct CliOptions {
     std::string pareto_metric;
     std::string trace_path;
     bool metrics = false;
+    int serve_port = -1;            // >= 0 enables the HTTP endpoint
+    double serve_grace = 0.0;       // seconds to keep serving after the run
+    double progress_interval = 0.0; // > 0 enables the stderr heartbeat
 
     // Single-run fault-tolerance / checkpoint mode.
     std::string checkpoint;
@@ -117,6 +132,7 @@ struct CliOptions {
                  "          [--runs N] [--generations N] [--population N] [--seed N]\n"
                  "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
                  "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n"
+                 "          [--serve PORT] [--serve-grace S] [--progress [S]]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
                  "          [--die-at-gen N] [--retries N] [--retry-backoff MS]\n"
                  "          [--eval-timeout S] [--chaos-fail R] [--chaos-hang R]\n"
@@ -150,6 +166,14 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--pareto") opt.pareto_metric = need_value(i);
         else if (arg == "--trace") opt.trace_path = need_value(i);
         else if (arg == "--metrics") opt.metrics = true;
+        else if (arg == "--serve") opt.serve_port = std::stoi(need_value(i));
+        else if (arg == "--serve-grace") opt.serve_grace = std::stod(need_value(i));
+        else if (arg == "--progress") {
+            // Optional numeric value: `--progress 2` or bare `--progress`.
+            opt.progress_interval = 5.0;
+            if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
+                opt.progress_interval = std::stod(argv[++i]);
+        }
         else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
         else if (arg == "--checkpoint-every") opt.checkpoint_every = std::stoul(need_value(i));
         else if (arg == "--resume") opt.resume = need_value(i);
@@ -169,6 +193,10 @@ CliOptions parse(int argc, char** argv)
     }
     if (opt.workers == 0) {
         std::fprintf(stderr, "--workers must be at least 1\n");
+        usage(argv[0]);
+    }
+    if (opt.serve_port > 65535) {
+        std::fprintf(stderr, "--serve port out of range (0..65535)\n");
         usage(argv[0]);
     }
     return opt;
@@ -233,9 +261,55 @@ int main(int argc, char** argv)
     }
     if (opt.metrics) inst.metrics = std::make_shared<obs::MetricsRegistry>();
     const auto dump_metrics = [&] {
-        if (!inst.metrics) return;
+        if (!opt.metrics || !inst.metrics) return;
         std::cout << "-- metrics --\n";
         inst.metrics->write_text(std::cout);
+    };
+
+    // Live observability: the progress tracker feeds both the HTTP /status
+    // endpoint and the stderr heartbeat; --serve additionally exposes the
+    // metrics registry (created on demand so /metrics is never empty-handed).
+    std::shared_ptr<obs::ProgressTracker> progress;
+    std::unique_ptr<obs::ObsHttpServer> server;
+    std::unique_ptr<obs::ProgressHeartbeat> heartbeat;
+    if (opt.serve_port >= 0 || opt.progress_interval > 0.0) {
+        progress = std::make_shared<obs::ProgressTracker>();
+        inst.progress = progress;
+    }
+    if (opt.serve_port >= 0) {
+        if (!inst.metrics) inst.metrics = std::make_shared<obs::MetricsRegistry>();
+        obs::HttpServerConfig http;
+        http.port = static_cast<std::uint16_t>(opt.serve_port);
+        server = std::make_unique<obs::ObsHttpServer>(http, inst.metrics, progress);
+        try {
+            server->start();
+        }
+        catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        std::printf("serving http://127.0.0.1:%u/  (/metrics /status /healthz)\n",
+                    static_cast<unsigned>(server->port()));
+        std::fflush(stdout);
+    }
+    if (opt.progress_interval > 0.0)
+        heartbeat = std::make_unique<obs::ProgressHeartbeat>(progress, opt.progress_interval);
+
+    // Wind down the live plane: stop the heartbeat, honor --serve-grace so a
+    // scraper can still read the final /metrics + /status, then stop serving.
+    const auto finish = [&](int code) {
+        heartbeat.reset();
+        if (server != nullptr) {
+            if (opt.serve_grace > 0.0) {
+                std::printf("serving for %.1f more seconds (--serve-grace)\n",
+                            opt.serve_grace);
+                std::fflush(stdout);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(opt.serve_grace));
+            }
+            server->stop();
+        }
+        return code;
     };
 
     if (!opt.save_dataset.empty() || opt.sensitivity) {
@@ -246,7 +320,7 @@ int main(int argc, char** argv)
             std::ofstream out{opt.save_dataset};
             if (!out) {
                 std::fprintf(stderr, "cannot write %s\n", opt.save_dataset.c_str());
-                return 1;
+                return finish(1);
             }
             ds.save_csv(out, *generator);
             std::printf("dataset written to %s\n", opt.save_dataset.c_str());
@@ -255,7 +329,7 @@ int main(int argc, char** argv)
             const auto effects = ip::main_effects(ds, *generator, metric);
             ip::print_sensitivity_report(std::cout, *generator, metric, effects);
         }
-        return 0;
+        return finish(0);
     }
 
     // Pareto mode: map a two-metric front with NSGA-II.
@@ -263,7 +337,7 @@ int main(int argc, char** argv)
         const auto second = ip::metric_from_name(opt.pareto_metric);
         if (!second) {
             std::fprintf(stderr, "unknown metric '%s'\n", opt.pareto_metric.c_str());
-            return 2;
+            return finish(2);
         }
         const std::vector<Direction> dirs{direction,
                                           ip::metric_default_direction(*second)};
@@ -294,7 +368,7 @@ int main(int argc, char** argv)
                     result.eval_seconds, result.eval_workers, result.distinct_evals,
                     result.total_eval_calls);
         dump_metrics();
-        return 0;
+        return finish(0);
     }
 
     // Single-run GA mode: fault tolerance, chaos injection, checkpoints.
@@ -370,10 +444,10 @@ int main(int argc, char** argv)
         }
         catch (const std::exception& e) {
             std::fprintf(stderr, "%s\n", e.what());
-            return 1;
+            return finish(1);
         }
         dump_metrics();
-        return 0;
+        return finish(0);
     }
 
     exp::ExperimentConfig cfg;
@@ -394,7 +468,7 @@ int main(int argc, char** argv)
         std::ifstream in{opt.dataset};
         if (!in) {
             std::fprintf(stderr, "cannot read %s\n", opt.dataset.c_str());
-            return 1;
+            return finish(1);
         }
         cached = ip::Dataset::load_csv(in, *generator);
         std::printf("serving evaluations from %s (%zu points)\n", opt.dataset.c_str(),
@@ -426,5 +500,5 @@ int main(int argc, char** argv)
     const exp::ExperimentResult result = experiment.run();
     result.print(std::cout);
     dump_metrics();
-    return 0;
+    return finish(0);
 }

@@ -1,0 +1,266 @@
+// trace_diff: compare two JSONL traces of the same workload and gate on
+// regressions.  Built for CI: run the same seeded search before and after a
+// change, diff the traces, and fail the build when the candidate run drifts
+// past the configured thresholds.
+//
+//   trace_diff BASE.jsonl CAND.jsonl [options]
+//
+// Two families of checks:
+//
+//   Deterministic (on by default, zero tolerance): run count and engines,
+//   per-run distinct evaluations, total calls, cache hits, retries, and the
+//   final best value.  For identical-seed runs of a deterministic engine
+//   these must match bit-for-bit (the repo's determinism contract), so any
+//   delta is a real behavioural regression, not noise.
+//     --allow-best-delta X      tolerate |best_base - best_cand| <= X
+//     --allow-count-delta N     tolerate counter deltas up to N
+//     --no-counters             skip the deterministic family entirely
+//
+//   Timing (off by default; wall-clock is machine-dependent so they only
+//   gate when explicitly enabled with a nonzero percentage):
+//     --max-throughput-drop P   fail when candidate distinct-evals/s is more
+//                               than P percent below the baseline
+//     --max-phase-slowdown P    fail when any span phase (ga.run, ga.breed,
+//                               ...) is more than P percent slower, for
+//                               phases taking >= 10 ms in the baseline
+//
+// Exit status: 0 all gates pass, 1 gate failure or unreadable/empty trace,
+// 2 bad usage.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+using nautilus::obs::TraceEvent;
+
+namespace {
+
+struct RunSummary {
+    std::string engine;
+    std::uint64_t waves = 0;
+    std::uint64_t items = 0;
+    std::uint64_t fresh = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t distinct_at_start = 0;
+    std::uint64_t distinct_evals = 0;
+    std::uint64_t total_calls = 0;
+    std::uint64_t retries = 0;
+    double eval_seconds = 0.0;
+    std::optional<double> best;
+};
+
+struct TraceSummary {
+    std::size_t events = 0;
+    std::vector<RunSummary> runs;
+    std::map<std::string, double> span_seconds;  // by span name
+
+    std::uint64_t distinct() const
+    {
+        std::uint64_t n = 0;
+        for (const RunSummary& r : runs) n += r.distinct_evals - r.distinct_at_start;
+        return n;
+    }
+    double eval_seconds() const
+    {
+        double s = 0.0;
+        for (const RunSummary& r : runs) s += r.eval_seconds;
+        return s;
+    }
+    // Distinct (fresh) evaluations per second of evaluation wall-clock.
+    double throughput() const
+    {
+        const double s = eval_seconds();
+        return s > 0.0 ? static_cast<double>(distinct()) / s : 0.0;
+    }
+};
+
+std::optional<TraceSummary> load(const std::string& path)
+{
+    std::ifstream in{path};
+    if (!in) {
+        std::fprintf(stderr, "trace_diff: cannot read %s\n", path.c_str());
+        return std::nullopt;
+    }
+    TraceSummary sum;
+    std::optional<std::size_t> open_run;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const std::optional<TraceEvent> parsed = nautilus::obs::parse_jsonl_line(line);
+        if (!parsed) continue;
+        const TraceEvent& ev = *parsed;
+        ++sum.events;
+        if (ev.type == "run_start") {
+            RunSummary run;
+            run.engine = ev.string("engine").value_or("?");
+            run.distinct_at_start = ev.unsigned_int("distinct_at_start").value_or(0);
+            sum.runs.push_back(std::move(run));
+            open_run = sum.runs.size() - 1;
+        }
+        else if (ev.type == "eval_wave" && open_run) {
+            RunSummary& run = sum.runs[*open_run];
+            ++run.waves;
+            run.items += ev.unsigned_int("size").value_or(0);
+            run.fresh += ev.unsigned_int("fresh").value_or(0);
+            run.hits += ev.unsigned_int("hits").value_or(0);
+            run.eval_seconds += ev.number("seconds").value_or(0.0);
+        }
+        else if (ev.type == "run_end" && open_run) {
+            RunSummary& run = sum.runs[*open_run];
+            run.distinct_evals = ev.unsigned_int("distinct_evals").value_or(0);
+            run.total_calls = ev.unsigned_int("total_calls").value_or(0);
+            run.retries = ev.unsigned_int("retries").value_or(0);
+            bool feasible = false;
+            if (const nautilus::obs::FieldValue* f = ev.find("feasible"))
+                if (const bool* b = std::get_if<bool>(f)) feasible = *b;
+            if (feasible) run.best = ev.number("best");
+            open_run.reset();
+        }
+        else if (ev.type == "span") {
+            sum.span_seconds[ev.string("name").value_or("?")] +=
+                ev.number("seconds").value_or(0.0);
+        }
+    }
+    if (sum.events == 0) {
+        std::fprintf(stderr, "trace_diff: %s holds no events\n", path.c_str());
+        return std::nullopt;
+    }
+    return sum;
+}
+
+[[noreturn]] void usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s BASE.jsonl CAND.jsonl [--allow-best-delta X]\n"
+                 "          [--allow-count-delta N] [--no-counters]\n"
+                 "          [--max-throughput-drop PCT] [--max-phase-slowdown PCT]\n",
+                 argv0);
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::vector<std::string> paths;
+    double allow_best_delta = 0.0;
+    std::uint64_t allow_count_delta = 0;
+    bool counters = true;
+    double max_throughput_drop = 0.0;  // percent; 0 = timing gate disabled
+    double max_phase_slowdown = 0.0;   // percent; 0 = timing gate disabled
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto need_value = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--allow-best-delta") allow_best_delta = std::stod(need_value());
+        else if (arg == "--allow-count-delta")
+            allow_count_delta = std::stoull(need_value());
+        else if (arg == "--no-counters") counters = false;
+        else if (arg == "--max-throughput-drop")
+            max_throughput_drop = std::stod(need_value());
+        else if (arg == "--max-phase-slowdown")
+            max_phase_slowdown = std::stod(need_value());
+        else if (arg == "--help" || arg == "-h") usage(argv[0]);
+        else if (arg[0] == '-') {
+            std::fprintf(stderr, "trace_diff: unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+        }
+        else paths.push_back(arg);
+    }
+    if (paths.size() != 2) usage(argv[0]);
+
+    const std::optional<TraceSummary> base = load(paths[0]);
+    const std::optional<TraceSummary> cand = load(paths[1]);
+    if (!base || !cand) return 1;
+
+    std::size_t failures = 0;
+    const auto fail = [&](const char* fmt, auto... args) {
+        ++failures;
+        std::fprintf(stderr, "trace_diff: FAIL: ");
+        std::fprintf(stderr, fmt, args...);
+        std::fprintf(stderr, "\n");
+    };
+    const auto check_count = [&](const char* what, std::size_t run,
+                                 std::uint64_t b, std::uint64_t c) {
+        const std::uint64_t delta = b > c ? b - c : c - b;
+        if (delta > allow_count_delta)
+            fail("run %zu %s: base %llu, candidate %llu", run, what,
+                 static_cast<unsigned long long>(b),
+                 static_cast<unsigned long long>(c));
+    };
+
+    std::printf("trace_diff: %s (base) vs %s (candidate)\n", paths[0].c_str(),
+                paths[1].c_str());
+    std::printf("  %-26s %14s %14s\n", "", "base", "candidate");
+    std::printf("  %-26s %14zu %14zu\n", "events", base->events, cand->events);
+    std::printf("  %-26s %14zu %14zu\n", "runs", base->runs.size(),
+                cand->runs.size());
+    std::printf("  %-26s %14llu %14llu\n", "distinct evals",
+                static_cast<unsigned long long>(base->distinct()),
+                static_cast<unsigned long long>(cand->distinct()));
+    std::printf("  %-26s %14.4f %14.4f\n", "eval seconds", base->eval_seconds(),
+                cand->eval_seconds());
+    std::printf("  %-26s %14.1f %14.1f\n", "evals/s", base->throughput(),
+                cand->throughput());
+
+    if (counters) {
+        if (base->runs.size() != cand->runs.size())
+            fail("run count: base %zu, candidate %zu", base->runs.size(),
+                 cand->runs.size());
+        const std::size_t n = std::min(base->runs.size(), cand->runs.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const RunSummary& b = base->runs[i];
+            const RunSummary& c = cand->runs[i];
+            if (b.engine != c.engine)
+                fail("run %zu engine: base '%s', candidate '%s'", i, b.engine.c_str(),
+                     c.engine.c_str());
+            check_count("distinct evals", i, b.distinct_evals - b.distinct_at_start,
+                        c.distinct_evals - c.distinct_at_start);
+            check_count("total calls", i, b.total_calls, c.total_calls);
+            check_count("cache hits", i, b.hits, c.hits);
+            check_count("retries", i, b.retries, c.retries);
+            if (b.best.has_value() != c.best.has_value())
+                fail("run %zu feasibility: base %s, candidate %s", i,
+                     b.best ? "feasible" : "infeasible",
+                     c.best ? "feasible" : "infeasible");
+            else if (b.best && std::abs(*b.best - *c.best) > allow_best_delta)
+                fail("run %zu best: base %.6f, candidate %.6f (delta %.6g > %.6g)", i,
+                     *b.best, *c.best, std::abs(*b.best - *c.best), allow_best_delta);
+        }
+    }
+
+    if (max_throughput_drop > 0.0 && base->throughput() > 0.0) {
+        const double floor = base->throughput() * (1.0 - max_throughput_drop / 100.0);
+        if (cand->throughput() < floor)
+            fail("throughput: candidate %.1f evals/s < %.1f (base %.1f - %.1f%%)",
+                 cand->throughput(), floor, base->throughput(), max_throughput_drop);
+    }
+    if (max_phase_slowdown > 0.0) {
+        for (const auto& [name, b_seconds] : base->span_seconds) {
+            if (b_seconds < 0.010) continue;  // below timing noise
+            const auto it = cand->span_seconds.find(name);
+            if (it == cand->span_seconds.end()) continue;
+            const double cap = b_seconds * (1.0 + max_phase_slowdown / 100.0);
+            if (it->second > cap)
+                fail("phase %s: candidate %.4f s > %.4f s (base %.4f s + %.1f%%)",
+                     name.c_str(), it->second, cap, b_seconds, max_phase_slowdown);
+        }
+    }
+
+    if (failures > 0) {
+        std::fprintf(stderr, "trace_diff: %zu gate failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("trace_diff: OK (all gates passed)\n");
+    return 0;
+}

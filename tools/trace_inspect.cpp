@@ -6,6 +6,13 @@
 //                                      and per-run evaluation accounting must
 //                                      be self-consistent; exits nonzero on
 //                                      any failure
+//   trace_inspect run.jsonl --chrome OUT.json
+//                                      additionally convert the trace to the
+//                                      Chrome trace-event JSON array format;
+//                                      load OUT.json at https://ui.perfetto.dev
+//
+// Unknown flags are rejected with a usage message and a nonzero exit, so CI
+// scripts fail fast on typos instead of treating a flag as the trace path.
 //
 // The summary reports event counts by type, aggregate span timings, a
 // per-run table (engine, waves, distinct vs. total evaluations, cache hit
@@ -27,6 +34,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 
 using nautilus::obs::TraceEvent;
@@ -70,7 +78,7 @@ struct RunAgg {
 
 [[noreturn]] void usage(const char* argv0)
 {
-    std::fprintf(stderr, "usage: %s TRACE.jsonl [--check]\n", argv0);
+    std::fprintf(stderr, "usage: %s TRACE.jsonl [--check] [--chrome OUT.json]\n", argv0);
     std::exit(2);
 }
 
@@ -79,11 +87,20 @@ struct RunAgg {
 int main(int argc, char** argv)
 {
     std::string path;
+    std::string chrome_out;
     bool check = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check") == 0) check = true;
+        else if (std::strcmp(argv[i], "--chrome") == 0) {
+            if (i + 1 >= argc) usage(argv[0]);
+            chrome_out = argv[++i];
+        }
         else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
             usage(argv[0]);
+        else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "trace_inspect: unknown option '%s'\n", argv[i]);
+            usage(argv[0]);
+        }
         else if (path.empty()) path = argv[i];
         else usage(argv[0]);
     }
@@ -97,6 +114,7 @@ int main(int argc, char** argv)
 
     std::map<std::string, std::uint64_t> counts;
     std::map<std::string, SpanAgg> spans;
+    std::vector<TraceEvent> chrome_events;  // kept only with --chrome
     std::vector<RunAgg> runs;
     std::optional<std::size_t> open_run;  // index into runs
     std::uint64_t bias_draws = 0;
@@ -118,6 +136,7 @@ int main(int argc, char** argv)
             continue;
         }
         const TraceEvent& ev = *parsed;
+        if (!chrome_out.empty()) chrome_events.push_back(ev);
         ++counts[ev.type];
         last_t = ev.t;
 
@@ -205,6 +224,17 @@ int main(int argc, char** argv)
     if (lines == 0) {
         std::fprintf(stderr, "trace_inspect: %s holds no events\n", path.c_str());
         return 1;
+    }
+
+    if (!chrome_out.empty()) {
+        std::ofstream out{chrome_out};
+        if (!out) {
+            std::fprintf(stderr, "trace_inspect: cannot write %s\n", chrome_out.c_str());
+            return 1;
+        }
+        out << nautilus::obs::chrome_trace_json(chrome_events);
+        std::printf("chrome trace written to %s (%zu events; open at ui.perfetto.dev)\n",
+                    chrome_out.c_str(), chrome_events.size());
     }
 
     // -- validation ---------------------------------------------------------
