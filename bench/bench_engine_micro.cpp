@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -189,6 +190,35 @@ void bm_full_ga_run_progress(benchmark::State& state)
     for (auto _ : state) benchmark::DoNotOptimize(engine.run(seed++));
 }
 BENCHMARK(bm_full_ga_run_progress);
+
+// Same workload served entirely from a pre-warmed persistent store: every
+// memo miss is a store hit, so the delta against bm_full_ga_run is the pure
+// lookup cost of the store tier (`sync` off — durability is not what this
+// measures).  Fixed seed: each iteration replays the identical warm run.
+void bm_full_ga_run_store_warm(benchmark::State& state)
+{
+    const auto space = bench_space();
+    const EvalFn eval = [](const Genome& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+        return Evaluation{true, v};
+    };
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "nautilus_bench_store").string();
+    std::filesystem::remove_all(dir);
+    EvalStoreConfig store_cfg;
+    store_cfg.path = dir;
+    store_cfg.sync = false;
+    GaConfig cfg;
+    cfg.generations = 80;
+    cfg.store = std::make_shared<EvalStore>(store_cfg);
+    cfg.store_namespace = EvalStore::namespace_key("bench/sum");
+    const GaEngine engine{space, cfg, Direction::maximize, eval, HintSet::none(space)};
+    benchmark::DoNotOptimize(engine.run(1));  // warm-up pass fills the store
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(1));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(bm_full_ga_run_store_warm);
 
 // ---- BENCH_obs.json ---------------------------------------------------------
 //

@@ -1,0 +1,111 @@
+#include "core/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace nautilus {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what)
+{
+    throw std::runtime_error("atomic_file " + path + ": " + what + ": " +
+                             std::strerror(errno));
+}
+
+// Write the whole buffer, retrying on short writes and EINTR.
+void write_all(int fd, const std::string& path, std::string_view content)
+{
+    const char* data = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            fail(path, "write failed");
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+}
+
+std::string parent_dir(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) return ".";
+    if (slash == 0) return "/";
+    return path.substr(0, slash);
+}
+
+}  // namespace
+
+void fsync_parent_dir(const std::string& path)
+{
+    const std::string dir = parent_dir(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) fail(dir, "cannot open directory");
+    if (::fsync(fd) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail(dir, "directory fsync failed");
+    }
+    ::close(fd);
+}
+
+void atomic_write_file(const std::string& path, std::string_view content, bool sync)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail(tmp, "cannot create");
+    try {
+        write_all(fd, tmp, content);
+        if (sync && ::fsync(fd) != 0) fail(tmp, "fsync failed");
+    }
+    catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        fail(tmp, "close failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fail(path, "rename failed");
+    }
+    if (sync) fsync_parent_dir(path);
+}
+
+std::uint64_t append_file(const std::string& path, std::string_view content, bool sync)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) fail(path, "cannot open for append");
+    try {
+        write_all(fd, path, content);
+        if (sync && ::fsync(fd) != 0) fail(path, "fsync failed");
+    }
+    catch (...) {
+        ::close(fd);
+        throw;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail(path, "fstat failed");
+    }
+    if (::close(fd) != 0) fail(path, "close failed");
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace nautilus

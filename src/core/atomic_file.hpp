@@ -1,0 +1,44 @@
+// Durable file commit helpers shared by the checkpoint writer and the
+// persistent evaluation store.
+//
+// "Atomic write" here means the full POSIX discipline, not just rename:
+//
+//   1. write the payload to PATH.tmp
+//   2. fsync(PATH.tmp)          -- payload is on disk before it becomes visible
+//   3. rename(PATH.tmp, PATH)   -- readers see the old file or the new file
+//   4. fsync(parent directory)  -- the rename itself survives a crash
+//
+// Skipping (2) lets a crash after (3) leave a zero-length or torn file behind
+// the rename; skipping (4) lets the rename vanish entirely.  Both halves are
+// required for the repo's crash-safety claims (DESIGN.md §8 and §9).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nautilus {
+
+// Atomically replace `path` with `content` using the tmp+fsync+rename+dirsync
+// discipline above.  Throws std::runtime_error (with errno text) on any
+// failure; the tmp file is unlinked on the error paths that leave one behind.
+// When `sync` is false the fsync steps are skipped (benchmarks only; the
+// rename is still atomic against concurrent readers, just not crash-durable).
+void atomic_write_file(const std::string& path, std::string_view content,
+                       bool sync = true);
+
+// Append `content` to `path` (creating it if absent) and optionally fsync the
+// file.  Used by append-only store segments: an interrupted append can only
+// leave a torn *tail*, which the store's loader truncates on recovery.
+// Returns the file size after the append.  Throws std::runtime_error on I/O
+// failure.
+std::uint64_t append_file(const std::string& path, std::string_view content,
+                          bool sync = true);
+
+// fsync the directory containing `path` so directory-level operations
+// (rename, create, unlink) performed on entries of that directory are
+// durable.  Throws std::runtime_error on failure.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace nautilus

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.hpp"
+
 namespace nautilus {
 
 namespace {
@@ -132,16 +134,10 @@ private:
 
 void commit(const std::string& path, const std::string& content)
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out{tmp, std::ios::trunc};
-        if (!out) throw std::runtime_error("checkpoint " + path + ": cannot write " + tmp);
-        out << content;
-        out.flush();
-        if (!out) throw std::runtime_error("checkpoint " + path + ": write failed");
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw std::runtime_error("checkpoint " + path + ": rename from " + tmp + " failed");
+    // Full durability discipline (tmp + fsync + rename + directory fsync);
+    // the bare rename used previously could surface a zero-length or torn
+    // checkpoint after a crash because the payload was never fsync'd.
+    atomic_write_file(path, content);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "core/ga.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -140,7 +141,32 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     // attempts == distinct evals + retries (DESIGN.md section 8).
     FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
     guard.set_instrumentation(config_.obs);
-    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
+    // The persistent store (when attached) answers memo misses before the
+    // fault guard runs, so warm runs skip the evaluator but still charge a
+    // distinct evaluation in the memo layer -- results and determinism-gated
+    // counters are identical cold vs warm.  Penalized outcomes are per-run
+    // policy and are never written back.
+    EvalStore* store = config_.store.get();
+    const std::uint64_t store_ns = config_.store_namespace;
+    std::atomic<std::size_t> store_hits{0};
+    std::atomic<std::size_t> store_misses{0};
+    CachingEvaluator evaluator{[&](const Genome& g) -> Evaluation {
+        if (store != nullptr) {
+            if (const std::optional<StoredResult> cached = store->lookup(store_ns, g)) {
+                if (const std::optional<Evaluation> e = stored_to_evaluation(*cached)) {
+                    store_hits.fetch_add(1, std::memory_order_relaxed);
+                    return *e;
+                }
+            }
+        }
+        EvalOutcome outcome;
+        const Evaluation e = guard.evaluate(g, &outcome);
+        if (store != nullptr) {
+            store_misses.fetch_add(1, std::memory_order_relaxed);
+            if (!outcome.penalized) store->insert(store_ns, g, stored_from_evaluation(e));
+        }
+        return e;
+    }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_observer(config_.eval_observer);
     batch_eval.set_instrumentation(config_.obs);
@@ -402,6 +428,8 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     result.final_population = std::move(population);
     result.final_rng_state = rng.state();
     result.fault = guard.counters();
+    result.store_hits = store_hits.load(std::memory_order_relaxed);
+    result.store_misses = store_misses.load(std::memory_order_relaxed);
     if (progress != nullptr) progress->on_run_end();
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_end"};
@@ -422,6 +450,9 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
             .add("eval_timeouts", std::size_t{result.fault.timeouts})
             .add("quarantined", std::size_t{result.fault.quarantined})
             .add("penalties", std::size_t{result.fault.penalties});
+        if (store != nullptr)
+            ev.add("store_hits", result.store_hits)
+                .add("store_misses", result.store_misses);
         tracer.emit(std::move(ev));
     }
     return result;

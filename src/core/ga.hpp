@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/batch_evaluator.hpp"
+#include "core/eval_store.hpp"
 #include "core/evaluator.hpp"
 #include "core/fault.hpp"
 #include "core/fitness.hpp"
@@ -67,6 +68,16 @@ struct GaConfig {
     FaultPolicy fault;
     Evaluation fault_penalty{false, 0.0};
 
+    // Cross-run persistent evaluation store (core/eval_store.hpp).  When
+    // set, the store is consulted below the per-run memoization cache and
+    // above the fault guard: a hit skips the evaluator entirely but still
+    // charges one distinct evaluation, so results and every determinism-
+    // gated counter are bit-for-bit identical with or without the store.
+    // Deliberately excluded from config_fingerprint: a checkpointed run may
+    // resume with or without a store attached.
+    std::shared_ptr<EvalStore> store;
+    std::uint64_t store_namespace = 0;  // EvalStore::namespace_key(...)
+
     // Checkpoint/resume.  When `checkpoint_path` is set, the full run state
     // is written there every `checkpoint_every` generations (atomically, via
     // a temp file).  `halt_at_generation` (when nonzero) writes a checkpoint
@@ -109,8 +120,14 @@ struct RunResult {
     std::vector<Genome> final_population;
     std::array<std::uint64_t, 4> final_rng_state{};
 
-    // Fault-tolerance accounting (attempts == distinct evals + retries).
+    // Fault-tolerance accounting (attempts == distinct evals + retries;
+    // with a store attached, attempts == distinct - store_hits + retries).
     FaultCounters fault;
+
+    // Persistent-store accounting for this run (both 0 when no store is
+    // attached): memo misses answered by the store vs. paid fresh.
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
 
     RunResult() : curve(Direction::maximize) {}
     explicit RunResult(Direction dir) : curve(dir) {}
@@ -124,6 +141,8 @@ struct EvalSummary {
     std::size_t distinct_evals = 0;   // synthesis jobs (the paper's cost)
     std::size_t total_calls = 0;      // all evaluate() calls incl. cache hits
     std::size_t runs = 0;
+    std::size_t store_hits = 0;       // memo misses answered by the store
+    std::size_t store_misses = 0;     // memo misses paid fresh
 
     void absorb(const RunResult& r)
     {
@@ -131,7 +150,17 @@ struct EvalSummary {
         eval_workers = r.eval_workers;
         distinct_evals += r.distinct_evals;
         total_calls += r.total_eval_calls;
+        store_hits += r.store_hits;
+        store_misses += r.store_misses;
         ++runs;
+    }
+
+    // Fraction of memo misses the persistent store answered (0 when no
+    // store was attached).
+    double store_hit_rate() const
+    {
+        const std::size_t probes = store_hits + store_misses;
+        return probes == 0 ? 0.0 : static_cast<double>(store_hits) / probes;
     }
 
     // Fraction of calls answered from the memoization cache.

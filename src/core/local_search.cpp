@@ -1,7 +1,9 @@
 #include "core/local_search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -69,7 +71,28 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
     Rng rng{seed};
     FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
     guard.set_instrumentation(config_.obs);
-    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
+    // Persistent store tier below the memo cache (see GaEngine::run_impl).
+    EvalStore* store = config_.store.get();
+    const std::uint64_t store_ns = config_.store_namespace;
+    std::atomic<std::size_t> store_hits{0};
+    std::atomic<std::size_t> store_misses{0};
+    CachingEvaluator evaluator{[&](const Genome& g) -> Evaluation {
+        if (store != nullptr) {
+            if (const std::optional<StoredResult> cached = store->lookup(store_ns, g)) {
+                if (const std::optional<Evaluation> e = stored_to_evaluation(*cached)) {
+                    store_hits.fetch_add(1, std::memory_order_relaxed);
+                    return *e;
+                }
+            }
+        }
+        EvalOutcome outcome;
+        const Evaluation e = guard.evaluate(g, &outcome);
+        if (store != nullptr) {
+            store_misses.fetch_add(1, std::memory_order_relaxed);
+            if (!outcome.penalized) store->insert(store_ns, g, stored_from_evaluation(e));
+        }
+        return e;
+    }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
@@ -101,6 +124,9 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
             .add("feasible", obs::FieldValue{feasible})
             .add("best", obs::FieldValue{feasible ? best_value : 0.0})
             .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()});
+        if (store != nullptr)
+            ev.add("store_hits", store_hits.load(std::memory_order_relaxed))
+                .add("store_misses", store_misses.load(std::memory_order_relaxed));
         tracer.emit(std::move(ev));
     };
     const auto evaluate = [&](const Genome& g) {
@@ -227,7 +253,28 @@ Curve HillClimber::run(std::uint64_t seed) const
     Rng rng{seed};
     FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
     guard.set_instrumentation(config_.obs);
-    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
+    // Persistent store tier below the memo cache (see GaEngine::run_impl).
+    EvalStore* store = config_.store.get();
+    const std::uint64_t store_ns = config_.store_namespace;
+    std::atomic<std::size_t> store_hits{0};
+    std::atomic<std::size_t> store_misses{0};
+    CachingEvaluator evaluator{[&](const Genome& g) -> Evaluation {
+        if (store != nullptr) {
+            if (const std::optional<StoredResult> cached = store->lookup(store_ns, g)) {
+                if (const std::optional<Evaluation> e = stored_to_evaluation(*cached)) {
+                    store_hits.fetch_add(1, std::memory_order_relaxed);
+                    return *e;
+                }
+            }
+        }
+        EvalOutcome outcome;
+        const Evaluation e = guard.evaluate(g, &outcome);
+        if (store != nullptr) {
+            store_misses.fetch_add(1, std::memory_order_relaxed);
+            if (!outcome.penalized) store->insert(store_ns, g, stored_from_evaluation(e));
+        }
+        return e;
+    }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
@@ -314,6 +361,9 @@ Curve HillClimber::run(std::uint64_t seed) const
             .add("feasible", obs::FieldValue{have_best})
             .add("best", obs::FieldValue{have_best ? best : 0.0})
             .add("eval_seconds", obs::FieldValue{batch_eval.eval_seconds()});
+        if (store != nullptr)
+            ev.add("store_hits", store_hits.load(std::memory_order_relaxed))
+                .add("store_misses", store_misses.load(std::memory_order_relaxed));
         tracer.emit(std::move(ev));
     }
     return curve;

@@ -10,7 +10,9 @@
 // "guided SA" is a meaningful ablation of guided-GA's population mechanics.
 
 #include <cstdint>
+#include <memory>
 
+#include "core/eval_store.hpp"
 #include "core/evaluator.hpp"
 #include "core/fault.hpp"
 #include "core/fitness.hpp"
@@ -37,6 +39,11 @@ struct AnnealingConfig {
     // Fault tolerance (DESIGN.md section 8); shared semantics with GaConfig.
     FaultPolicy fault;
     Evaluation fault_penalty{false, 0.0};
+
+    // Cross-run persistent evaluation store; same placement and determinism
+    // contract as GaConfig::store.
+    std::shared_ptr<EvalStore> store;
+    std::uint64_t store_namespace = 0;
 
     void validate() const;
 };
@@ -73,6 +80,11 @@ struct HillClimbConfig {
     // Fault tolerance (DESIGN.md section 8); shared semantics with GaConfig.
     FaultPolicy fault;
     Evaluation fault_penalty{false, 0.0};
+
+    // Cross-run persistent evaluation store; same placement and determinism
+    // contract as GaConfig::store.
+    std::shared_ptr<EvalStore> store;
+    std::uint64_t store_namespace = 0;
 
     void validate() const;
 };

@@ -169,8 +169,39 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         },
         config_.fault, MultiValue{}};
     guard.set_instrumentation(config_.obs);
-    BasicCachingEvaluator<MultiValue> evaluator{
-        [&guard](const Genome& g) { return guard.evaluate(g); }};
+    // Persistent store tier: answers memo misses before the fault guard (see
+    // GaEngine::run_impl).  Feasible records must carry one value per
+    // objective; anything else is treated as a miss and recomputed.
+    EvalStore* store = config_.store.get();
+    const std::uint64_t store_ns = config_.store_namespace;
+    std::atomic<std::size_t> store_hits{0};
+    std::atomic<std::size_t> store_misses{0};
+    BasicCachingEvaluator<MultiValue> evaluator{[&](const Genome& g) -> MultiValue {
+        if (store != nullptr) {
+            if (std::optional<StoredResult> cached = store->lookup(store_ns, g)) {
+                if (!cached->feasible && cached->values.empty()) {
+                    store_hits.fetch_add(1, std::memory_order_relaxed);
+                    return std::nullopt;
+                }
+                if (cached->feasible && cached->values.size() == directions_.size()) {
+                    store_hits.fetch_add(1, std::memory_order_relaxed);
+                    return MultiValue{std::move(cached->values)};
+                }
+            }
+        }
+        EvalOutcome outcome;
+        MultiValue values = guard.evaluate(g, &outcome);
+        if (store != nullptr) {
+            store_misses.fetch_add(1, std::memory_order_relaxed);
+            if (!outcome.penalized) {
+                StoredResult record;
+                record.feasible = values.has_value();
+                if (values) record.values = *values;
+                store->insert(store_ns, g, std::move(record));
+            }
+        }
+        return values;
+    }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
@@ -242,6 +273,8 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         result.eval_workers = batch_eval.workers();
         result.start_generation = start_gen;
         result.fault = guard.counters();
+        result.store_hits = store_hits.load(std::memory_order_relaxed);
+        result.store_misses = store_misses.load(std::memory_order_relaxed);
         if (tracer.enabled()) {
             obs::TraceEvent ev{"run_end"};
             ev.add("engine", "nsga2")
@@ -257,6 +290,9 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
                 .add("eval_timeouts", std::size_t{result.fault.timeouts})
                 .add("quarantined", std::size_t{result.fault.quarantined})
                 .add("penalties", std::size_t{result.fault.penalties});
+            if (store != nullptr)
+                ev.add("store_hits", result.store_hits)
+                    .add("store_misses", result.store_misses);
             tracer.emit(std::move(ev));
         }
         return result;

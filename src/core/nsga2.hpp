@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/eval_store.hpp"
 #include "core/fault.hpp"
 #include "core/genome.hpp"
 #include "core/hints.hpp"
@@ -49,6 +51,13 @@ struct MultiObjectiveConfig {
     // the pool or the archive.
     FaultPolicy fault;
 
+    // Cross-run persistent evaluation store (core/eval_store.hpp): consulted
+    // below the memo cache, above the fault guard; same determinism contract
+    // as GaConfig::store.  Records hold one value per objective (or
+    // feasible=false for infeasible points).
+    std::shared_ptr<EvalStore> store;
+    std::uint64_t store_namespace = 0;
+
     // Checkpoint/resume; same semantics as GaConfig (DESIGN.md section 8).
     std::string checkpoint_path;
     std::size_t checkpoint_every = 1;
@@ -72,6 +81,8 @@ struct MultiObjectiveResult {
     bool halted = false;               // stopped by halt_at_generation
     std::size_t start_generation = 0;  // nonzero when resumed from a checkpoint
     FaultCounters fault;               // attempts == distinct evals + retries
+    std::size_t store_hits = 0;        // memo misses answered by the store
+    std::size_t store_misses = 0;      // memo misses paid fresh
 };
 
 class Nsga2Engine {

@@ -1,6 +1,8 @@
 #include "core/random_search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <unordered_set>
@@ -34,7 +36,28 @@ Curve RandomSearch::run(std::uint64_t seed) const
     Rng rng{seed};
     FaultTolerantEvaluator<Evaluation> guard{eval_, config_.fault, config_.fault_penalty};
     guard.set_instrumentation(config_.obs);
-    CachingEvaluator evaluator{[&guard](const Genome& g) { return guard.evaluate(g); }};
+    // Persistent store tier below the memo cache (see GaEngine::run_impl).
+    EvalStore* store = config_.store.get();
+    const std::uint64_t store_ns = config_.store_namespace;
+    std::atomic<std::size_t> store_hits{0};
+    std::atomic<std::size_t> store_misses{0};
+    CachingEvaluator evaluator{[&](const Genome& g) -> Evaluation {
+        if (store != nullptr) {
+            if (const std::optional<StoredResult> cached = store->lookup(store_ns, g)) {
+                if (const std::optional<Evaluation> e = stored_to_evaluation(*cached)) {
+                    store_hits.fetch_add(1, std::memory_order_relaxed);
+                    return *e;
+                }
+            }
+        }
+        EvalOutcome outcome;
+        const Evaluation e = guard.evaluate(g, &outcome);
+        if (store != nullptr) {
+            store_misses.fetch_add(1, std::memory_order_relaxed);
+            if (!outcome.penalized) store->insert(store_ns, g, stored_from_evaluation(e));
+        }
+        return e;
+    }};
     BatchEvaluator batch_eval{config_.eval_workers};
     batch_eval.set_instrumentation(config_.obs);
     const obs::Tracer& tracer = config_.obs.tracer;
@@ -102,6 +125,9 @@ Curve RandomSearch::run(std::uint64_t seed) const
             .add("attempts", std::size_t{guard.counters().attempts})
             .add("retries", std::size_t{guard.counters().retries})
             .add("quarantined", std::size_t{guard.counters().quarantined});
+        if (store != nullptr)
+            ev.add("store_hits", store_hits.load(std::memory_order_relaxed))
+                .add("store_misses", store_misses.load(std::memory_order_relaxed));
         tracer.emit(std::move(ev));
     }
     return curve;

@@ -8,7 +8,9 @@
 // the same experiment harness.
 
 #include <cstdint>
+#include <memory>
 
+#include "core/eval_store.hpp"
 #include "core/evaluator.hpp"
 #include "core/fault.hpp"
 #include "core/fitness.hpp"
@@ -29,6 +31,11 @@ struct RandomSearchConfig {
     // Fault tolerance (DESIGN.md section 8); shared semantics with GaConfig.
     FaultPolicy fault;
     Evaluation fault_penalty{false, 0.0};
+
+    // Cross-run persistent evaluation store; same placement and determinism
+    // contract as GaConfig::store.
+    std::shared_ptr<EvalStore> store;
+    std::uint64_t store_namespace = 0;
 
     void validate() const;  // throws std::invalid_argument on bad settings
 };

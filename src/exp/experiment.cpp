@@ -77,6 +77,8 @@ ExperimentResult Experiment::run() const
         // comparison (and any trace) covers both engines uniformly.
         rc.eval_workers = config_.ga.eval_workers;
         rc.obs = config_.ga.obs;
+        rc.store = config_.ga.store;
+        rc.store_namespace = config_.ga.store_namespace;
         const RandomSearch rs{generator_.space(), rc, query_.direction, eval};
         result.random_search = rs.run_many(config_.runs);
     }

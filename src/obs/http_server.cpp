@@ -17,15 +17,19 @@ namespace {
 
 constexpr std::size_t kMaxRequestBytes = 8192;
 
+// `head_only` suppresses the payload but not the headers: a HEAD response
+// must advertise the Content-Length the matching GET would carry
+// (RFC 9110 section 9.3.2), so the header is always computed from the real
+// body size.
 std::string make_response(int status, const char* reason, std::string_view content_type,
-                          std::string_view body)
+                          std::string_view body, bool head_only = false)
 {
     std::string out = "HTTP/1.1 " + std::to_string(status) + ' ' + reason + "\r\n";
     out += "Content-Type: ";
     out += content_type;
     out += "\r\nContent-Length: " + std::to_string(body.size());
     out += "\r\nConnection: close\r\n\r\n";
-    out += body;
+    if (!head_only) out += body;
     return out;
 }
 
@@ -186,23 +190,23 @@ void ObsHttpServer::handle_connection(int fd)
         path = path.substr(0, query);
 
     requests_.fetch_add(1, std::memory_order_relaxed);
-    if (method != "GET" && method != "HEAD") {
+    const bool head = method == "HEAD";
+    if (method != "GET" && !head) {
         send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
                                    "only GET is supported\n"));
         return;
     }
 
-    std::string body = body_for(path);
+    const std::string body = body_for(path);
     if (body.empty() && path != "/metrics") {
-        send_all(fd, make_response(404, "Not Found", "text/plain", "not found\n"));
+        send_all(fd, make_response(404, "Not Found", "text/plain", "not found\n", head));
         return;
     }
     const std::string_view content_type =
         path == "/status" ? "application/json"
         : path == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
                              : "text/plain; charset=utf-8";
-    if (method == "HEAD") body.clear();
-    send_all(fd, make_response(200, "OK", content_type, body));
+    send_all(fd, make_response(200, "OK", content_type, body, head));
 }
 
 }  // namespace nautilus::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/atomic_file.hpp"
+
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -404,6 +406,38 @@ TEST(CheckpointResume, Nsga2ResumeRejectsWrongObjectiveCount)
         {Direction::maximize, Direction::minimize, Direction::minimize}, three,
         HintSet::none(space)};
     EXPECT_THROW(mismatched.resume(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+// -- atomic_write_file (the checkpoint commit path) -------------------------
+
+TEST(AtomicFile, WritesContentAndLeavesNoTempBehind)
+{
+    const std::string path = temp_path("atomic_write");
+    atomic_write_file(path, "hello\nworld\n");
+    EXPECT_EQ(slurp(path), "hello\nworld\n");
+    EXPECT_FALSE(std::ifstream{path + ".tmp"}.good());
+
+    // Overwrite replaces the full content, never appends or truncates short.
+    atomic_write_file(path, "v2");
+    EXPECT_EQ(slurp(path), "v2");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailsLoudlyWhenDirectoryIsMissing)
+{
+    EXPECT_THROW(
+        atomic_write_file(::testing::TempDir() + "no_such_dir_xyz/file", "x"),
+        std::runtime_error);
+}
+
+TEST(AtomicFile, AppendReturnsResultingSize)
+{
+    const std::string path = temp_path("atomic_append");
+    std::remove(path.c_str());
+    EXPECT_EQ(append_file(path, "abc\n"), 4u);
+    EXPECT_EQ(append_file(path, "defgh\n"), 10u);
+    EXPECT_EQ(slurp(path), "abc\ndefgh\n");
     std::remove(path.c_str());
 }
 

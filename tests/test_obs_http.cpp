@@ -133,6 +133,39 @@ TEST(ObsHttpServer, ServesOverRealSockets)
     server.stop();
 }
 
+// RFC 9110 section 9.3.2: a HEAD response carries the headers the matching
+// GET would carry — in particular the GET body's Content-Length — but no
+// payload.  (A past bug cleared the body before the header was computed,
+// advertising Content-Length: 0 and breaking HEAD-based scrape probes.)
+TEST(ObsHttpServer, HeadMatchesGetHeadersWithEmptyBody)
+{
+    auto metrics = std::make_shared<MetricsRegistry>();
+    metrics->counter("eval.items").add(9);
+    ObsHttpServer server{{}, metrics, std::make_shared<ProgressTracker>()};
+    server.start();
+
+    for (const std::string target : {"/healthz", "/metrics", "/status", "/nope"}) {
+        const std::string get = http_get(server.port(), target);
+        const std::string head = http_get(server.port(), target, "HEAD");
+
+        const std::size_t get_split = get.find("\r\n\r\n");
+        const std::size_t head_split = head.find("\r\n\r\n");
+        ASSERT_NE(get_split, std::string::npos) << target;
+        ASSERT_NE(head_split, std::string::npos) << target;
+
+        // Identical status line and headers (Content-Length included) ...
+        EXPECT_EQ(head.substr(0, head_split), get.substr(0, get_split)) << target;
+        // ... and the advertised length names the GET body, which HEAD omits.
+        const std::string get_body = get.substr(get_split + 4);
+        EXPECT_NE(get.find("Content-Length: " + std::to_string(get_body.size())),
+                  std::string::npos)
+            << target;
+        EXPECT_TRUE(head.substr(head_split + 4).empty()) << target;
+        EXPECT_FALSE(get_body.empty()) << target;
+    }
+    server.stop();
+}
+
 // The TSan target: scrape /metrics and /status over live sockets while a GA
 // run evaluates with 4 workers, all three obs surfaces (tracer off, metrics,
 // progress) attached.  Snapshot paths must be data-race free against the

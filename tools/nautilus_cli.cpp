@@ -36,6 +36,12 @@
 //                               the run finishes (scrape-after-completion)
 //   --progress [S]              print a one-line progress heartbeat to
 //                               stderr every S seconds (default 5)
+//   --store PATH                cross-run persistent evaluation store: serve
+//                               repeat evaluations from PATH and record fresh
+//                               ones (results are bit-for-bit identical with
+//                               or without the store; see DESIGN.md)
+//   --store-max-bytes N         evict oldest store records past N bytes
+//                               (default 0 = unlimited)
 //
 // Fault tolerance / checkpointing (single-run GA mode; any of these flags
 // switches from the multi-run experiment harness to one GA run):
@@ -57,6 +63,7 @@
 
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -65,6 +72,7 @@
 #include <string>
 #include <thread>
 
+#include "core/eval_store.hpp"
 #include "core/fault_injection.hpp"
 #include "core/hint_estimator.hpp"
 #include "core/nautilus.hpp"
@@ -102,6 +110,8 @@ struct CliOptions {
     int serve_port = -1;            // >= 0 enables the HTTP endpoint
     double serve_grace = 0.0;       // seconds to keep serving after the run
     double progress_interval = 0.0; // > 0 enables the stderr heartbeat
+    std::string store;              // persistent evaluation store directory
+    std::uint64_t store_max_bytes = 0;  // 0 = unlimited
 
     // Single-run fault-tolerance / checkpoint mode.
     std::string checkpoint;
@@ -133,12 +143,56 @@ struct CliOptions {
                  "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
                  "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n"
                  "          [--serve PORT] [--serve-grace S] [--progress [S]]\n"
+                 "          [--store PATH] [--store-max-bytes N]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
                  "          [--die-at-gen N] [--retries N] [--retry-backoff MS]\n"
                  "          [--eval-timeout S] [--chaos-fail R] [--chaos-hang R]\n"
                  "          [--chaos-flaky R] [--chaos-seed N]\n",
                  argv0);
     std::exit(2);
+}
+
+// Numeric flag parsing.  std::stoul/std::stod throw on garbage and silently
+// accept partial matches ("--seed 1e99" parses as 1); either way the user
+// typed something that is not the number they meant.  These helpers demand
+// that the whole token parse, and on failure print the offending flag plus
+// the usage text and exit 2 instead of letting the exception escape to
+// std::terminate.
+std::uint64_t parse_u64(const char* argv0, const std::string& flag, const char* text)
+{
+    try {
+        const std::string s{text};
+        if (!s.empty() && s[0] != '-' && s[0] != '+') {
+            std::size_t pos = 0;
+            const unsigned long long v = std::stoull(s, &pos);
+            if (pos == s.size()) return static_cast<std::uint64_t>(v);
+        }
+    }
+    catch (const std::exception&) {
+    }
+    std::fprintf(stderr, "invalid value '%s' for %s (expected a non-negative integer)\n",
+                 text, flag.c_str());
+    usage(argv0);
+}
+
+std::size_t parse_count(const char* argv0, const std::string& flag, const char* text)
+{
+    return static_cast<std::size_t>(parse_u64(argv0, flag, text));
+}
+
+double parse_number(const char* argv0, const std::string& flag, const char* text)
+{
+    try {
+        const std::string s{text};
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos == s.size() && std::isfinite(v)) return v;
+    }
+    catch (const std::exception&) {
+    }
+    std::fprintf(stderr, "invalid value '%s' for %s (expected a finite number)\n", text,
+                 flag.c_str());
+    usage(argv0);
 }
 
 CliOptions parse(int argc, char** argv)
@@ -150,41 +204,53 @@ CliOptions parse(int argc, char** argv)
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto count = [&](int& j) { return parse_count(argv[0], arg, need_value(j)); };
+        const auto u64 = [&](int& j) { return parse_u64(argv[0], arg, need_value(j)); };
+        const auto number = [&](int& j) { return parse_number(argv[0], arg, need_value(j)); };
         if (arg == "--ip") opt.ip = need_value(i);
         else if (arg == "--metric") opt.metric = need_value(i);
         else if (arg == "--direction") opt.direction = need_value(i);
         else if (arg == "--guidance") opt.guidance = need_value(i);
-        else if (arg == "--runs") opt.runs = std::stoul(need_value(i));
-        else if (arg == "--generations") opt.generations = std::stoul(need_value(i));
-        else if (arg == "--population") opt.population = std::stoul(need_value(i));
-        else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
-        else if (arg == "--workers") opt.workers = std::stoul(need_value(i));
-        else if (arg == "--samples") opt.samples = std::stoul(need_value(i));
+        else if (arg == "--runs") opt.runs = count(i);
+        else if (arg == "--generations") opt.generations = count(i);
+        else if (arg == "--population") opt.population = count(i);
+        else if (arg == "--seed") opt.seed = u64(i);
+        else if (arg == "--workers") opt.workers = count(i);
+        else if (arg == "--samples") opt.samples = count(i);
         else if (arg == "--sensitivity") opt.sensitivity = true;
         else if (arg == "--save-dataset") opt.save_dataset = need_value(i);
         else if (arg == "--dataset") opt.dataset = need_value(i);
         else if (arg == "--pareto") opt.pareto_metric = need_value(i);
         else if (arg == "--trace") opt.trace_path = need_value(i);
         else if (arg == "--metrics") opt.metrics = true;
-        else if (arg == "--serve") opt.serve_port = std::stoi(need_value(i));
-        else if (arg == "--serve-grace") opt.serve_grace = std::stod(need_value(i));
+        else if (arg == "--serve") {
+            const std::uint64_t port = u64(i);
+            if (port > 65535) {
+                std::fprintf(stderr, "--serve port out of range (0..65535)\n");
+                usage(argv[0]);
+            }
+            opt.serve_port = static_cast<int>(port);
+        }
+        else if (arg == "--serve-grace") opt.serve_grace = number(i);
         else if (arg == "--progress") {
             // Optional numeric value: `--progress 2` or bare `--progress`.
             opt.progress_interval = 5.0;
             if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0])))
-                opt.progress_interval = std::stod(argv[++i]);
+                opt.progress_interval = parse_number(argv[0], arg, argv[++i]);
         }
+        else if (arg == "--store") opt.store = need_value(i);
+        else if (arg == "--store-max-bytes") opt.store_max_bytes = u64(i);
         else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
-        else if (arg == "--checkpoint-every") opt.checkpoint_every = std::stoul(need_value(i));
+        else if (arg == "--checkpoint-every") opt.checkpoint_every = count(i);
         else if (arg == "--resume") opt.resume = need_value(i);
-        else if (arg == "--die-at-gen") opt.die_at_gen = std::stoul(need_value(i));
-        else if (arg == "--retries") opt.retries = std::stoul(need_value(i));
-        else if (arg == "--retry-backoff") opt.retry_backoff_ms = std::stod(need_value(i));
-        else if (arg == "--eval-timeout") opt.eval_timeout = std::stod(need_value(i));
-        else if (arg == "--chaos-fail") opt.chaos_fail = std::stod(need_value(i));
-        else if (arg == "--chaos-hang") opt.chaos_hang = std::stod(need_value(i));
-        else if (arg == "--chaos-flaky") opt.chaos_flaky = std::stod(need_value(i));
-        else if (arg == "--chaos-seed") opt.chaos_seed = std::stoull(need_value(i));
+        else if (arg == "--die-at-gen") opt.die_at_gen = count(i);
+        else if (arg == "--retries") opt.retries = count(i);
+        else if (arg == "--retry-backoff") opt.retry_backoff_ms = number(i);
+        else if (arg == "--eval-timeout") opt.eval_timeout = number(i);
+        else if (arg == "--chaos-fail") opt.chaos_fail = number(i);
+        else if (arg == "--chaos-hang") opt.chaos_hang = number(i);
+        else if (arg == "--chaos-flaky") opt.chaos_flaky = number(i);
+        else if (arg == "--chaos-seed") opt.chaos_seed = u64(i);
         else if (arg == "--help" || arg == "-h") usage(argv[0]);
         else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -193,10 +259,6 @@ CliOptions parse(int argc, char** argv)
     }
     if (opt.workers == 0) {
         std::fprintf(stderr, "--workers must be at least 1\n");
-        usage(argv[0]);
-    }
-    if (opt.serve_port > 65535) {
-        std::fprintf(stderr, "--serve port out of range (0..65535)\n");
         usage(argv[0]);
     }
     return opt;
@@ -295,6 +357,40 @@ int main(int argc, char** argv)
     if (opt.progress_interval > 0.0)
         heartbeat = std::make_unique<obs::ProgressHeartbeat>(progress, opt.progress_interval);
 
+    // Cross-run persistent evaluation store: repeat evaluations are served
+    // from disk, fresh ones recorded for the next invocation.  Namespaced by
+    // IP + metric so different queries never collide in one store directory.
+    std::shared_ptr<EvalStore> store;
+    if (!opt.store.empty()) {
+        EvalStoreConfig sc;
+        sc.path = opt.store;
+        sc.max_bytes = opt.store_max_bytes;
+        try {
+            store = std::make_shared<EvalStore>(sc);
+        }
+        catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        if (inst.metrics) store->attach_metrics(inst.metrics);
+        std::printf("evaluation store: %s (%zu records)\n", opt.store.c_str(),
+                    store->records());
+    }
+    const auto dump_store = [&] {
+        if (!store) return;
+        store->flush();
+        const EvalStoreCounters c = store->counters();
+        const std::uint64_t probes = c.hits + c.misses;
+        std::printf("store: %zu records; %llu hits / %llu misses (%.1f%% hit rate), "
+                    "%llu writes, %llu compactions, %llu evictions\n",
+                    store->records(), static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    probes == 0 ? 0.0 : 100.0 * static_cast<double>(c.hits) / probes,
+                    static_cast<unsigned long long>(c.writes),
+                    static_cast<unsigned long long>(c.compactions),
+                    static_cast<unsigned long long>(c.evictions));
+    };
+
     // Wind down the live plane: stop the heartbeat, honor --serve-grace so a
     // scraper can still read the final /metrics + /status, then stop serving.
     const auto finish = [&](int code) {
@@ -355,6 +451,11 @@ int main(int argc, char** argv)
         mo.seed = opt.seed;
         mo.eval_workers = opt.workers;
         mo.obs = inst;
+        if (store) {
+            mo.store = store;
+            mo.store_namespace = EvalStore::namespace_key(
+                opt.ip + "/" + ip::metric_name(metric) + "+" + ip::metric_name(*second));
+        }
         const Nsga2Engine engine{generator->space(), mo, dirs, eval,
                                  HintSet::none(generator->space())};
         const auto result = engine.run();
@@ -367,6 +468,7 @@ int main(int argc, char** argv)
         std::printf("evaluation pipeline: %.3f s @ %zu workers, %zu distinct / %zu calls\n",
                     result.eval_seconds, result.eval_workers, result.distinct_evals,
                     result.total_eval_calls);
+        dump_store();
         dump_metrics();
         return finish(0);
     }
@@ -405,6 +507,11 @@ int main(int argc, char** argv)
         ga.checkpoint_path = !opt.checkpoint.empty() ? opt.checkpoint : opt.resume;
         ga.checkpoint_every = opt.checkpoint_every;
         ga.halt_at_generation = opt.die_at_gen;
+        if (store) {
+            ga.store = store;
+            ga.store_namespace =
+                EvalStore::namespace_key(opt.ip + "/" + ip::metric_name(metric));
+        }
 
         HintSet hints = HintSet::none(generator->space());
         if (opt.guidance == "weak" || opt.guidance == "strong") {
@@ -436,6 +543,9 @@ int main(int argc, char** argv)
                 static_cast<unsigned long long>(r.fault.failures),
                 static_cast<unsigned long long>(r.fault.timeouts),
                 static_cast<unsigned long long>(r.fault.quarantined));
+            if (store)
+                std::printf("store served %zu of %zu distinct evaluations\n",
+                            r.store_hits, r.distinct_evals);
             if (chaos)
                 std::printf("chaos injected: %llu failures, %llu hangs, %llu flaky\n",
                             static_cast<unsigned long long>(chaos->injected_failures()),
@@ -446,6 +556,7 @@ int main(int argc, char** argv)
             std::fprintf(stderr, "%s\n", e.what());
             return finish(1);
         }
+        dump_store();
         dump_metrics();
         return finish(0);
     }
@@ -457,6 +568,11 @@ int main(int argc, char** argv)
     cfg.ga.seed = opt.seed;
     cfg.ga.eval_workers = opt.workers;
     cfg.ga.obs = inst;
+    if (store) {
+        cfg.ga.store = store;
+        cfg.ga.store_namespace =
+            EvalStore::namespace_key(opt.ip + "/" + ip::metric_name(metric));
+    }
 
     const exp::Query query = exp::Query::simple(
         std::string(direction_name(direction)) + " " + ip::metric_name(metric), metric,
@@ -499,6 +615,7 @@ int main(int argc, char** argv)
 
     const exp::ExperimentResult result = experiment.run();
     result.print(std::cout);
+    dump_store();
     dump_metrics();
     return finish(0);
 }

@@ -24,6 +24,15 @@
 //                               ...) is more than P percent slower, for
 //                               phases taking >= 10 ms in the baseline
 //
+//   Store check (off by default): treat the candidate as a warm re-run of
+//   the baseline against a persistent evaluation store.  In addition to the
+//   deterministic gates (which prove the warm run reproduced the cold run's
+//   results bit-for-bit), require that the store actually absorbed the work:
+//     --store-check             fail unless the candidate served at least
+//                               --min-store-hit-rate percent of its
+//                               evaluations from the store (default 99)
+//     --min-store-hit-rate P    override the hit-rate floor
+//
 // Exit status: 0 all gates pass, 1 gate failure or unreadable/empty trace,
 // 2 bad usage.
 
@@ -53,6 +62,8 @@ struct RunSummary {
     std::uint64_t distinct_evals = 0;
     std::uint64_t total_calls = 0;
     std::uint64_t retries = 0;
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
     double eval_seconds = 0.0;
     std::optional<double> best;
 };
@@ -118,6 +129,8 @@ std::optional<TraceSummary> load(const std::string& path)
             run.distinct_evals = ev.unsigned_int("distinct_evals").value_or(0);
             run.total_calls = ev.unsigned_int("total_calls").value_or(0);
             run.retries = ev.unsigned_int("retries").value_or(0);
+            run.store_hits = ev.unsigned_int("store_hits").value_or(0);
+            run.store_misses = ev.unsigned_int("store_misses").value_or(0);
             bool feasible = false;
             if (const nautilus::obs::FieldValue* f = ev.find("feasible"))
                 if (const bool* b = std::get_if<bool>(f)) feasible = *b;
@@ -141,9 +154,44 @@ std::optional<TraceSummary> load(const std::string& path)
     std::fprintf(stderr,
                  "usage: %s BASE.jsonl CAND.jsonl [--allow-best-delta X]\n"
                  "          [--allow-count-delta N] [--no-counters]\n"
-                 "          [--max-throughput-drop PCT] [--max-phase-slowdown PCT]\n",
+                 "          [--max-throughput-drop PCT] [--max-phase-slowdown PCT]\n"
+                 "          [--store-check] [--min-store-hit-rate PCT]\n",
                  argv0);
     std::exit(2);
+}
+
+// Numeric flag parsing: the whole token must parse and the value must be
+// sane, otherwise report the offending flag and exit 2 (usage) instead of
+// letting std::stod/std::stoull throw through main.
+double parse_number(const char* argv0, const std::string& flag, const char* text)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(text, &used);
+        if (used == std::strlen(text) && std::isfinite(v)) return v;
+    }
+    catch (...) {
+    }
+    std::fprintf(stderr, "trace_diff: invalid value '%s' for %s (expected a finite number)\n",
+                 text, flag.c_str());
+    usage(argv0);
+}
+
+std::uint64_t parse_u64(const char* argv0, const std::string& flag, const char* text)
+{
+    try {
+        if (text[0] != '-' && text[0] != '+') {
+            std::size_t used = 0;
+            const unsigned long long v = std::stoull(text, &used);
+            if (used == std::strlen(text)) return v;
+        }
+    }
+    catch (...) {
+    }
+    std::fprintf(stderr,
+                 "trace_diff: invalid value '%s' for %s (expected a non-negative integer)\n",
+                 text, flag.c_str());
+    usage(argv0);
 }
 
 }  // namespace
@@ -156,20 +204,23 @@ int main(int argc, char** argv)
     bool counters = true;
     double max_throughput_drop = 0.0;  // percent; 0 = timing gate disabled
     double max_phase_slowdown = 0.0;   // percent; 0 = timing gate disabled
+    bool store_check = false;
+    double min_store_hit_rate = 99.0;  // percent, only gates with --store-check
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto need_value = [&]() -> const char* {
             if (i + 1 >= argc) usage(argv[0]);
             return argv[++i];
         };
-        if (arg == "--allow-best-delta") allow_best_delta = std::stod(need_value());
+        auto number = [&] { return parse_number(argv[0], arg, need_value()); };
+        if (arg == "--allow-best-delta") allow_best_delta = number();
         else if (arg == "--allow-count-delta")
-            allow_count_delta = std::stoull(need_value());
+            allow_count_delta = parse_u64(argv[0], arg, need_value());
         else if (arg == "--no-counters") counters = false;
-        else if (arg == "--max-throughput-drop")
-            max_throughput_drop = std::stod(need_value());
-        else if (arg == "--max-phase-slowdown")
-            max_phase_slowdown = std::stod(need_value());
+        else if (arg == "--max-throughput-drop") max_throughput_drop = number();
+        else if (arg == "--max-phase-slowdown") max_phase_slowdown = number();
+        else if (arg == "--store-check") store_check = true;
+        else if (arg == "--min-store-hit-rate") min_store_hit_rate = number();
         else if (arg == "--help" || arg == "-h") usage(argv[0]);
         else if (arg[0] == '-') {
             std::fprintf(stderr, "trace_diff: unknown option '%s'\n", arg.c_str());
@@ -255,6 +306,29 @@ int main(int argc, char** argv)
                 fail("phase %s: candidate %.4f s > %.4f s (base %.4f s + %.1f%%)",
                      name.c_str(), it->second, cap, b_seconds, max_phase_slowdown);
         }
+    }
+
+    if (store_check) {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        for (const RunSummary& r : cand->runs) {
+            hits += r.store_hits;
+            misses += r.store_misses;
+        }
+        const std::uint64_t total = hits + misses;
+        const double rate =
+            total > 0 ? 100.0 * static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+        std::printf("  store-check: candidate served %llu/%llu evals from the store"
+                    " (%.1f%% hit rate, floor %.1f%%)\n",
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(total), rate, min_store_hit_rate);
+        if (total == 0)
+            fail("%s", "store-check: candidate trace records no store activity"
+                       " (was it run with --store?)");
+        else if (rate < min_store_hit_rate)
+            fail("store-check: hit rate %.1f%% < %.1f%% (%llu/%llu evals hit the store)",
+                 rate, min_store_hit_rate, static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(total));
     }
 
     if (failures > 0) {

@@ -71,6 +71,9 @@ struct RunAgg {
     std::optional<std::uint64_t> total_calls;
     std::optional<std::uint64_t> attempts;
     std::optional<std::uint64_t> retries;
+    // Persistent-store accounting (0 when no store was attached).
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
     std::optional<std::uint64_t> quarantined;
     std::optional<double> best;
     bool feasible = false;
@@ -195,6 +198,8 @@ int main(int argc, char** argv)
                 run.attempts = ev.unsigned_int("attempts");
                 run.retries = ev.unsigned_int("retries");
                 run.quarantined = ev.unsigned_int("quarantined");
+                run.store_hits = ev.unsigned_int("store_hits").value_or(0);
+                run.store_misses = ev.unsigned_int("store_misses").value_or(0);
                 run.best = ev.number("best");
                 if (const nautilus::obs::FieldValue* f = ev.find("feasible"))
                     if (const bool* b = std::get_if<bool>(f)) run.feasible = *b;
@@ -262,19 +267,23 @@ int main(int argc, char** argv)
                          static_cast<unsigned long long>(*run.distinct_evals),
                          static_cast<unsigned long long>(run.distinct_at_start));
         }
-        // Guard invariant: every cache miss is exactly one guarded call, and
-        // each guarded call makes 1 + retries attempts, so
-        //   attempts - attempts_at_start == fresh + (retries - retries_at_start).
+        // Guard invariant: every cache miss is exactly one guarded call --
+        // except misses the persistent store answered, which never reach the
+        // guard -- and each guarded call makes 1 + retries attempts, so
+        //   attempts - attempts_at_start
+        //     == fresh - store_hits + (retries - retries_at_start).
         if (run.attempts && run.retries) {
             const std::uint64_t d_attempts = *run.attempts - run.attempts_at_start;
             const std::uint64_t d_retries = *run.retries - run.retries_at_start;
-            if (d_attempts != run.fresh + d_retries) {
+            if (d_attempts + run.store_hits != run.fresh + d_retries) {
                 ++accounting_errors;
                 std::fprintf(stderr,
-                             "run %zu (%s): attempts %llu != fresh %llu + retries %llu\n",
+                             "run %zu (%s): attempts %llu != fresh %llu - store_hits %llu"
+                             " + retries %llu\n",
                              i, run.engine.c_str(),
                              static_cast<unsigned long long>(d_attempts),
                              static_cast<unsigned long long>(run.fresh),
+                             static_cast<unsigned long long>(run.store_hits),
                              static_cast<unsigned long long>(d_retries));
             }
         }
