@@ -13,9 +13,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "core/breed.hpp"
 #include "core/ga.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -88,6 +91,70 @@ void bm_crossover(benchmark::State& state)
         benchmark::DoNotOptimize(crossover(a, b, CrossoverKind::single_point, rng));
 }
 BENCHMARK(bm_crossover);
+
+// One breed phase (select + crossover + mutate, population 10) through the
+// preserved scalar reference path vs. the data-oriented BreedContext.  Same
+// seed, same hints: the work is identical, only the implementation differs.
+struct BreedBenchSetup {
+    ParameterSpace space;
+    HintSet hints;
+    BreedConfig config;
+    std::vector<Genome> population;
+    std::vector<double> fitness;
+
+    BreedBenchSetup()
+    {
+        for (int i = 0; i < 9; ++i)
+            space.add("p" + std::to_string(i), ParamDomain::int_range(0, 7));
+        hints = HintSet::none(space);
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            hints.param(i).importance = 10.0 + static_cast<double>(i) * 10.0;
+            hints.param(i).bias = 0.5;
+        }
+        hints.set_confidence(0.8);
+        config.population_size = 10;
+        Rng rng{7};
+        for (std::size_t i = 0; i < config.population_size; ++i) {
+            population.push_back(Genome::random(space, rng));
+            fitness.push_back(rng.uniform() * 100.0);
+        }
+    }
+};
+
+void bm_breed_scalar(benchmark::State& state)
+{
+    BreedBenchSetup setup;
+    Rng rng{8};
+    std::size_t gen = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(breed_population_scalar(
+            setup.population, setup.fitness, setup.config, setup.space, setup.hints,
+            0.1, gen++ % 80, rng, false));
+    }
+}
+BENCHMARK(bm_breed_scalar);
+
+void bm_breed_dataop(benchmark::State& state)
+{
+    BreedBenchSetup setup;
+    BreedContext ctx{setup.space, setup.hints, 0.1};
+    Rng rng{8};
+    std::size_t gen = 0;
+    for (auto _ : state) {
+        ctx.begin_generation(gen++ % 80);
+        benchmark::DoNotOptimize(
+            ctx.breed(setup.population, setup.fitness, setup.config, rng, false));
+    }
+}
+BENCHMARK(bm_breed_dataop);
+
+void bm_diversity_incremental(benchmark::State& state)
+{
+    BreedBenchSetup setup;
+    DiversityCounter counter;
+    for (auto _ : state) benchmark::DoNotOptimize(counter.measure(setup.population));
+}
+BENCHMARK(bm_diversity_incremental);
 
 void bm_router_evaluate(benchmark::State& state)
 {
@@ -332,20 +399,244 @@ int write_obs_bench(const std::string& path)
     return 0;
 }
 
+// ---- BENCH_engine.json ------------------------------------------------------
+//
+// `--engine-json PATH` measures the breeding hot path on the paper-scale NoC
+// GA configuration (router space, population 10, strong guidance, roulette
+// selection -- the GaConfig defaults) and writes the flat artifact documented
+// in EXPERIMENTS.md (`nautilus-bench-engine/1`).  `--engine-baseline FILE`
+// compares against a committed artifact; `--max-breed-drop PCT` turns that
+// comparison into a gate on data-oriented breed throughput.
+
+// Median-of-3 wall time of `f()` run `reps` times.
+template <typename F>
+double median_seconds(F&& f, int reps)
+{
+    double samples[3];
+    for (double& sample : samples) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r) f();
+        sample = seconds_since(t0);
+    }
+    if (samples[0] > samples[1]) std::swap(samples[0], samples[1]);
+    if (samples[1] > samples[2]) std::swap(samples[1], samples[2]);
+    if (samples[0] > samples[1]) std::swap(samples[0], samples[1]);
+    return samples[1];
+}
+
+// Naive numeric field lookup, good enough for the flat one-level artifacts
+// this tool itself writes.
+bool json_number_field(const std::string& text, const std::string& key, double* out)
+{
+    const auto pos = text.find("\"" + key + "\"");
+    if (pos == std::string::npos) return false;
+    const auto colon = text.find(':', pos);
+    if (colon == std::string::npos) return false;
+    try {
+        *out = std::stod(text.substr(colon + 1));
+    } catch (const std::exception&) {
+        return false;
+    }
+    return true;
+}
+
+int write_engine_bench(const std::string& path, const std::string& baseline_path,
+                       double max_breed_drop_pct)
+{
+    // Paper-scale Nautilus configuration: the NoC router space (section 4.1)
+    // with packaged author hints at strong guidance.
+    const noc::RouterGenerator gen;
+    const ParameterSpace& space = gen.space();
+    const HintSet hints = apply_guidance(gen.author_hints(ip::Metric::freq_mhz),
+                                         Direction::maximize, GuidanceLevel::strong);
+    BreedConfig breed_cfg;  // selection/crossover/elitism: GaConfig defaults
+    breed_cfg.selection = SelectionConfig{SelectionKind::roulette, 1.8, 2};
+    constexpr double kMutationRate = 0.1;
+    constexpr std::size_t kGenerations = 80;
+
+    Rng setup{42};
+    std::vector<Genome> population;
+    std::vector<double> fitness;
+    for (std::size_t i = 0; i < breed_cfg.population_size; ++i) {
+        population.push_back(Genome::random(space, setup));
+        const auto metrics = gen.evaluate(population.back());
+        fitness.push_back(metrics.feasible ? metrics.get(ip::Metric::freq_mhz)
+                                           : -std::numeric_limits<double>::infinity());
+    }
+    const std::size_t children_per_gen =
+        breed_cfg.population_size - breed_cfg.elitism;
+
+    // 1) Breed-phase throughput, scalar reference vs. data-oriented.
+    constexpr int kBreedReps = 400;  // x kGenerations breed phases each
+    auto scalar_pop = population;
+    Rng scalar_rng{9};
+    const double scalar_seconds = median_seconds(
+        [&] {
+            for (std::size_t g = 0; g < kGenerations; ++g)
+                breed_population_scalar(scalar_pop, fitness, breed_cfg, space, hints,
+                                        kMutationRate, g, scalar_rng, false);
+        },
+        kBreedReps);
+    auto dataop_pop = population;
+    Rng dataop_rng{9};
+    BreedContext breed_ctx{space, hints, kMutationRate};
+    const double dataop_seconds = median_seconds(
+        [&] {
+            for (std::size_t g = 0; g < kGenerations; ++g) {
+                breed_ctx.begin_generation(g);
+                breed_ctx.breed(dataop_pop, fitness, breed_cfg, dataop_rng, false);
+            }
+        },
+        kBreedReps);
+    const double total_children =
+        static_cast<double>(kBreedReps) * kGenerations * children_per_gen;
+    const double scalar_children_per_s = total_children / scalar_seconds;
+    const double dataop_children_per_s = total_children / dataop_seconds;
+    const double memo_probes = static_cast<double>(breed_ctx.dist_memo_hits() +
+                                                   breed_ctx.dist_memo_misses());
+    const double memo_hit_rate =
+        memo_probes == 0.0
+            ? 0.0
+            : static_cast<double>(breed_ctx.dist_memo_hits()) / memo_probes;
+
+    // 2) Per-generation population diversity, O(pop^2) pairwise definition
+    //    vs. the incremental counter.
+    constexpr int kDiversityReps = 20000;
+    const double pairwise_seconds = median_seconds(
+        [&] {
+            const std::size_t genes = space.size();
+            double total = 0.0;
+            std::size_t pairs = 0;
+            for (std::size_t i = 0; i < population.size(); ++i)
+                for (std::size_t j = i + 1; j < population.size(); ++j) {
+                    std::size_t differing = 0;
+                    for (std::size_t g = 0; g < genes; ++g)
+                        if (population[i].genes()[g] != population[j].genes()[g])
+                            ++differing;
+                    total += static_cast<double>(differing) / static_cast<double>(genes);
+                    ++pairs;
+                }
+            benchmark::DoNotOptimize(total / static_cast<double>(pairs));
+        },
+        kDiversityReps);
+    DiversityCounter counter;
+    const double incremental_seconds = median_seconds(
+        [&] { benchmark::DoNotOptimize(counter.measure(population)); }, kDiversityReps);
+
+    // 3) End-to-end guided GA wall time under both breed implementations
+    //    (cheap analytic evaluator, so the breed phase is visible).
+    const EvalFn eval = [&gen](const Genome& g) {
+        const auto metrics = gen.evaluate(g);
+        return Evaluation{metrics.feasible,
+                          metrics.feasible ? metrics.get(ip::Metric::freq_mhz) : 0.0};
+    };
+    constexpr int kGaReps = 10;
+    GaConfig ga_cfg;
+    ga_cfg.generations = kGenerations;
+    GaConfig ga_scalar_cfg = ga_cfg;
+    ga_scalar_cfg.scalar_breed = true;
+    const GaEngine ga_dataop{space, ga_cfg, Direction::maximize, eval, hints};
+    const GaEngine ga_scalar{space, ga_scalar_cfg, Direction::maximize, eval, hints};
+    std::uint64_t seed = 1;
+    const double ga_scalar_seconds = median_seconds(
+        [&] { benchmark::DoNotOptimize(ga_scalar.run(seed++)); }, kGaReps);
+    seed = 1;
+    const double ga_dataop_seconds = median_seconds(
+        [&] { benchmark::DoNotOptimize(ga_dataop.run(seed++)); }, kGaReps);
+
+    std::ofstream out{path};
+    if (!out) {
+        std::fprintf(stderr, "bench_engine_micro: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    char buf[1536];
+    std::snprintf(buf, sizeof buf,
+                  "{\n"
+                  "  \"schema\": \"nautilus-bench-engine/1\",\n"
+                  "  \"population\": %zu,\n"
+                  "  \"genes\": %zu,\n"
+                  "  \"generations_per_rep\": %zu,\n"
+                  "  \"breed_scalar_children_per_second\": %.0f,\n"
+                  "  \"breed_dataop_children_per_second\": %.0f,\n"
+                  "  \"breed_speedup\": %.2f,\n"
+                  "  \"dist_memo_hit_rate\": %.4f,\n"
+                  "  \"diversity_pairwise_us\": %.3f,\n"
+                  "  \"diversity_incremental_us\": %.3f,\n"
+                  "  \"ga_run_scalar_seconds\": %.6f,\n"
+                  "  \"ga_run_dataop_seconds\": %.6f,\n"
+                  "  \"ga_run_speedup\": %.3f\n"
+                  "}\n",
+                  breed_cfg.population_size, space.size(), kGenerations,
+                  scalar_children_per_s, dataop_children_per_s,
+                  scalar_children_per_s > 0.0
+                      ? dataop_children_per_s / scalar_children_per_s
+                      : 0.0,
+                  memo_hit_rate, pairwise_seconds / kDiversityReps * 1e6,
+                  incremental_seconds / kDiversityReps * 1e6, ga_scalar_seconds,
+                  ga_dataop_seconds,
+                  ga_dataop_seconds > 0.0 ? ga_scalar_seconds / ga_dataop_seconds : 0.0);
+    out << buf;
+    std::printf("%s", buf);
+    std::printf("bench_engine_micro: wrote %s\n", path.c_str());
+
+    if (!baseline_path.empty()) {
+        std::ifstream in{baseline_path};
+        if (!in) {
+            std::fprintf(stderr, "bench_engine_micro: cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        double baseline_children_per_s = 0.0;
+        if (!json_number_field(text.str(), "breed_dataop_children_per_second",
+                               &baseline_children_per_s) ||
+            baseline_children_per_s <= 0.0) {
+            std::fprintf(stderr,
+                         "bench_engine_micro: baseline %s lacks "
+                         "breed_dataop_children_per_second\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        const double drop_pct =
+            (1.0 - dataop_children_per_s / baseline_children_per_s) * 100.0;
+        std::printf("bench_engine_micro: dataop breed throughput vs baseline: "
+                    "%+.1f%% (%.0f -> %.0f children/s)\n",
+                    -drop_pct, baseline_children_per_s, dataop_children_per_s);
+        if (max_breed_drop_pct >= 0.0 && drop_pct > max_breed_drop_pct) {
+            std::fprintf(stderr,
+                         "bench_engine_micro: FAIL breed throughput dropped %.1f%% "
+                         "(budget %.1f%%)\n",
+                         drop_pct, max_breed_drop_pct);
+            return 1;
+        }
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
 {
-    // Strip --obs-json before google-benchmark sees (and rejects) it.
-    std::string obs_json;
+    // Strip our artifact flags before google-benchmark sees (and rejects) them.
+    std::string obs_json, engine_json, engine_baseline;
+    double max_breed_drop = -1.0;
     int out_argc = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc)
             obs_json = argv[++i];
+        else if (std::strcmp(argv[i], "--engine-json") == 0 && i + 1 < argc)
+            engine_json = argv[++i];
+        else if (std::strcmp(argv[i], "--engine-baseline") == 0 && i + 1 < argc)
+            engine_baseline = argv[++i];
+        else if (std::strcmp(argv[i], "--max-breed-drop") == 0 && i + 1 < argc)
+            max_breed_drop = std::stod(argv[++i]);
         else
             argv[out_argc++] = argv[i];
     }
     argc = out_argc;
+    if (!engine_json.empty())
+        return write_engine_bench(engine_json, engine_baseline, max_breed_drop);
     if (!obs_json.empty()) return write_obs_bench(obs_json);
 
     benchmark::Initialize(&argc, argv);

@@ -1,0 +1,406 @@
+#include "core/breed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace nautilus {
+
+namespace {
+
+// Mirrors selection.cpp's k_roulette_floor; the table must reproduce the
+// per-call roulette weights bit for bit.
+constexpr double k_roulette_floor = 0.45;
+
+// Domains up to this cardinality get a per-(param, current) distribution
+// memo; larger domains fall back to a reusable scratch buffer (the memo
+// would cost O(cardinality^2) doubles per parameter).
+constexpr std::size_t k_dist_memo_max_cardinality = 256;
+
+}  // namespace
+
+// --- SelectionTable --------------------------------------------------------
+
+void SelectionTable::rebuild(std::span<const double> fitness, const SelectionConfig& config)
+{
+    if (fitness.empty()) throw std::invalid_argument("select_parent: empty population");
+    if (config.rank_pressure < 1.0 || config.rank_pressure > 2.0)
+        throw std::invalid_argument("select_parent: rank_pressure out of [1, 2]");
+    config_ = config;
+    n_ = fitness.size();
+    uniform_fallback_ = false;
+
+    switch (config_.kind) {
+    case SelectionKind::rank: {
+        if (n_ == 1) break;  // select() returns 0 without consuming RNG
+        rank_order_into(order_, fitness);
+        // Linear ranking: best rank r=0 gets weight `pressure`, worst gets
+        // 2 - pressure, interpolating linearly (same arithmetic as
+        // selection.cpp's select_rank).
+        const double pressure = config_.rank_pressure;
+        weights_.resize(n_);
+        for (std::size_t r = 0; r < n_; ++r) {
+            const double frac = static_cast<double>(r) / static_cast<double>(n_ - 1);
+            weights_[r] = pressure + ((2.0 - pressure) - pressure) * frac;
+        }
+        break;
+    }
+    case SelectionKind::tournament:
+        fitness_.assign(fitness.begin(), fitness.end());
+        break;
+    case SelectionKind::roulette: {
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (double f : fitness) {
+            if (!std::isfinite(f)) continue;
+            lo = std::min(lo, f);
+            hi = std::max(hi, f);
+        }
+        if (!std::isfinite(lo)) {
+            uniform_fallback_ = true;  // entire population infeasible
+            break;
+        }
+        const double span = hi - lo;
+        const double floor_weight = span > 0.0 ? span * k_roulette_floor : 1.0;
+        weights_.assign(n_, 0.0);
+        for (std::size_t i = 0; i < n_; ++i)
+            if (std::isfinite(fitness[i])) weights_[i] = (fitness[i] - lo) + floor_weight;
+        break;
+    }
+    }
+}
+
+std::size_t SelectionTable::select(Rng& rng) const
+{
+    if (n_ == 0) throw std::logic_error("SelectionTable::select before rebuild");
+    switch (config_.kind) {
+    case SelectionKind::rank: {
+        if (n_ == 1) return 0;
+        const std::size_t pick = rng.weighted_index(weights_);
+        return order_[pick];
+    }
+    case SelectionKind::tournament: {
+        std::size_t best = rng.index(n_);
+        for (std::size_t i = 1; i < std::max<std::size_t>(config_.tournament_size, 1); ++i) {
+            const std::size_t challenger = rng.index(n_);
+            if (fitness_[challenger] > fitness_[best]) best = challenger;
+        }
+        return best;
+    }
+    case SelectionKind::roulette:
+        if (uniform_fallback_) return rng.index(n_);
+        return rng.weighted_index(weights_);
+    }
+    throw std::logic_error("select_parent: unknown selection kind");
+}
+
+// --- GeneMatrix ------------------------------------------------------------
+
+void GeneMatrix::reset(std::size_t rows, std::size_t genes)
+{
+    genes_ = genes;
+    data_.assign(rows * genes, 0);
+}
+
+void GeneMatrix::load(std::span<const Genome> population)
+{
+    const std::size_t genes = population.empty() ? 0 : population.front().size();
+    reset(population.size(), genes);
+    for (std::size_t r = 0; r < population.size(); ++r) {
+        const std::vector<std::uint32_t>& src = population[r].genes();
+        if (src.size() != genes)
+            throw std::invalid_argument("GeneMatrix::load: ragged population");
+        std::copy(src.begin(), src.end(), row(r).begin());
+    }
+}
+
+// --- crossover on views ----------------------------------------------------
+
+void crossover_views(std::span<std::uint32_t> a, std::span<std::uint32_t> b,
+                     CrossoverKind kind, Rng& rng)
+{
+    if (a.size() != b.size() || a.empty())
+        throw std::invalid_argument("crossover: parents must have equal nonzero size");
+    const std::size_t n = a.size();
+
+    auto swap_range = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) std::swap(a[i], b[i]);
+    };
+
+    switch (kind) {
+    case CrossoverKind::single_point: {
+        if (n > 1) swap_range(1 + rng.index(n - 1), n);
+        break;
+    }
+    case CrossoverKind::two_point: {
+        if (n > 1) {
+            std::size_t p = 1 + rng.index(n - 1);
+            std::size_t q = 1 + rng.index(n);
+            if (p > q) std::swap(p, q);
+            swap_range(p, q);
+        }
+        break;
+    }
+    case CrossoverKind::uniform: {
+        for (std::size_t i = 0; i < n; ++i)
+            if (rng.bernoulli(0.5)) swap_range(i, i + 1);
+        break;
+    }
+    }
+}
+
+// --- BreedContext ----------------------------------------------------------
+
+BreedContext::BreedContext(const ParameterSpace& space, const HintSet& hints,
+                           double mutation_rate)
+    : space_(space), hints_(hints), mutation_rate_(mutation_rate)
+{
+    if (hints_.size() != space_.size())
+        throw std::invalid_argument("MutationContext: hints/space size mismatch");
+    if (mutation_rate_ < 0.0 || mutation_rate_ > 1.0)
+        throw std::invalid_argument("MutationContext: mutation_rate out of [0, 1]");
+
+    const std::size_t n = space_.size();
+    card_.resize(n);
+    draw_kind_.resize(n);
+    memo_.resize(n);
+    const double confidence = hints_.confidence();
+    for (std::size_t i = 0; i < n; ++i) {
+        card_[i] = space_[i].domain.cardinality();
+        const ParamHints& h = hints_.param(i);
+        // Mirror value_distribution's choice of distribution for the stats
+        // classification (generation-independent).
+        const bool directed =
+            confidence > 0.0 && space_[i].domain.ordered() && (h.bias || h.target);
+        draw_kind_[i] = !directed      ? DrawKind::uniform
+                        : h.bias       ? DrawKind::bias
+                                       : DrawKind::target;
+        if (card_[i] >= 2 && card_[i] <= k_dist_memo_max_cardinality)
+            memo_[i].resize(card_[i]);
+    }
+    begin_generation(0);
+}
+
+void BreedContext::begin_generation(std::size_t generation)
+{
+    if (generation_valid_ && generation == generation_) return;
+    generation_ = generation;
+    generation_valid_ = true;
+    MutationContext ctx;
+    ctx.space = &space_;
+    ctx.hints = &hints_;
+    ctx.mutation_rate = mutation_rate_;
+    ctx.generation = generation;
+    probs_ = gene_mutation_probabilities(ctx);
+}
+
+const std::vector<double>& BreedContext::distribution(std::size_t param, std::uint32_t current)
+{
+    if (param >= card_.size())
+        throw std::out_of_range("BreedContext::distribution: parameter out of range");
+    if (current >= card_[param])
+        throw std::invalid_argument("value_distribution: current index out of range");
+    const ParamDomain& domain = space_[param].domain;
+    const ParamHints& h = hints_.param(param);
+    if (!memo_[param].empty()) {
+        std::vector<double>& slot = memo_[param][current];
+        if (!slot.empty()) {
+            ++memo_hits_;
+            return slot;
+        }
+        ++memo_misses_;
+        value_distribution_into(slot, scratch_dir_, scratch_raw_, domain, h,
+                                hints_.confidence(), current);
+        return slot;
+    }
+    ++memo_misses_;
+    value_distribution_into(scratch_dist_, scratch_dir_, scratch_raw_, domain, h,
+                            hints_.confidence(), current);
+    return scratch_dist_;
+}
+
+std::size_t BreedContext::mutate(std::span<std::uint32_t> genes, Rng& rng,
+                                 MutationStats* stats)
+{
+    if (genes.size() != space_.size())
+        throw std::invalid_argument("mutate: genome incompatible with space");
+    std::size_t changed = 0;
+    if (stats != nullptr) ++stats->genomes;
+    for (std::size_t i = 0; i < genes.size(); ++i) {
+        if (!rng.bernoulli(probs_[i])) continue;
+        if (card_[i] <= 1) continue;
+        const std::vector<double>& dist = distribution(i, genes[i]);
+        const std::size_t pick = rng.weighted_index(dist);
+        genes[i] = static_cast<std::uint32_t>(pick);
+        ++changed;
+        if (stats != nullptr) {
+            ++stats->genes_mutated;
+            switch (draw_kind_[i]) {
+            case DrawKind::uniform: ++stats->uniform_draws; break;
+            case DrawKind::bias: ++stats->bias_draws; break;
+            case DrawKind::target: ++stats->target_draws; break;
+            }
+        }
+    }
+    return changed;
+}
+
+std::size_t BreedContext::mutate(Genome& genome, Rng& rng, MutationStats* stats)
+{
+    return mutate(genome.genes_mut(), rng, stats);
+}
+
+BreedStats BreedContext::breed(std::vector<Genome>& population,
+                               std::span<const double> fitness, const BreedConfig& config,
+                               Rng& rng, bool with_stats)
+{
+    if (population.size() != config.population_size)
+        throw std::invalid_argument("BreedContext::breed: population size mismatch");
+    if (config.elitism >= config.population_size)
+        throw std::invalid_argument("BreedContext::breed: elitism >= population_size");
+
+    BreedStats stats;
+    MutationStats* ms = with_stats ? &stats.mutation : nullptr;
+    const std::size_t pop = config.population_size;
+    const std::size_t genes = space_.size();
+
+    table_.rebuild(fitness, config.selection);
+    parents_.load(population);
+    // One spare row past the population receives the odd-man-out second
+    // child when the population fills mid-pair (the scalar path constructs
+    // and discards it; the draw sequence ends before its mutation, so the
+    // spare is written but never mutated or kept).
+    children_.reset(pop + 1, genes);
+
+    // Elitism: carry the best `elitism` members unchanged.
+    rank_order_into(elite_order_, fitness);
+    std::size_t filled = 0;
+    for (std::size_t e = 0; e < config.elitism; ++e, ++filled) {
+        const auto src = parents_.row(elite_order_[e]);
+        std::copy(src.begin(), src.end(), children_.row(filled).begin());
+    }
+
+    while (filled < pop) {
+        const std::size_t pa = table_.select(rng);
+        const std::size_t pb = table_.select(rng);
+        const std::span<std::uint32_t> a = children_.row(filled);
+        const std::span<std::uint32_t> b =
+            children_.row(filled + 1 < pop ? filled + 1 : pop);
+        {
+            const auto pa_row = parents_.row(pa);
+            const auto pb_row = parents_.row(pb);
+            std::copy(pa_row.begin(), pa_row.end(), a.begin());
+            std::copy(pb_row.begin(), pb_row.end(), b.begin());
+        }
+        if (rng.bernoulli(config.crossover_rate)) {
+            crossover_views(a, b, config.crossover, rng);
+            ++stats.crossovers;
+        }
+        mutate(a, rng, ms);
+        ++filled;
+        if (filled < pop) {
+            mutate(b, rng, ms);
+            ++filled;
+        }
+    }
+
+    for (std::size_t i = 0; i < pop; ++i) {
+        const auto src = children_.row(i);
+        const std::span<std::uint32_t> dst = population[i].genes_mut();
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return stats;
+}
+
+// --- Scalar reference path -------------------------------------------------
+
+BreedStats breed_population_scalar(std::vector<Genome>& population,
+                                   std::span<const double> fitness,
+                                   const BreedConfig& config, const ParameterSpace& space,
+                                   const HintSet& hints, double mutation_rate,
+                                   std::size_t generation, Rng& rng, bool with_stats)
+{
+    BreedStats stats;
+    std::vector<Genome> next;
+    next.reserve(config.population_size);
+
+    // Elitism: carry the best `elitism` members unchanged.
+    const std::vector<std::size_t> order = rank_order(fitness);
+    for (std::size_t e = 0; e < config.elitism; ++e) next.push_back(population[order[e]]);
+
+    MutationContext ctx;
+    ctx.space = &space;
+    ctx.hints = &hints;
+    ctx.mutation_rate = mutation_rate;
+    ctx.generation = generation;
+    if (with_stats) ctx.stats = &stats.mutation;
+
+    while (next.size() < config.population_size) {
+        const std::size_t pa = select_parent(fitness, config.selection, rng);
+        const std::size_t pb = select_parent(fitness, config.selection, rng);
+        Genome child_a = population[pa];
+        Genome child_b = population[pb];
+        if (rng.bernoulli(config.crossover_rate)) {
+            auto [xa, xb] = crossover(child_a, child_b, config.crossover, rng);
+            child_a = std::move(xa);
+            child_b = std::move(xb);
+            ++stats.crossovers;
+        }
+        mutate(child_a, ctx, rng);
+        next.push_back(std::move(child_a));
+        if (next.size() < config.population_size) {
+            mutate(child_b, ctx, rng);
+            next.push_back(std::move(child_b));
+        }
+    }
+    population = std::move(next);
+    return stats;
+}
+
+// --- DiversityCounter ------------------------------------------------------
+
+void DiversityCounter::reset(std::size_t genes)
+{
+    genes_ = genes;
+    members_ = 0;
+    same_pairs_ = 0;
+    if (counts_.size() < genes) counts_.resize(genes);
+    for (std::size_t g = 0; g < genes; ++g)
+        counts_[g].assign(counts_[g].size(), 0);
+}
+
+void DiversityCounter::add(std::span<const std::uint32_t> genes)
+{
+    if (genes.size() != genes_)
+        throw std::invalid_argument("DiversityCounter::add: gene count mismatch");
+    for (std::size_t g = 0; g < genes_; ++g) {
+        const std::uint32_t v = genes[g];
+        std::vector<std::uint32_t>& c = counts_[g];
+        if (v >= c.size()) c.resize(static_cast<std::size_t>(v) + 1, 0);
+        // Every existing member holding value v forms one newly-agreeing pair
+        // with this member at gene g.
+        same_pairs_ += c[v]++;
+    }
+    ++members_;
+}
+
+double DiversityCounter::value() const
+{
+    if (members_ < 2 || genes_ == 0) return 0.0;
+    const std::uint64_t m = members_;
+    const std::uint64_t pairs = m * (m - 1) / 2;
+    const std::uint64_t differing = pairs * genes_ - same_pairs_;
+    return static_cast<double>(differing) / static_cast<double>(pairs * genes_);
+}
+
+double DiversityCounter::measure(std::span<const Genome> population)
+{
+    if (population.empty() || population.front().empty()) return 0.0;
+    reset(population.front().size());
+    for (const Genome& g : population) add(g);
+    return value();
+}
+
+}  // namespace nautilus

@@ -1,0 +1,224 @@
+#pragma once
+// Data-oriented breeding core (DESIGN.md section 10).
+//
+// The GA breed loop historically paid three per-child costs that are
+// invariant within a generation:
+//  * rank selection re-sorted the population and rebuilt its weight table on
+//    every parent pick (~2 sorts per child),
+//  * mutate() recomputed the per-gene mutation probabilities per child even
+//    though they only depend on the generation (importance decay),
+//  * value_distribution() heap-allocated three vectors per mutated gene.
+//
+// This header hoists all of that into per-generation state with reusable
+// scratch buffers:
+//  * SelectionTable  -- per-generation selection state (rank order + weights,
+//    roulette weights, tournament fitness copy); select() replicates
+//    select_parent() draw for draw.
+//  * GeneMatrix      -- the population as one contiguous row-major gene
+//    matrix; each row is a genome view, so breeding touches one allocation
+//    instead of one heap vector per child.
+//  * BreedContext    -- per-run arena: hoisted gene mutation probabilities
+//    (rebuilt per generation), a cross-generation memo of
+//    value_distribution() results keyed (parameter, current value), and the
+//    matrices/scratch the breed loop writes into.  Steady-state breeding
+//    performs no per-child allocation.
+//  * DiversityCounter -- incremental O(pop * genes) reformulation of the mean
+//    pairwise normalized Hamming distance (was O(pop^2 * genes)).
+//
+// Determinism contract: breed() consumes the *identical* RNG draw sequence
+// as the scalar reference path (breed_population_scalar, the pre-refactor
+// loop preserved verbatim), so results are bit-for-bit identical.  What may
+// consume RNG and in which order is part of the public contract -- see
+// DESIGN.md section 10 before touching anything here.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/hints.hpp"
+#include "core/operators.hpp"
+#include "core/parameter.hpp"
+#include "core/rng.hpp"
+#include "core/selection.hpp"
+
+namespace nautilus {
+
+// Per-generation selection state.  rebuild() hoists everything a parent pick
+// needs that depends only on the population's fitness vector; select() then
+// replicates select_parent()'s RNG draw sequence exactly (including the
+// rank-selection n == 1 early return, which consumes no RNG).
+class SelectionTable {
+public:
+    // Validates like select_parent (empty population, rank_pressure range)
+    // and rebuilds the per-generation state.  Buffers are reused across
+    // calls.
+    void rebuild(std::span<const double> fitness, const SelectionConfig& config);
+
+    // One parent pick; draw-for-draw identical to
+    // select_parent(fitness, config, rng) on the rebuild() inputs.
+    std::size_t select(Rng& rng) const;
+
+private:
+    SelectionConfig config_{};
+    std::size_t n_ = 0;
+    std::vector<std::size_t> order_;   // rank: population sorted best-first
+    std::vector<double> weights_;      // rank / roulette pick weights
+    std::vector<double> fitness_;      // tournament comparisons
+    bool uniform_fallback_ = false;    // roulette: whole population infeasible
+};
+
+// The population as a contiguous row-major gene matrix.  Row r is the genome
+// view of member r; the breeding and diversity paths operate on these views
+// instead of per-member heap vectors.  (Row-major keeps one genome
+// contiguous, which is what crossover/mutation walk; the diversity counter
+// walks columns strided, which is cheap at paper-scale gene counts.)
+class GeneMatrix {
+public:
+    void reset(std::size_t rows, std::size_t genes);
+    void load(std::span<const Genome> population);
+
+    std::size_t rows() const { return genes_ == 0 ? 0 : data_.size() / genes_; }
+    std::size_t genes() const { return genes_; }
+
+    std::span<std::uint32_t> row(std::size_t r)
+    {
+        return std::span<std::uint32_t>(data_).subspan(r * genes_, genes_);
+    }
+    std::span<const std::uint32_t> row(std::size_t r) const
+    {
+        return std::span<const std::uint32_t>(data_).subspan(r * genes_, genes_);
+    }
+
+private:
+    std::size_t genes_ = 0;
+    std::vector<std::uint32_t> data_;
+};
+
+// Crossover on genome views; identical RNG draws and gene movement as
+// crossover() on Genome copies of the same parents.
+void crossover_views(std::span<std::uint32_t> a, std::span<std::uint32_t> b,
+                     CrossoverKind kind, Rng& rng);
+
+// Per-generation knobs of the GA breed phase (the determinism-relevant
+// subset of GaConfig).
+struct BreedConfig {
+    SelectionConfig selection{};
+    CrossoverKind crossover = CrossoverKind::single_point;
+    double crossover_rate = 0.9;
+    std::size_t elitism = 1;
+    std::size_t population_size = 10;
+};
+
+// What one breed phase did; feeds the "breed" trace event.
+struct BreedStats {
+    std::size_t crossovers = 0;
+    MutationStats mutation;
+};
+
+// Per-run breeding arena.  Construct once per run, call begin_generation()
+// when the generation advances (rebuilds the hoisted gene mutation
+// probabilities; the value-distribution memo survives, since
+// value_distribution has no generation dependence), then breed() or mutate().
+class BreedContext {
+public:
+    BreedContext(const ParameterSpace& space, const HintSet& hints, double mutation_rate);
+
+    // Rebuild generation-dependent state (importance decay moves the per-gene
+    // mutation probabilities).  Idempotent per generation.
+    void begin_generation(std::size_t generation);
+    std::size_t generation() const { return generation_; }
+
+    // Hint-aware mutation with hoisted probabilities and memoized value
+    // distributions; RNG draws identical to mutate(genome, ctx, rng) with a
+    // MutationContext of the same space/hints/rate/generation.
+    std::size_t mutate(std::span<std::uint32_t> genes, Rng& rng,
+                       MutationStats* stats = nullptr);
+    std::size_t mutate(Genome& genome, Rng& rng, MutationStats* stats = nullptr);
+
+    // Breed the next generation in place (elites + select/crossover/mutate),
+    // consuming the identical RNG sequence as breed_population_scalar().
+    // `population` must have config.population_size members compatible with
+    // the space; it is overwritten with the children.
+    BreedStats breed(std::vector<Genome>& population, std::span<const double> fitness,
+                     const BreedConfig& config, Rng& rng, bool with_stats);
+
+    // The hoisted per-gene mutation probabilities of the current generation.
+    std::span<const double> gene_probs() const { return probs_; }
+
+    // The (memoized) mutation value distribution for `param` at `current`;
+    // identical to value_distribution(space[param], hints[param], confidence,
+    // current).  The reference is invalidated by the next distribution()
+    // call for an unmemoized (large) domain.
+    const std::vector<double>& distribution(std::size_t param, std::uint32_t current);
+
+    // Memo accounting (for the engine bench and tests).
+    std::uint64_t dist_memo_hits() const { return memo_hits_; }
+    std::uint64_t dist_memo_misses() const { return memo_misses_; }
+
+private:
+    enum class DrawKind : std::uint8_t { uniform, bias, target };
+
+    const ParameterSpace& space_;
+    const HintSet& hints_;
+    double mutation_rate_ = 0.1;
+    std::size_t generation_ = 0;
+    bool generation_valid_ = false;
+
+    std::vector<double> probs_;            // hoisted per-gene mutation probabilities
+    std::vector<std::size_t> card_;        // per-param domain cardinality
+    std::vector<DrawKind> draw_kind_;      // per-param stats classification
+    // memo_[i][current] caches value_distribution for small domains (empty
+    // vector = not yet computed; computed distributions are never empty since
+    // cardinality >= 2 there).  Large domains fall back to scratch_dist_.
+    std::vector<std::vector<std::vector<double>>> memo_;
+    std::vector<double> scratch_dist_;
+    std::vector<double> scratch_dir_;
+    std::vector<double> scratch_raw_;
+    std::uint64_t memo_hits_ = 0;
+    std::uint64_t memo_misses_ = 0;
+
+    // Breeding arena.
+    SelectionTable table_;
+    GeneMatrix parents_;
+    GeneMatrix children_;                  // population_size rows + 1 spare
+    std::vector<std::size_t> elite_order_;
+};
+
+// The pre-refactor GA breed loop, preserved verbatim as the bit-exactness
+// reference (GaConfig::scalar_breed routes here).  Overwrites `population`
+// with the next generation and returns what it did.
+BreedStats breed_population_scalar(std::vector<Genome>& population,
+                                   std::span<const double> fitness,
+                                   const BreedConfig& config, const ParameterSpace& space,
+                                   const HintSet& hints, double mutation_rate,
+                                   std::size_t generation, Rng& rng, bool with_stats);
+
+// Incremental mean pairwise normalized Hamming distance: feed each genome
+// once (O(genes) per add via per-gene value counts), read value() at any
+// point.  Integer-exact pair counting, so the result is deterministic and
+// independent of insertion order.
+class DiversityCounter {
+public:
+    // Forget all members; keep buffer capacity.
+    void reset(std::size_t genes);
+
+    void add(std::span<const std::uint32_t> genes);
+    void add(const Genome& genome) { add(std::span<const std::uint32_t>(genome.genes())); }
+
+    // 0 = all clones, 1 = every pair differs in every gene; 0 with < 2
+    // members or no genes.
+    double value() const;
+
+    // One-shot convenience over a whole population (reuses buffers).
+    double measure(std::span<const Genome> population);
+
+private:
+    std::size_t genes_ = 0;
+    std::size_t members_ = 0;
+    std::uint64_t same_pairs_ = 0;  // pairs agreeing on a gene, summed over genes
+    std::vector<std::vector<std::uint32_t>> counts_;  // per gene: value -> count
+};
+
+}  // namespace nautilus

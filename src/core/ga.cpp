@@ -8,34 +8,10 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/breed.hpp"
 #include "core/checkpoint.hpp"
 
 namespace nautilus {
-
-namespace {
-
-// Mean pairwise normalized Hamming distance of the population: 0 = all
-// clones, 1 = every pair differs in every gene.  Only computed when tracing
-// is enabled (O(pop^2 * genes), trivial at paper-scale populations).
-double population_diversity(const std::vector<Genome>& population)
-{
-    if (population.size() < 2 || population.front().empty()) return 0.0;
-    const std::size_t genes = population.front().size();
-    double sum = 0.0;
-    std::size_t pairs = 0;
-    for (std::size_t i = 0; i < population.size(); ++i) {
-        for (std::size_t j = i + 1; j < population.size(); ++j) {
-            std::size_t differing = 0;
-            for (std::size_t g = 0; g < genes; ++g)
-                if (population[i].gene(g) != population[j].gene(g)) ++differing;
-            sum += static_cast<double>(differing) / static_cast<double>(genes);
-            ++pairs;
-        }
-    }
-    return sum / static_cast<double>(pairs);
-}
-
-}  // namespace
 
 void GaConfig::validate() const
 {
@@ -118,7 +94,7 @@ std::uint64_t GaEngine::config_fingerprint(std::uint64_t seed) const
     h = hash_combine(h, config_.fault_penalty.feasible ? 1 : 0);
     h = hash_combine(h, std::bit_cast<std::uint64_t>(config_.fault_penalty.value));
     h = hash_combine(h, static_cast<std::uint64_t>(direction_));
-    h = hash_combine(h, std::bit_cast<std::uint64_t>(hints_.confidence()));
+    h = hash_combine(h, hints_.fingerprint());
     for (const Genome& g : seeds_) h = hash_combine(h, g.key());
     return hash_combine(h, seed);
 }
@@ -279,6 +255,19 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     std::vector<Evaluation> evals(config_.population_size);
     std::vector<double> fitness(config_.population_size);
 
+    // Per-run breeding arena (DESIGN.md section 10): hoisted selection
+    // tables, per-generation gene mutation probabilities and memoized value
+    // distributions.  The pre-refactor per-call path stays available behind
+    // config_.scalar_breed; both consume the identical RNG sequence.
+    BreedConfig breed_cfg;
+    breed_cfg.selection = config_.selection;
+    breed_cfg.crossover = config_.crossover;
+    breed_cfg.crossover_rate = config_.crossover_rate;
+    breed_cfg.elitism = config_.elitism;
+    breed_cfg.population_size = config_.population_size;
+    BreedContext breed_ctx{space_, hints_, config_.mutation_rate};
+    DiversityCounter diversity;
+
     for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
         const bool halt_here =
             config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
@@ -348,7 +337,7 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
                 .add("feasible", stats.feasible)
                 .add("best_so_far", obs::FieldValue{stats.best_so_far})
                 .add("distinct_total", stats.distinct_evals)
-                .add("diversity", obs::FieldValue{population_diversity(population)});
+                .add("diversity", obs::FieldValue{diversity.measure(population)});
             tracer.emit(std::move(ev));
         }
 
@@ -367,49 +356,27 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
         if (gen + 1 == config_.generations) break;
 
         // --- Breed the next generation -----------------------------------
-        std::vector<Genome> next;
-        next.reserve(config_.population_size);
-
-        // Elitism: carry the best `elitism` members unchanged.
-        const std::vector<std::size_t> order = rank_order(fitness);
-        for (std::size_t e = 0; e < config_.elitism; ++e) next.push_back(population[order[e]]);
-
-        MutationStats mut_stats;
-        MutationContext ctx;
-        ctx.space = &space_;
-        ctx.hints = &hints_;
-        ctx.mutation_rate = config_.mutation_rate;
-        ctx.generation = gen;
-        if (tracer.enabled()) ctx.stats = &mut_stats;
-
-        std::size_t crossovers = 0;
+        BreedStats breed_stats;
         {
             obs::ScopedTimer breed_span{tracer, "ga.breed"};
-            while (next.size() < config_.population_size) {
-                const std::size_t pa = select_parent(fitness, config_.selection, rng);
-                const std::size_t pb = select_parent(fitness, config_.selection, rng);
-                Genome child_a = population[pa];
-                Genome child_b = population[pb];
-                if (rng.bernoulli(config_.crossover_rate)) {
-                    auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
-                    child_a = std::move(xa);
-                    child_b = std::move(xb);
-                    ++crossovers;
-                }
-                mutate(child_a, ctx, rng);
-                next.push_back(std::move(child_a));
-                if (next.size() < config_.population_size) {
-                    mutate(child_b, ctx, rng);
-                    next.push_back(std::move(child_b));
-                }
+            if (config_.scalar_breed) {
+                breed_stats = breed_population_scalar(population, fitness, breed_cfg,
+                                                      space_, hints_, config_.mutation_rate,
+                                                      gen, rng, tracer.enabled());
+            }
+            else {
+                breed_ctx.begin_generation(gen);
+                breed_stats =
+                    breed_ctx.breed(population, fitness, breed_cfg, rng, tracer.enabled());
             }
         }
         if (tracer.enabled()) {
+            const MutationStats& mut_stats = breed_stats.mutation;
             obs::TraceEvent ev{"breed"};
             ev.add("gen", gen)
-                .add("children", next.size() - config_.elitism)
+                .add("children", config_.population_size - config_.elitism)
                 .add("elites", config_.elitism)
-                .add("crossovers", crossovers)
+                .add("crossovers", breed_stats.crossovers)
                 .add("genomes_mutated", std::size_t{mut_stats.genomes})
                 .add("genes_mutated", std::size_t{mut_stats.genes_mutated})
                 .add("bias_draws", std::size_t{mut_stats.bias_draws})
@@ -418,7 +385,6 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
                 .add("importance", obs::FieldValue{hints_.effective_importances(gen)});
             tracer.emit(std::move(ev));
         }
-        population = std::move(next);
     }
 
     result.distinct_evals = evaluator.distinct_evaluations();

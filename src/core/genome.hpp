@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,11 @@ public:
     void set_gene(std::size_t i, std::uint32_t value_index);
 
     const std::vector<std::uint32_t>& genes() const { return genes_; }
+
+    // Mutable view of the gene array for the data-oriented breeding hot path
+    // (core/breed.hpp).  Callers must keep every index within its domain's
+    // cardinality.
+    std::span<std::uint32_t> genes_mut() { return std::span<std::uint32_t>(genes_); }
 
     // Physical value of gene `i` under `space`.
     double numeric_value(const ParameterSpace& space, std::size_t i) const;

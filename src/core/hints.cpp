@@ -1,8 +1,11 @@
 #include "core/hints.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/rng.hpp"
 
 namespace nautilus {
 
@@ -99,6 +102,26 @@ std::vector<double> HintSet::effective_importances(std::size_t gen) const
     std::vector<double> out(params_.size());
     for (std::size_t i = 0; i < params_.size(); ++i) out[i] = effective_importance(i, gen);
     return out;
+}
+
+std::uint64_t HintSet::fingerprint() const
+{
+    const auto hash_optional = [](std::uint64_t h, const std::optional<double>& v,
+                                  std::uint64_t tag) {
+        h = hash_combine(h, v.has_value() ? tag : 0);
+        return hash_combine(h, v ? std::bit_cast<std::uint64_t>(*v) : 0);
+    };
+    std::uint64_t h = 0x68696e7473ull;  // "hints" tag
+    h = hash_combine(h, params_.size());
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(confidence_));
+    for (const ParamHints& p : params_) {
+        h = hash_combine(h, std::bit_cast<std::uint64_t>(p.importance));
+        h = hash_combine(h, std::bit_cast<std::uint64_t>(p.importance_decay));
+        h = hash_optional(h, p.bias, 1);
+        h = hash_optional(h, p.target, 2);
+        h = hash_optional(h, p.step_scale, 3);
+    }
+    return h;
 }
 
 HintSet merge_hints(std::span<const WeightedHintSet> components)

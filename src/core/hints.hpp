@@ -20,6 +20,7 @@
 // Bias and target are mutually exclusive per parameter and require an ordered
 // domain.
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -100,6 +101,14 @@ public:
     std::vector<double> effective_importances(std::size_t gen) const;
 
     const std::vector<ParamHints>& params() const { return params_; }
+
+    // Order-sensitive 64-bit digest of the *entire* hint body: confidence
+    // plus every parameter's importance, decay schedule, bias, target and
+    // step_scale (optionals hashed with presence tags).  Feeds the engines'
+    // config fingerprints so a checkpoint written under different hints is
+    // rejected on resume -- hashing only confidence() let hint-body changes
+    // slip through and silently diverge.
+    std::uint64_t fingerprint() const;
 
 private:
     std::vector<ParamHints> params_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/batch_evaluator.hpp"
+#include "core/breed.hpp"
 
 namespace nautilus {
 
@@ -16,12 +17,14 @@ namespace {
 
 // Shared proposal move: mutate a copy of `current` with the hint-aware
 // operator; guarantee at least one gene changes (a no-op proposal wastes a
-// step without costing an evaluation, biasing budget accounting).
-Genome propose(const Genome& current, const MutationContext& ctx, Rng& rng)
+// step without costing an evaluation, biasing budget accounting).  The
+// BreedContext memoizes value distributions across proposals (local search
+// never advances the generation, so the hoisted probabilities are static).
+Genome propose(const Genome& current, BreedContext& ctx, Rng& rng)
 {
     Genome next = current;
     for (int attempt = 0; attempt < 16; ++attempt) {
-        if (mutate(next, ctx, rng) > 0) return next;
+        if (ctx.mutate(next, rng) > 0) return next;
     }
     // Degenerate space (all single-value domains): return unchanged.
     return next;
@@ -138,10 +141,7 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
     const FitnessMapper mapper{direction_};
     Curve curve{direction_};
 
-    MutationContext ctx;
-    ctx.space = &space_;
-    ctx.hints = &hints_;
-    ctx.mutation_rate = config_.mutation_rate;
+    BreedContext ctx{space_, hints_, config_.mutation_rate};
 
     // Start from a feasible random point (bounded retries).
     Genome current = Genome::random(space_, rng);
@@ -299,10 +299,7 @@ Curve HillClimber::run(std::uint64_t seed) const
     };
     Curve curve{direction_};
 
-    MutationContext ctx;
-    ctx.space = &space_;
-    ctx.hints = &hints_;
-    ctx.mutation_rate = config_.mutation_rate;
+    BreedContext ctx{space_, hints_, config_.mutation_rate};
 
     double best = worst_value(direction_);
     bool have_best = false;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/batch_evaluator.hpp"
+#include "core/breed.hpp"
 #include "core/checkpoint.hpp"
 #include "core/evaluator.hpp"
 
@@ -134,7 +135,7 @@ std::uint64_t Nsga2Engine::config_fingerprint(std::uint64_t seed) const
     h = hash_combine(h, config_.fault.tolerate_failures ? 1 : 0);
     h = hash_combine(h, directions_.size());
     for (Direction d : directions_) h = hash_combine(h, static_cast<std::uint64_t>(d));
-    h = hash_combine(h, std::bit_cast<std::uint64_t>(hints_.confidence()));
+    h = hash_combine(h, hints_.fingerprint());
     return hash_combine(h, seed);
 }
 
@@ -365,12 +366,12 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         for (const Member& m : population) archive.push_back(m);
     }
 
+    // Per-run breeding arena: hoisted per-generation gene mutation
+    // probabilities and memoized value distributions (core/breed.hpp); the
+    // RNG draw sequence is identical to the per-call mutate() path.
     MutationStats mut_stats;
-    MutationContext ctx;
-    ctx.space = &space_;
-    ctx.hints = &hints_;
-    ctx.mutation_rate = config_.mutation_rate;
-    if (tracer.enabled()) ctx.stats = &mut_stats;
+    MutationStats* mut_stats_ptr = tracer.enabled() ? &mut_stats : nullptr;
+    BreedContext breed_ctx{space_, hints_, config_.mutation_rate};
 
     bool halted = false;
     for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
@@ -384,7 +385,7 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
             halted = true;
             break;
         }
-        ctx.generation = gen;
+        breed_ctx.begin_generation(gen);
 
         // Rank the current pool.
         const auto points = to_points(population);
@@ -429,8 +430,8 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
                     child_a = std::move(xa);
                     child_b = std::move(xb);
                 }
-                mutate(child_a, ctx, rng);
-                mutate(child_b, ctx, rng);
+                breed_ctx.mutate(child_a, rng, mut_stats_ptr);
+                breed_ctx.mutate(child_b, rng, mut_stats_ptr);
                 brood.push_back(std::move(child_a));
                 brood.push_back(std::move(child_b));
             }

@@ -23,8 +23,8 @@ void check_context(const MutationContext& ctx)
 
 // Geometric step-length weights away from `current`, with the mass of each
 // side set by the bias.  `reach` controls the decay of long steps.
-void add_bias_weights(std::vector<double>& w, std::size_t n, std::uint32_t current, double bias,
-                      double reach)
+void add_bias_weights(std::vector<double>& w, std::vector<double>& raw, std::size_t n,
+                      std::uint32_t current, double bias, double reach)
 {
     const double p_up = (1.0 + bias) / 2.0;
     const double p_down = 1.0 - p_up;
@@ -32,7 +32,7 @@ void add_bias_weights(std::vector<double>& w, std::size_t n, std::uint32_t curre
 
     double up_total = 0.0;
     double down_total = 0.0;
-    std::vector<double> raw(n, 0.0);
+    raw.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         if (i == current) continue;
         const double dist = std::abs(static_cast<double>(i) - static_cast<double>(current));
@@ -67,11 +67,11 @@ void add_bias_weights(std::vector<double>& w, std::size_t n, std::uint32_t curre
 }
 
 // Laplace-kernel weights centered on the target index.
-void add_target_weights(std::vector<double>& w, std::size_t n, std::uint32_t current,
-                        std::size_t target_index, double spread)
+void add_target_weights(std::vector<double>& w, std::vector<double>& raw, std::size_t n,
+                        std::uint32_t current, std::size_t target_index, double spread)
 {
     double total = 0.0;
-    std::vector<double> raw(n, 0.0);
+    raw.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         if (i == current) continue;
         const double dist =
@@ -115,14 +115,16 @@ std::vector<double> gene_mutation_probabilities(const MutationContext& ctx)
     return probs;
 }
 
-std::vector<double> value_distribution(const ParamDomain& domain, const ParamHints& hints,
-                                       double confidence, std::uint32_t current)
+void value_distribution_into(std::vector<double>& w, std::vector<double>& dir,
+                             std::vector<double>& raw, const ParamDomain& domain,
+                             const ParamHints& hints, double confidence,
+                             std::uint32_t current)
 {
     const std::size_t n = domain.cardinality();
     if (current >= n)
         throw std::invalid_argument("value_distribution: current index out of range");
-    std::vector<double> w(n, 0.0);
-    if (n <= 1) return w;  // nothing to mutate to
+    w.assign(n, 0.0);
+    if (n <= 1) return;  // nothing to mutate to
 
     // Baseline: uniform over all values except the current one.
     const double uniform_mass = 1.0 / static_cast<double>(n - 1);
@@ -132,21 +134,21 @@ std::vector<double> value_distribution(const ParamDomain& domain, const ParamHin
     if (!directed) {
         for (std::size_t i = 0; i < n; ++i)
             if (i != current) w[i] = uniform_mass;
-        return w;
+        return;
     }
 
     // Directed component.
-    std::vector<double> dir(n, 0.0);
+    dir.assign(n, 0.0);
     const double span = static_cast<double>(n);
     const double step_scale = hints.step_scale.value_or(0.5);
     if (hints.target) {
         const std::size_t target_index = domain.nearest_index(*hints.target);
         const double spread = std::max(1.0, span * step_scale / 3.0);
-        add_target_weights(dir, n, current, target_index, spread);
+        add_target_weights(dir, raw, n, current, target_index, spread);
     }
     else {
         const double reach = std::max(1.0, span * step_scale);
-        add_bias_weights(dir, n, current, *hints.bias, reach);
+        add_bias_weights(dir, raw, n, current, *hints.bias, reach);
     }
 
     double dir_total = 0.0;
@@ -154,13 +156,22 @@ std::vector<double> value_distribution(const ParamDomain& domain, const ParamHin
     if (dir_total <= 0.0) {
         for (std::size_t i = 0; i < n; ++i)
             if (i != current) w[i] = uniform_mass;
-        return w;
+        return;
     }
 
     for (std::size_t i = 0; i < n; ++i) {
         if (i == current) continue;
         w[i] = (1.0 - confidence) * uniform_mass + confidence * dir[i] / dir_total;
     }
+}
+
+std::vector<double> value_distribution(const ParamDomain& domain, const ParamHints& hints,
+                                       double confidence, std::uint32_t current)
+{
+    std::vector<double> w;
+    std::vector<double> dir;
+    std::vector<double> raw;
+    value_distribution_into(w, dir, raw, domain, hints, confidence, current);
     return w;
 }
 
@@ -260,10 +271,17 @@ std::size_t repair(Genome& genome, const ParameterSpace& space)
         genes.resize(space.size(), 0);
     }
     for (std::size_t i = 0; i < genes.size(); ++i) {
-        const auto cardinality =
-            static_cast<std::uint32_t>(space[i].domain.cardinality());
+        // Compare in std::size_t: a cardinality above 2^32 must not be
+        // truncated to a small (or zero) value, which used to clamp valid
+        // genes to cardinality-1 underflowed to UINT32_MAX.
+        const std::size_t cardinality = space[i].domain.cardinality();
+        if (cardinality == 0)
+            throw std::invalid_argument("repair: parameter '" + space[i].name +
+                                        "' has an empty domain");
         if (genes[i] >= cardinality) {
-            genes[i] = cardinality - 1;
+            // genes[i] < 2^32 <= any cardinality that overflows uint32, so
+            // this branch only runs when cardinality - 1 fits.
+            genes[i] = static_cast<std::uint32_t>(cardinality - 1);
             ++changed;
         }
     }

@@ -61,6 +61,15 @@ std::vector<double> gene_mutation_probabilities(const MutationContext& ctx);
 std::vector<double> value_distribution(const ParamDomain& domain, const ParamHints& hints,
                                        double confidence, std::uint32_t current);
 
+// Allocation-free variant for the breeding hot path (core/breed.hpp): the
+// distribution is written into `w` (resized to the domain cardinality) and
+// `dir`/`raw` serve as scratch for the directed kernels.  Output is
+// bit-identical to value_distribution.
+void value_distribution_into(std::vector<double>& w, std::vector<double>& dir,
+                             std::vector<double>& raw, const ParamDomain& domain,
+                             const ParamHints& hints, double confidence,
+                             std::uint32_t current);
+
 // Mutate `genome` in place; returns the number of genes changed.
 std::size_t mutate(Genome& genome, const MutationContext& ctx, Rng& rng);
 

@@ -70,7 +70,11 @@ double Rng::uniform(double lo, double hi)
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi)
 {
     if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Span in unsigned arithmetic: hi - lo overflows int64 (UB) for wide
+    // ranges like [-2, INT64_MAX]; the uint64 difference is well-defined and
+    // identical for every range where the signed form was valid.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
     if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
     // Rejection sampling to avoid modulo bias.
     const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
@@ -78,7 +82,10 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi)
     do {
         draw = next_u64();
     } while (draw >= limit);
-    return lo + static_cast<std::int64_t>(draw % span);
+    // Add in unsigned arithmetic too: for wide ranges the offset exceeds
+    // INT64_MAX, so `lo + int64(offset)` would overflow.  The final cast is
+    // modular (well-defined) and lands back inside [lo, hi].
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw % span);
 }
 
 std::size_t Rng::index(std::size_t n)

@@ -21,11 +21,17 @@ const char* selection_name(SelectionKind kind)
 
 std::vector<std::size_t> rank_order(std::span<const double> fitness)
 {
-    std::vector<std::size_t> order(fitness.size());
+    std::vector<std::size_t> order;
+    rank_order_into(order, fitness);
+    return order;
+}
+
+void rank_order_into(std::vector<std::size_t>& order, std::span<const double> fitness)
+{
+    order.resize(fitness.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) { return fitness[a] > fitness[b]; });
-    return order;
 }
 
 namespace {

@@ -31,4 +31,7 @@ std::size_t select_parent(std::span<const double> fitness, const SelectionConfig
 // Indices of `fitness` sorted best-first (ties broken by lower index).
 std::vector<std::size_t> rank_order(std::span<const double> fitness);
 
+// Buffer-reusing variant for per-generation callers (core/breed.hpp).
+void rank_order_into(std::vector<std::size_t>& order, std::span<const double> fitness);
+
 }  // namespace nautilus

@@ -1,0 +1,473 @@
+#include "core/breed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/ga.hpp"
+
+namespace nautilus {
+namespace {
+
+ParameterSpace toy_space()
+{
+    ParameterSpace space;
+    space.add("a", ParamDomain::int_range(0, 7));
+    space.add("b", ParamDomain::int_range(0, 7));
+    space.add("c", ParamDomain::int_range(0, 7));
+    space.add("d", ParamDomain::int_range(0, 7));
+    return space;
+}
+
+// Varied cardinalities, a single-value domain (mutation must skip it) and an
+// unordered categorical (bias/target do not apply).
+ParameterSpace mixed_space()
+{
+    ParameterSpace space;
+    space.add("width", ParamDomain::int_range(0, 15));
+    space.add("depth", ParamDomain::pow2(0, 6));
+    space.add("flag", ParamDomain::boolean());
+    space.add("algo", ParamDomain::categorical({"rr", "greedy", "ilp"}));
+    space.add("fixed", ParamDomain::int_range(5, 5));
+    return space;
+}
+
+// Exercises every hint channel: importance + decay, bias, target, step_scale.
+HintSet guided_hints(const ParameterSpace& space)
+{
+    HintSet hints = HintSet::none(space);
+    hints.set_confidence(0.7);
+    hints.param(0).importance = 40.0;
+    hints.param(0).importance_decay = 0.9;
+    hints.param(0).bias = 0.8;
+    hints.param(1).importance = 10.0;
+    hints.param(1).target = 6.0;
+    hints.param(1).step_scale = 0.3;
+    if (space.size() > 4) hints.param(2).importance = 5.0;
+    hints.validate(space);
+    return hints;
+}
+
+Evaluation sum_eval(const Genome& g)
+{
+    double total = 0.0;
+    for (auto v : g.genes()) total += static_cast<double>(v);
+    return {true, total};
+}
+
+std::vector<Genome> random_population(const ParameterSpace& space, std::size_t n, Rng& rng)
+{
+    std::vector<Genome> population;
+    population.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) population.push_back(Genome::random(space, rng));
+    return population;
+}
+
+std::vector<double> random_fitness(std::size_t n, Rng& rng, bool with_infeasible)
+{
+    std::vector<double> fitness(n);
+    for (auto& f : fitness) {
+        f = rng.uniform() * 100.0;
+        if (with_infeasible && rng.bernoulli(0.25))
+            f = -std::numeric_limits<double>::infinity();
+    }
+    return fitness;
+}
+
+void expect_same_stats(const MutationStats& a, const MutationStats& b)
+{
+    EXPECT_EQ(a.genomes, b.genomes);
+    EXPECT_EQ(a.genes_mutated, b.genes_mutated);
+    EXPECT_EQ(a.bias_draws, b.bias_draws);
+    EXPECT_EQ(a.target_draws, b.target_draws);
+    EXPECT_EQ(a.uniform_draws, b.uniform_draws);
+}
+
+// ---------------------------------------------------------------------------
+// SelectionTable vs select_parent: identical pick sequence and RNG state.
+
+TEST(SelectionTable, MatchesSelectParentDrawForDraw)
+{
+    const SelectionConfig configs[] = {
+        {SelectionKind::rank, 1.8, 2},
+        {SelectionKind::rank, 1.0, 2},
+        {SelectionKind::tournament, 1.8, 2},
+        {SelectionKind::tournament, 1.8, 5},
+        {SelectionKind::roulette, 1.8, 2},
+    };
+    Rng setup{2024};
+    for (const auto& config : configs) {
+        for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{10}}) {
+            for (const bool infeasible : {false, true}) {
+                const auto fitness = random_fitness(n, setup, infeasible);
+                SelectionTable table;
+                table.rebuild(fitness, config);
+                Rng scalar_rng{77}, table_rng{77};
+                for (int pick = 0; pick < 500; ++pick) {
+                    const auto want = select_parent(fitness, config, scalar_rng);
+                    const auto got = table.select(table_rng);
+                    ASSERT_EQ(want, got)
+                        << "kind=" << static_cast<int>(config.kind) << " n=" << n
+                        << " pick=" << pick;
+                }
+                // Same draw count, not just same picks.
+                EXPECT_EQ(scalar_rng.state(), table_rng.state());
+            }
+        }
+    }
+}
+
+TEST(SelectionTable, AllInfeasibleRouletteFallsBackToUniform)
+{
+    const std::vector<double> fitness(6, -std::numeric_limits<double>::infinity());
+    SelectionTable table;
+    table.rebuild(fitness, {SelectionKind::roulette, 1.8, 2});
+    Rng scalar_rng{5}, table_rng{5};
+    for (int pick = 0; pick < 200; ++pick) {
+        EXPECT_EQ(select_parent(fitness, {SelectionKind::roulette, 1.8, 2}, scalar_rng),
+                  table.select(table_rng));
+    }
+    EXPECT_EQ(scalar_rng.state(), table_rng.state());
+}
+
+TEST(SelectionTable, RankWithOneMemberConsumesNoRng)
+{
+    const std::vector<double> fitness{3.0};
+    SelectionTable table;
+    table.rebuild(fitness, {SelectionKind::rank, 1.8, 2});
+    Rng rng{9};
+    const auto before = rng.state();
+    EXPECT_EQ(table.select(rng), 0u);
+    EXPECT_EQ(rng.state(), before);
+}
+
+TEST(SelectionTable, ValidatesLikeSelectParent)
+{
+    SelectionTable table;
+    EXPECT_THROW(table.rebuild({}, {SelectionKind::rank, 1.8, 2}), std::invalid_argument);
+    const std::vector<double> fitness{1.0, 2.0};
+    EXPECT_THROW(table.rebuild(fitness, {SelectionKind::rank, 2.5, 2}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// crossover_views vs crossover on Genome copies.
+
+TEST(CrossoverViews, MatchesCrossoverOnGenomes)
+{
+    const auto space = mixed_space();
+    Rng setup{31};
+    for (const auto kind :
+         {CrossoverKind::single_point, CrossoverKind::two_point, CrossoverKind::uniform}) {
+        for (int round = 0; round < 100; ++round) {
+            const Genome pa = Genome::random(space, setup);
+            const Genome pb = Genome::random(space, setup);
+            std::vector<std::uint32_t> va = pa.genes(), vb = pb.genes();
+
+            Rng scalar_rng{static_cast<std::uint64_t>(round + 1)};
+            Rng view_rng{static_cast<std::uint64_t>(round + 1)};
+            const auto [ca, cb] = crossover(pa, pb, kind, scalar_rng);
+            crossover_views(va, vb, kind, view_rng);
+
+            EXPECT_EQ(ca.genes(), va);
+            EXPECT_EQ(cb.genes(), vb);
+            EXPECT_EQ(scalar_rng.state(), view_rng.state());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BreedContext::mutate vs the free mutate(): identical genes, counts, stats
+// and RNG consumption across generations and hint shapes.
+
+TEST(BreedContextMutate, MatchesFreeMutateAcrossGenerations)
+{
+    for (const bool use_mixed : {false, true}) {
+        const auto space = use_mixed ? mixed_space() : toy_space();
+        for (const bool guided : {false, true}) {
+            const HintSet hints = guided ? guided_hints(space) : HintSet::none(space);
+            BreedContext breed_ctx{space, hints, 0.35};
+            for (const std::size_t gen : {std::size_t{0}, std::size_t{1}, std::size_t{7}}) {
+                breed_ctx.begin_generation(gen);
+                MutationContext scalar_ctx{&space, &hints, 0.35, gen, nullptr};
+                MutationStats scalar_stats, ctx_stats;
+                scalar_ctx.stats = &scalar_stats;
+
+                Rng setup{gen * 1000 + (guided ? 1 : 0) + (use_mixed ? 2 : 0) + 5};
+                Rng scalar_rng{404}, ctx_rng{404};
+                for (int round = 0; round < 200; ++round) {
+                    Genome a = Genome::random(space, setup);
+                    Genome b = a;
+                    const auto want = mutate(a, scalar_ctx, scalar_rng);
+                    const auto got = breed_ctx.mutate(b, ctx_rng, &ctx_stats);
+                    ASSERT_EQ(want, got);
+                    ASSERT_EQ(a.genes(), b.genes());
+                }
+                EXPECT_EQ(scalar_rng.state(), ctx_rng.state());
+                expect_same_stats(scalar_stats, ctx_stats);
+            }
+        }
+    }
+}
+
+TEST(BreedContextMutate, RejectsIncompatibleGenome)
+{
+    const auto space = toy_space();
+    const HintSet hints = HintSet::none(space);
+    BreedContext ctx{space, hints, 0.1};
+    Rng rng{1};
+    Genome wrong{std::vector<std::uint32_t>{0, 0}};
+    EXPECT_THROW(ctx.mutate(wrong, rng), std::invalid_argument);
+}
+
+TEST(BreedContext, HoistedProbsMatchPerCallComputation)
+{
+    const auto space = mixed_space();
+    const HintSet hints = guided_hints(space);
+    BreedContext ctx{space, hints, 0.2};
+    for (const std::size_t gen : {std::size_t{0}, std::size_t{3}, std::size_t{11}}) {
+        ctx.begin_generation(gen);
+        const MutationContext scalar_ctx{&space, &hints, 0.2, gen, nullptr};
+        const auto want = gene_mutation_probabilities(scalar_ctx);
+        const auto got = ctx.gene_probs();
+        ASSERT_EQ(want.size(), got.size());
+        for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(want[i], got[i]);
+    }
+}
+
+TEST(BreedContext, MemoizedDistributionIsBitIdenticalToFresh)
+{
+    const auto space = mixed_space();
+    const HintSet hints = guided_hints(space);
+    BreedContext ctx{space, hints, 0.2};
+
+    // Two passes: the first fills the memo (misses), the second must hit it
+    // and still return the bit-identical distribution.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t p = 0; p < space.size(); ++p) {
+            const std::size_t card = space[p].domain.cardinality();
+            if (card < 2) continue;  // mutation never asks for these
+            for (std::uint32_t current = 0; current < card; ++current) {
+                const auto want =
+                    value_distribution(space[p].domain, hints.param(p), hints.confidence(),
+                                       current);
+                const auto& got = ctx.distribution(p, current);
+                ASSERT_EQ(want, got) << "param=" << p << " current=" << current;
+            }
+        }
+    }
+    EXPECT_GT(ctx.dist_memo_hits(), 0u);
+    EXPECT_GT(ctx.dist_memo_misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BreedContext::breed vs the preserved scalar reference loop.
+
+TEST(BreedPhase, DataOrientedMatchesScalarReference)
+{
+    const auto space = mixed_space();
+    Rng setup{808};
+    for (const bool guided : {false, true}) {
+        const HintSet hints = guided ? guided_hints(space) : HintSet::none(space);
+        for (const auto kind :
+             {SelectionKind::rank, SelectionKind::tournament, SelectionKind::roulette}) {
+            for (const auto cross : {CrossoverKind::single_point, CrossoverKind::two_point,
+                                     CrossoverKind::uniform}) {
+                for (const std::size_t pop_size : {std::size_t{9}, std::size_t{10}}) {
+                    BreedConfig config;
+                    config.selection = {kind, 1.8, 3};
+                    config.crossover = cross;
+                    config.crossover_rate = 0.85;
+                    config.elitism = 2;
+                    config.population_size = pop_size;
+
+                    auto scalar_pop = random_population(space, pop_size, setup);
+                    auto dataop_pop = scalar_pop;
+                    const auto fitness = random_fitness(pop_size, setup, true);
+
+                    BreedContext ctx{space, hints, 0.3};
+                    Rng scalar_rng{99}, dataop_rng{99};
+                    for (std::size_t gen = 0; gen < 5; ++gen) {
+                        const auto scalar_stats = breed_population_scalar(
+                            scalar_pop, fitness, config, space, hints, 0.3, gen,
+                            scalar_rng, true);
+                        ctx.begin_generation(gen);
+                        const auto dataop_stats =
+                            ctx.breed(dataop_pop, fitness, config, dataop_rng, true);
+
+                        ASSERT_EQ(scalar_pop.size(), dataop_pop.size());
+                        for (std::size_t i = 0; i < scalar_pop.size(); ++i)
+                            ASSERT_EQ(scalar_pop[i].genes(), dataop_pop[i].genes())
+                                << "member " << i << " gen " << gen;
+                        EXPECT_EQ(scalar_stats.crossovers, dataop_stats.crossovers);
+                        expect_same_stats(scalar_stats.mutation, dataop_stats.mutation);
+                    }
+                    EXPECT_EQ(scalar_rng.state(), dataop_rng.state());
+                }
+            }
+        }
+    }
+}
+
+TEST(BreedPhase, ValidatesInputs)
+{
+    const auto space = toy_space();
+    const HintSet hints = HintSet::none(space);
+    BreedContext ctx{space, hints, 0.1};
+    Rng rng{1};
+    BreedConfig config;
+    config.population_size = 4;
+    config.elitism = 4;
+    auto population = random_population(space, 4, rng);
+    const std::vector<double> fitness(4, 1.0);
+    EXPECT_THROW(ctx.breed(population, fitness, config, rng, false), std::invalid_argument);
+    config.elitism = 1;
+    config.population_size = 5;
+    EXPECT_THROW(ctx.breed(population, fitness, config, rng, false), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Full-engine equivalence: GaConfig::scalar_breed flips the implementation,
+// never the results.
+
+void expect_identical_runs(const RunResult& a, const RunResult& b)
+{
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        EXPECT_EQ(a.history[i].best, b.history[i].best);
+        EXPECT_EQ(a.history[i].mean, b.history[i].mean);
+        EXPECT_EQ(a.history[i].worst, b.history[i].worst);
+        EXPECT_EQ(a.history[i].best_so_far, b.history[i].best_so_far);
+        EXPECT_EQ(a.history[i].distinct_evals, b.history[i].distinct_evals);
+    }
+    EXPECT_EQ(a.best_genome.genes(), b.best_genome.genes());
+    EXPECT_EQ(a.best_eval.value, b.best_eval.value);
+    EXPECT_EQ(a.distinct_evals, b.distinct_evals);
+    ASSERT_EQ(a.final_population.size(), b.final_population.size());
+    for (std::size_t i = 0; i < a.final_population.size(); ++i)
+        EXPECT_EQ(a.final_population[i].genes(), b.final_population[i].genes());
+    EXPECT_EQ(a.final_rng_state, b.final_rng_state);
+}
+
+TEST(GaEngine, ScalarBreedFlagIsBitExact)
+{
+    const auto space = toy_space();
+    for (const bool guided : {false, true}) {
+        const HintSet hints = guided ? guided_hints(space) : HintSet::none(space);
+        for (const auto kind :
+             {SelectionKind::rank, SelectionKind::tournament, SelectionKind::roulette}) {
+            GaConfig cfg;
+            cfg.population_size = 8;
+            cfg.generations = 25;
+            cfg.selection.kind = kind;
+            cfg.seed = 7;
+
+            GaConfig scalar_cfg = cfg;
+            scalar_cfg.scalar_breed = true;
+            const GaEngine dataop{space, cfg, Direction::maximize, sum_eval, hints};
+            const GaEngine scalar{space, scalar_cfg, Direction::maximize, sum_eval, hints};
+            expect_identical_runs(dataop.run(), scalar.run());
+        }
+    }
+}
+
+TEST(GaEngine, ScalarBreedFlagIsBitExactWithParallelEval)
+{
+    const auto space = toy_space();
+    GaConfig cfg;
+    cfg.population_size = 10;
+    cfg.generations = 20;
+    cfg.eval_workers = 4;
+    cfg.seed = 13;
+    GaConfig scalar_cfg = cfg;
+    scalar_cfg.scalar_breed = true;
+    const HintSet hints = guided_hints(space);
+    const GaEngine dataop{space, cfg, Direction::maximize, sum_eval, hints};
+    const GaEngine scalar{space, scalar_cfg, Direction::maximize, sum_eval, hints};
+    expect_identical_runs(dataop.run(), scalar.run());
+}
+
+TEST(GaEngine, ScalarBreedIsExcludedFromConfigFingerprint)
+{
+    const auto space = toy_space();
+    GaConfig cfg;
+    GaConfig scalar_cfg = cfg;
+    scalar_cfg.scalar_breed = true;
+    const GaEngine dataop{space, cfg, Direction::maximize, sum_eval, HintSet::none(space)};
+    const GaEngine scalar{space, scalar_cfg, Direction::maximize, sum_eval,
+                          HintSet::none(space)};
+    EXPECT_EQ(dataop.config_fingerprint(1), scalar.config_fingerprint(1));
+}
+
+// ---------------------------------------------------------------------------
+// DiversityCounter vs the O(pop^2) pairwise definition.
+
+double brute_force_diversity(const std::vector<Genome>& population)
+{
+    if (population.size() < 2) return 0.0;
+    const std::size_t genes = population.front().genes().size();
+    if (genes == 0) return 0.0;
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+        for (std::size_t j = i + 1; j < population.size(); ++j) {
+            std::size_t differing = 0;
+            for (std::size_t g = 0; g < genes; ++g)
+                if (population[i].genes()[g] != population[j].genes()[g]) ++differing;
+            total += static_cast<double>(differing) / static_cast<double>(genes);
+            ++pairs;
+        }
+    }
+    return total / static_cast<double>(pairs);
+}
+
+TEST(DiversityCounter, MatchesPairwiseDefinition)
+{
+    const auto space = mixed_space();
+    Rng rng{606};
+    DiversityCounter counter;
+    for (const std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{10},
+                                std::size_t{33}}) {
+        const auto population = random_population(space, n, rng);
+        EXPECT_NEAR(counter.measure(population), brute_force_diversity(population), 1e-12)
+            << "n=" << n;
+    }
+}
+
+TEST(DiversityCounter, EdgeCases)
+{
+    const auto space = toy_space();
+    DiversityCounter counter;
+    EXPECT_EQ(counter.measure({}), 0.0);
+
+    Rng rng{3};
+    const auto one = random_population(space, 1, rng);
+    EXPECT_EQ(counter.measure(one), 0.0);
+
+    std::vector<Genome> clones(5, Genome{std::vector<std::uint32_t>{1, 2, 3, 4}});
+    EXPECT_EQ(counter.measure(clones), 0.0);
+
+    std::vector<Genome> distinct{Genome{std::vector<std::uint32_t>{0, 0, 0, 0}},
+                                 Genome{std::vector<std::uint32_t>{1, 1, 1, 1}},
+                                 Genome{std::vector<std::uint32_t>{2, 2, 2, 2}}};
+    EXPECT_EQ(counter.measure(distinct), 1.0);
+}
+
+TEST(DiversityCounter, IncrementalAddMatchesOneShot)
+{
+    const auto space = mixed_space();
+    Rng rng{71};
+    const auto population = random_population(space, 12, rng);
+
+    DiversityCounter one_shot;
+    const double want = one_shot.measure(population);
+
+    DiversityCounter incremental;
+    incremental.reset(space.size());
+    for (const auto& g : population) incremental.add(g);
+    EXPECT_EQ(incremental.value(), want);
+}
+
+}  // namespace
+}  // namespace nautilus

@@ -334,6 +334,59 @@ TEST(CheckpointResume, ResumeRejectsConfigFingerprintMismatch)
     std::remove(path.c_str());
 }
 
+TEST(CheckpointResume, ResumeRejectsChangedHintsAtEqualConfidence)
+{
+    // Regression: config_fingerprint used to hash only hints.confidence(),
+    // so a resume under *different per-parameter hints* (importance, bias,
+    // target, step_scale) at the same confidence silently produced a run
+    // that matched neither the original nor a fresh one.  The fingerprint
+    // now covers the full HintSet.
+    const auto space = toy_space();
+    const std::string path = temp_path("ga_hint_fingerprint");
+
+    const auto make_hints = [&](double importance, std::optional<double> bias) {
+        HintSet hints = HintSet::none(space);
+        hints.set_confidence(0.6);
+        hints.param(0).importance = importance;
+        hints.param(1).bias = bias;
+        hints.validate(space);
+        return hints;
+    };
+    const HintSet original = make_hints(30.0, 0.8);
+
+    GaConfig halting = golden_config(1);
+    halting.checkpoint_path = path;
+    halting.halt_at_generation = 10;
+    const GaEngine halting_engine{space, halting, Direction::maximize, sum_eval, original};
+    ASSERT_TRUE(halting_engine.run().halted);
+
+    // Same confidence, different importance: must be rejected.
+    const GaEngine changed_importance{space, golden_config(1), Direction::maximize,
+                                      sum_eval, make_hints(5.0, 0.8)};
+    EXPECT_THROW(changed_importance.resume(path), std::runtime_error);
+
+    // Same confidence, different bias: must be rejected.
+    const GaEngine changed_bias{space, golden_config(1), Direction::maximize, sum_eval,
+                                make_hints(30.0, -0.8)};
+    EXPECT_THROW(changed_bias.resume(path), std::runtime_error);
+
+    // Same confidence, bias dropped entirely: must be rejected.
+    const GaEngine dropped_bias{space, golden_config(1), Direction::maximize, sum_eval,
+                                make_hints(30.0, std::nullopt)};
+    EXPECT_THROW(dropped_bias.resume(path), std::runtime_error);
+
+    // Identical hints resume bit-for-bit.
+    const GaEngine same{space, golden_config(1), Direction::maximize, sum_eval, original};
+    const RunResult resumed = same.resume(path);
+    const GaEngine reference{space, golden_config(1), Direction::maximize, sum_eval,
+                             original};
+    const RunResult straight = reference.run();
+    EXPECT_EQ(resumed.best_eval.value, straight.best_eval.value);
+    EXPECT_EQ(resumed.distinct_evals, straight.distinct_evals);
+    EXPECT_EQ(resumed.final_rng_state, straight.final_rng_state);
+    std::remove(path.c_str());
+}
+
 TEST(CheckpointResume, Nsga2ResumeIsBitForBitIdentical)
 {
     const auto space = toy_space();

@@ -467,5 +467,35 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.1, 0.5, 0.9, 1.0),
                        ::testing::Values(0u, 3u, 7u)));
 
+// --------------------------------------------------------------------------
+// repair(): cardinality arithmetic must happen in std::size_t.  (Empty
+// domains are not constructible through the public ParamDomain factories --
+// every one validates -- so the cardinality == 0 rejection inside repair()
+// is purely defensive and has no reachable test vector.)
+
+TEST(Repair, ClampsOutOfDomainGenesToLastValue)
+{
+    ParameterSpace space;
+    space.add("a", ParamDomain::int_range(0, 7));
+    space.add("b", ParamDomain::boolean());
+    Genome g{std::vector<std::uint32_t>{12, 9}};
+    EXPECT_EQ(repair(g, space), 2u);
+    EXPECT_EQ(g.genes(), (std::vector<std::uint32_t>{7, 1}));
+    EXPECT_TRUE(g.compatible_with(space));
+}
+
+TEST(Repair, HugeCardinalityDomainLeavesValidGenesUntouched)
+{
+    // cardinality == 2^32: the old uint32 cast truncated it to 0, so every
+    // gene compared >= "cardinality" and was clamped to 0u - 1 == UINT32_MAX,
+    // corrupting perfectly valid genomes.
+    ParameterSpace space;
+    space.add("wide", ParamDomain::int_range(0, 4294967295LL));
+    Genome g{std::vector<std::uint32_t>{123}};
+    EXPECT_EQ(repair(g, space), 0u);
+    EXPECT_EQ(g.genes()[0], 123u);
+    EXPECT_TRUE(g.compatible_with(space));
+}
+
 }  // namespace
 }  // namespace nautilus

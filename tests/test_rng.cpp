@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -90,6 +91,51 @@ TEST(Rng, UniformIntRejectsInvertedBounds)
 {
     Rng r{23};
     EXPECT_THROW(r.uniform_int(2, 1), std::invalid_argument);
+}
+
+// Property test over extreme bounds where the old `hi - lo` span computation
+// overflowed int64 (undefined behavior).  Runs under UBSan in CI; every draw
+// must also land inside the inclusive range.
+TEST(Rng, UniformIntExtremeBoundsStayInRange)
+{
+    constexpr std::int64_t i64min = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t i64max = std::numeric_limits<std::int64_t>::max();
+    Rng r{101};
+    for (int i = 0; i < 2000; ++i) {
+        // hi - lo overflows signed for all of these.
+        EXPECT_GE(r.uniform_int(-2, i64max), -2);
+        EXPECT_LE(r.uniform_int(i64min, 2), 2);
+        EXPECT_GE(r.uniform_int(i64min / 2 - 1, i64max), i64min / 2 - 1);
+        // Full range: the unsigned span wraps to 0 (2^64 values).
+        (void)r.uniform_int(i64min, i64max);
+        // Two-value ranges hugging each end.
+        const auto top = r.uniform_int(i64max - 1, i64max);
+        EXPECT_GE(top, i64max - 1);
+        const auto bottom = r.uniform_int(i64min, i64min + 1);
+        EXPECT_LE(bottom, i64min + 1);
+        EXPECT_EQ(r.uniform_int(i64max, i64max), i64max);
+        EXPECT_EQ(r.uniform_int(i64min, i64min), i64min);
+    }
+}
+
+TEST(Rng, UniformIntExtremeTwoValueRangesReachBothEndpoints)
+{
+    constexpr std::int64_t i64min = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t i64max = std::numeric_limits<std::int64_t>::max();
+    Rng r{103};
+    bool top_lo = false, top_hi = false, bottom_lo = false, bottom_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const auto top = r.uniform_int(i64max - 1, i64max);
+        top_lo |= top == i64max - 1;
+        top_hi |= top == i64max;
+        const auto bottom = r.uniform_int(i64min, i64min + 1);
+        bottom_lo |= bottom == i64min;
+        bottom_hi |= bottom == i64min + 1;
+    }
+    EXPECT_TRUE(top_lo);
+    EXPECT_TRUE(top_hi);
+    EXPECT_TRUE(bottom_lo);
+    EXPECT_TRUE(bottom_hi);
 }
 
 TEST(Rng, UniformIntApproximatelyUniform)

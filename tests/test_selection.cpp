@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -161,6 +162,106 @@ TEST(SelectParent, EqualFitnessRankStillSelectsEveryone)
     cfg.kind = SelectionKind::rank;
     const auto counts = tally(fitness, cfg, 40000, 12);
     for (int c : counts) EXPECT_GT(c, 500);
+}
+
+// --------------------------------------------------------------------------
+// Chi-square goodness-of-fit: the observed pick frequencies must match the
+// *intended* selection weights, not merely their ordering.  Seeds are fixed,
+// so these are deterministic; the thresholds are the p = 0.001 critical
+// values for the stated degrees of freedom.
+
+double chi_square(std::span<const int> observed, std::span<const double> expected)
+{
+    double stat = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        if (expected[i] == 0.0) continue;  // asserted exactly by the caller
+        const double diff = static_cast<double>(observed[i]) - expected[i];
+        stat += diff * diff / expected[i];
+    }
+    return stat;
+}
+
+TEST(SelectParent, RankFrequenciesMatchLinearRankingWeights)
+{
+    const std::vector<double> fitness{3.0, 9.0, 1.0, 7.0, 5.0};
+    const double pressure = 1.8;
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::rank;
+    cfg.rank_pressure = pressure;
+    const int draws = 60000;
+    const auto counts = tally(fitness, cfg, draws, 21);
+
+    // Member at rank r (0 = best) gets weight pressure + (2 - 2*pressure)*r/(n-1).
+    const auto order = rank_order(fitness);
+    const std::size_t n = fitness.size();
+    std::vector<double> expected(n, 0.0);
+    double total = 0.0;
+    std::vector<double> rank_weight(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        rank_weight[r] =
+            pressure + ((2.0 - pressure) - pressure) * static_cast<double>(r) /
+                           static_cast<double>(n - 1);
+        total += rank_weight[r];
+    }
+    for (std::size_t r = 0; r < n; ++r)
+        expected[order[r]] = draws * rank_weight[r] / total;
+
+    EXPECT_LT(chi_square(counts, expected), 18.47) << "df=4, p=0.001";
+}
+
+TEST(SelectParent, TournamentFrequenciesMatchOrderStatistics)
+{
+    // Distinct fitness values, so the winner is the unique best of k uniform
+    // draws with replacement: P(rank r wins) = ((n-r)^k - (n-r-1)^k) / n^k.
+    const std::vector<double> fitness{3.0, 9.0, 1.0, 7.0, 5.0, 11.0};
+    const std::size_t k = 3;
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::tournament;
+    cfg.tournament_size = k;
+    const int draws = 60000;
+    const auto counts = tally(fitness, cfg, draws, 22);
+
+    const auto order = rank_order(fitness);
+    const std::size_t n = fitness.size();
+    std::vector<double> expected(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double survivors = static_cast<double>(n - r);
+        const double p = (std::pow(survivors, static_cast<double>(k)) -
+                          std::pow(survivors - 1.0, static_cast<double>(k))) /
+                         std::pow(static_cast<double>(n), static_cast<double>(k));
+        expected[order[r]] = draws * p;
+    }
+
+    EXPECT_LT(chi_square(counts, expected), 20.52) << "df=5, p=0.001";
+}
+
+TEST(SelectParent, RouletteFrequenciesMatchFloorShiftedWeights)
+{
+    // weight_i = (f_i - lo) + 0.45 * (hi - lo) for finite members, 0 for
+    // infeasible ones (which must never be picked).
+    const std::vector<double> fitness{2.0, 10.0, -k_inf, 6.0, 4.0};
+    SelectionConfig cfg;
+    cfg.kind = SelectionKind::roulette;
+    const int draws = 60000;
+    const auto counts = tally(fitness, cfg, draws, 23);
+
+    double lo = k_inf, hi = -k_inf;
+    for (double f : fitness) {
+        if (!std::isfinite(f)) continue;
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    const double floor_weight = (hi - lo) * 0.45;
+    std::vector<double> expected(fitness.size(), 0.0);
+    double total = 0.0;
+    for (double f : fitness)
+        if (std::isfinite(f)) total += (f - lo) + floor_weight;
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+        if (std::isfinite(fitness[i]))
+            expected[i] = draws * ((fitness[i] - lo) + floor_weight) / total;
+
+    EXPECT_EQ(counts[2], 0);  // infeasible member is never selectable
+    EXPECT_LT(chi_square(counts, expected), 16.27) << "df=3, p=0.001";
 }
 
 TEST(SelectionNames, Stable)

@@ -112,6 +112,7 @@ struct CliOptions {
     double progress_interval = 0.0; // > 0 enables the stderr heartbeat
     std::string store;              // persistent evaluation store directory
     std::uint64_t store_max_bytes = 0;  // 0 = unlimited
+    bool scalar_breed = false;      // pre-refactor GA breed path (bit-identical)
 
     // Single-run fault-tolerance / checkpoint mode.
     std::string checkpoint;
@@ -143,7 +144,7 @@ struct CliOptions {
                  "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
                  "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n"
                  "          [--serve PORT] [--serve-grace S] [--progress [S]]\n"
-                 "          [--store PATH] [--store-max-bytes N]\n"
+                 "          [--store PATH] [--store-max-bytes N] [--scalar-breed]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
                  "          [--die-at-gen N] [--retries N] [--retry-backoff MS]\n"
                  "          [--eval-timeout S] [--chaos-fail R] [--chaos-hang R]\n"
@@ -240,6 +241,7 @@ CliOptions parse(int argc, char** argv)
         }
         else if (arg == "--store") opt.store = need_value(i);
         else if (arg == "--store-max-bytes") opt.store_max_bytes = u64(i);
+        else if (arg == "--scalar-breed") opt.scalar_breed = true;
         else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
         else if (arg == "--checkpoint-every") opt.checkpoint_every = count(i);
         else if (arg == "--resume") opt.resume = need_value(i);
@@ -507,6 +509,7 @@ int main(int argc, char** argv)
         ga.checkpoint_path = !opt.checkpoint.empty() ? opt.checkpoint : opt.resume;
         ga.checkpoint_every = opt.checkpoint_every;
         ga.halt_at_generation = opt.die_at_gen;
+        ga.scalar_breed = opt.scalar_breed;
         if (store) {
             ga.store = store;
             ga.store_namespace =
@@ -568,6 +571,7 @@ int main(int argc, char** argv)
     cfg.ga.seed = opt.seed;
     cfg.ga.eval_workers = opt.workers;
     cfg.ga.obs = inst;
+    cfg.ga.scalar_breed = opt.scalar_breed;
     if (store) {
         cfg.ga.store = store;
         cfg.ga.store_namespace =
