@@ -258,6 +258,26 @@ void bm_full_ga_run_progress(benchmark::State& state)
 }
 BENCHMARK(bm_full_ga_run_progress);
 
+// Same workload with only a live lineage tracker attached (no tracer): the
+// cost of birth bookkeeping alone, which the acceptance budget caps at 5% of
+// the plain run.
+void bm_full_ga_run_lineage(benchmark::State& state)
+{
+    const auto space = bench_space();
+    const EvalFn eval = [](const Genome& g) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < g.size(); ++i) v += g.gene(i);
+        return Evaluation{true, v};
+    };
+    GaConfig cfg;
+    cfg.generations = 80;
+    cfg.obs.lineage = std::make_shared<obs::LineageTracker>();
+    const GaEngine engine{space, cfg, Direction::maximize, eval, HintSet::none(space)};
+    std::uint64_t seed = 1;
+    for (auto _ : state) benchmark::DoNotOptimize(engine.run(seed++));
+}
+BENCHMARK(bm_full_ga_run_lineage);
+
 // Same workload served entirely from a pre-warmed persistent store: every
 // memo miss is a store hit, so the delta against bm_full_ga_run is the pure
 // lookup cost of the store tier (`sync` off — durability is not what this
@@ -338,6 +358,9 @@ int write_obs_bench(const std::string& path)
     obs::Instrumentation progressed;
     progressed.progress = std::make_shared<obs::ProgressTracker>();
     const double progress_time = time_ga_runs(progressed, kReps);
+    obs::Instrumentation lineaged;
+    lineaged.lineage = std::make_shared<obs::LineageTracker>();
+    const double lineage_time = time_ga_runs(lineaged, kReps);
 
     // 2) Trace serialization throughput: events/s through a discarding sink.
     const std::uint64_t events = sink->count();
@@ -381,16 +404,19 @@ int write_obs_bench(const std::string& path)
                   "  \"ga_plain_seconds\": %.6f,\n"
                   "  \"ga_traced_seconds\": %.6f,\n"
                   "  \"ga_progress_seconds\": %.6f,\n"
+                  "  \"ga_lineage_seconds\": %.6f,\n"
                   "  \"traced_overhead_pct\": %.2f,\n"
                   "  \"progress_overhead_pct\": %.2f,\n"
+                  "  \"lineage_overhead_pct\": %.2f,\n"
                   "  \"trace_events_per_run\": %.1f,\n"
                   "  \"trace_serialize_events_per_second\": %.0f,\n"
                   "  \"prometheus_exposition_us\": %.2f,\n"
                   "  \"status_json_us\": %.2f\n"
                   "}\n",
-                  kReps, plain, traced_time, progress_time,
+                  kReps, plain, traced_time, progress_time, lineage_time,
                   (traced_time / plain - 1.0) * 100.0,
                   (progress_time / plain - 1.0) * 100.0,
+                  (lineage_time / plain - 1.0) * 100.0,
                   static_cast<double>(events) / (3.0 * kReps),
                   events_per_second, exposition_us, status_us);
     out << buf;

@@ -119,14 +119,18 @@ void GeneMatrix::load(std::span<const Genome> population)
 // --- crossover on views ----------------------------------------------------
 
 void crossover_views(std::span<std::uint32_t> a, std::span<std::uint32_t> b,
-                     CrossoverKind kind, Rng& rng)
+                     CrossoverKind kind, Rng& rng, std::vector<std::uint8_t>* swapped)
 {
     if (a.size() != b.size() || a.empty())
         throw std::invalid_argument("crossover: parents must have equal nonzero size");
     const std::size_t n = a.size();
+    if (swapped != nullptr) swapped->assign(n, 0);
 
     auto swap_range = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) std::swap(a[i], b[i]);
+        for (std::size_t i = lo; i < hi; ++i) {
+            std::swap(a[i], b[i]);
+            if (swapped != nullptr) (*swapped)[i] = 1;
+        }
     };
 
     switch (kind) {
@@ -222,7 +226,7 @@ const std::vector<double>& BreedContext::distribution(std::size_t param, std::ui
 }
 
 std::size_t BreedContext::mutate(std::span<std::uint32_t> genes, Rng& rng,
-                                 MutationStats* stats)
+                                 MutationStats* stats, obs::GeneOrigin* origins)
 {
     if (genes.size() != space_.size())
         throw std::invalid_argument("mutate: genome incompatible with space");
@@ -243,18 +247,26 @@ std::size_t BreedContext::mutate(std::span<std::uint32_t> genes, Rng& rng,
             case DrawKind::target: ++stats->target_draws; break;
             }
         }
+        if (origins != nullptr) {
+            switch (draw_kind_[i]) {
+            case DrawKind::uniform: origins[i] = obs::GeneOrigin::uniform; break;
+            case DrawKind::bias: origins[i] = obs::GeneOrigin::bias; break;
+            case DrawKind::target: origins[i] = obs::GeneOrigin::target; break;
+            }
+        }
     }
     return changed;
 }
 
-std::size_t BreedContext::mutate(Genome& genome, Rng& rng, MutationStats* stats)
+std::size_t BreedContext::mutate(Genome& genome, Rng& rng, MutationStats* stats,
+                                 obs::GeneOrigin* origins)
 {
-    return mutate(genome.genes_mut(), rng, stats);
+    return mutate(genome.genes_mut(), rng, stats, origins);
 }
 
 BreedStats BreedContext::breed(std::vector<Genome>& population,
                                std::span<const double> fitness, const BreedConfig& config,
-                               Rng& rng, bool with_stats)
+                               Rng& rng, bool with_stats, BirthLog* births)
 {
     if (population.size() != config.population_size)
         throw std::invalid_argument("BreedContext::breed: population size mismatch");
@@ -265,13 +277,15 @@ BreedStats BreedContext::breed(std::vector<Genome>& population,
     MutationStats* ms = with_stats ? &stats.mutation : nullptr;
     const std::size_t pop = config.population_size;
     const std::size_t genes = space_.size();
+    if (births != nullptr) births->clear();
 
     table_.rebuild(fitness, config.selection);
     parents_.load(population);
     // One spare row past the population receives the odd-man-out second
     // child when the population fills mid-pair (the scalar path constructs
     // and discards it; the draw sequence ends before its mutation, so the
-    // spare is written but never mutated or kept).
+    // spare is written but never mutated or kept -- and gets no birth log
+    // entry).
     children_.reset(pop + 1, genes);
 
     // Elitism: carry the best `elitism` members unchanged.
@@ -280,28 +294,60 @@ BreedStats BreedContext::breed(std::vector<Genome>& population,
     for (std::size_t e = 0; e < config.elitism; ++e, ++filled) {
         const auto src = parents_.row(elite_order_[e]);
         std::copy(src.begin(), src.end(), children_.row(filled).begin());
+        if (births != nullptr)
+            births->elites.push_back(static_cast<std::uint32_t>(elite_order_[e]));
     }
 
     while (filled < pop) {
         const std::size_t pa = table_.select(rng);
         const std::size_t pb = table_.select(rng);
+        const bool keep_b = filled + 1 < pop;
         const std::span<std::uint32_t> a = children_.row(filled);
-        const std::span<std::uint32_t> b =
-            children_.row(filled + 1 < pop ? filled + 1 : pop);
+        const std::span<std::uint32_t> b = children_.row(keep_b ? filled + 1 : pop);
         {
             const auto pa_row = parents_.row(pa);
             const auto pb_row = parents_.row(pb);
             std::copy(pa_row.begin(), pa_row.end(), a.begin());
             std::copy(pb_row.begin(), pb_row.end(), b.begin());
         }
+        bool crossed = false;
         if (rng.bernoulli(config.crossover_rate)) {
-            crossover_views(a, b, config.crossover, rng);
+            crossover_views(a, b, config.crossover, rng,
+                            births != nullptr ? &swap_mask_ : nullptr);
             ++stats.crossovers;
+            crossed = true;
         }
-        mutate(a, rng, ms);
+        else if (births != nullptr) {
+            swap_mask_.assign(genes, 0);
+        }
+        obs::GeneOrigin* origins_a = nullptr;
+        obs::GeneOrigin* origins_b = nullptr;
+        if (births != nullptr) {
+            // Both entries are pushed before mutation so the vector cannot
+            // reallocate between taking the two origin pointers.
+            ChildProvenance prov;
+            prov.parent_a = static_cast<std::uint32_t>(pa);
+            prov.parent_b = static_cast<std::uint32_t>(pb);
+            prov.crossed = crossed;
+            prov.origins.resize(genes);
+            for (std::size_t i = 0; i < genes; ++i)
+                prov.origins[i] = swap_mask_[i] != 0 ? obs::GeneOrigin::parent_b
+                                                     : obs::GeneOrigin::parent_a;
+            const std::size_t ia = births->children.size();
+            births->children.push_back(prov);
+            if (keep_b) {
+                // Child B starts as a copy of pb; the same swapped genes came
+                // from its crossover partner pa.
+                std::swap(prov.parent_a, prov.parent_b);
+                births->children.push_back(std::move(prov));
+                origins_b = births->children.back().origins.data();
+            }
+            origins_a = births->children[ia].origins.data();
+        }
+        mutate(a, rng, ms, origins_a);
         ++filled;
         if (filled < pop) {
-            mutate(b, rng, ms);
+            mutate(b, rng, ms, origins_b);
             ++filled;
         }
     }
@@ -320,15 +366,21 @@ BreedStats breed_population_scalar(std::vector<Genome>& population,
                                    std::span<const double> fitness,
                                    const BreedConfig& config, const ParameterSpace& space,
                                    const HintSet& hints, double mutation_rate,
-                                   std::size_t generation, Rng& rng, bool with_stats)
+                                   std::size_t generation, Rng& rng, bool with_stats,
+                                   BirthLog* births)
 {
     BreedStats stats;
     std::vector<Genome> next;
     next.reserve(config.population_size);
+    if (births != nullptr) births->clear();
 
     // Elitism: carry the best `elitism` members unchanged.
     const std::vector<std::size_t> order = rank_order(fitness);
-    for (std::size_t e = 0; e < config.elitism; ++e) next.push_back(population[order[e]]);
+    for (std::size_t e = 0; e < config.elitism; ++e) {
+        next.push_back(population[order[e]]);
+        if (births != nullptr)
+            births->elites.push_back(static_cast<std::uint32_t>(order[e]));
+    }
 
     MutationContext ctx;
     ctx.space = &space;
@@ -337,24 +389,55 @@ BreedStats breed_population_scalar(std::vector<Genome>& population,
     ctx.generation = generation;
     if (with_stats) ctx.stats = &stats.mutation;
 
+    std::vector<std::uint8_t> swap_mask;
     while (next.size() < config.population_size) {
         const std::size_t pa = select_parent(fitness, config.selection, rng);
         const std::size_t pb = select_parent(fitness, config.selection, rng);
         Genome child_a = population[pa];
         Genome child_b = population[pb];
+        const std::size_t genes = child_a.size();
+        bool crossed = false;
         if (rng.bernoulli(config.crossover_rate)) {
-            auto [xa, xb] = crossover(child_a, child_b, config.crossover, rng);
+            auto [xa, xb] = crossover(child_a, child_b, config.crossover, rng,
+                                      births != nullptr ? &swap_mask : nullptr);
             child_a = std::move(xa);
             child_b = std::move(xb);
             ++stats.crossovers;
+            crossed = true;
         }
+        else if (births != nullptr) {
+            swap_mask.assign(genes, 0);
+        }
+        std::size_t ia = 0;
+        const bool keep_b = next.size() + 1 < config.population_size;
+        if (births != nullptr) {
+            ChildProvenance prov;
+            prov.parent_a = static_cast<std::uint32_t>(pa);
+            prov.parent_b = static_cast<std::uint32_t>(pb);
+            prov.crossed = crossed;
+            prov.origins.resize(genes);
+            for (std::size_t i = 0; i < genes; ++i)
+                prov.origins[i] = swap_mask[i] != 0 ? obs::GeneOrigin::parent_b
+                                                    : obs::GeneOrigin::parent_a;
+            ia = births->children.size();
+            births->children.push_back(prov);
+            if (keep_b) {
+                std::swap(prov.parent_a, prov.parent_b);
+                births->children.push_back(std::move(prov));
+            }
+        }
+        ctx.origins =
+            births != nullptr ? births->children[ia].origins.data() : nullptr;
         mutate(child_a, ctx, rng);
         next.push_back(std::move(child_a));
         if (next.size() < config.population_size) {
+            ctx.origins =
+                births != nullptr ? births->children[ia + 1].origins.data() : nullptr;
             mutate(child_b, ctx, rng);
             next.push_back(std::move(child_b));
         }
     }
+    ctx.origins = nullptr;
     population = std::move(next);
     return stats;
 }

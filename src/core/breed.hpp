@@ -97,9 +97,35 @@ private:
 };
 
 // Crossover on genome views; identical RNG draws and gene movement as
-// crossover() on Genome copies of the same parents.
+// crossover() on Genome copies of the same parents.  `swapped`, when
+// non-null, receives the shared exchanged-gene mask (see crossover()).
 void crossover_views(std::span<std::uint32_t> a, std::span<std::uint32_t> b,
-                     CrossoverKind kind, Rng& rng);
+                     CrossoverKind kind, Rng& rng,
+                     std::vector<std::uint8_t>* swapped = nullptr);
+
+// Per-child provenance captured during one breed pass, in next-generation
+// fill order.  Parents are *population indices* of the outgoing generation;
+// the engine owns the mapping from slots to lineage birth ids.
+struct ChildProvenance {
+    std::uint32_t parent_a = 0;  // the parent the child started as a copy of
+    std::uint32_t parent_b = 0;  // the crossover partner
+    bool crossed = false;
+    std::vector<obs::GeneOrigin> origins;  // one entry per gene
+};
+
+// Zero-RNG-impact birth log filled by breed()/breed_population_scalar() when
+// requested.  Both paths produce identical logs at the same seed (part of
+// the DESIGN.md section 10 bit-exactness contract, gated by tests).
+struct BirthLog {
+    std::vector<std::uint32_t> elites;      // population indices carried unchanged
+    std::vector<ChildProvenance> children;  // elites.size() + children.size() == pop
+
+    void clear()
+    {
+        elites.clear();
+        children.clear();
+    }
+};
 
 // Per-generation knobs of the GA breed phase (the determinism-relevant
 // subset of GaConfig).
@@ -132,17 +158,22 @@ public:
 
     // Hint-aware mutation with hoisted probabilities and memoized value
     // distributions; RNG draws identical to mutate(genome, ctx, rng) with a
-    // MutationContext of the same space/hints/rate/generation.
+    // MutationContext of the same space/hints/rate/generation.  `origins`
+    // (optional, one slot per gene) gets each mutated gene's draw class.
     std::size_t mutate(std::span<std::uint32_t> genes, Rng& rng,
-                       MutationStats* stats = nullptr);
-    std::size_t mutate(Genome& genome, Rng& rng, MutationStats* stats = nullptr);
+                       MutationStats* stats = nullptr,
+                       obs::GeneOrigin* origins = nullptr);
+    std::size_t mutate(Genome& genome, Rng& rng, MutationStats* stats = nullptr,
+                       obs::GeneOrigin* origins = nullptr);
 
     // Breed the next generation in place (elites + select/crossover/mutate),
     // consuming the identical RNG sequence as breed_population_scalar().
     // `population` must have config.population_size members compatible with
-    // the space; it is overwritten with the children.
+    // the space; it is overwritten with the children.  `births` (optional)
+    // is cleared and filled with per-child provenance at zero RNG cost.
     BreedStats breed(std::vector<Genome>& population, std::span<const double> fitness,
-                     const BreedConfig& config, Rng& rng, bool with_stats);
+                     const BreedConfig& config, Rng& rng, bool with_stats,
+                     BirthLog* births = nullptr);
 
     // The hoisted per-gene mutation probabilities of the current generation.
     std::span<const double> gene_probs() const { return probs_; }
@@ -184,6 +215,7 @@ private:
     GeneMatrix parents_;
     GeneMatrix children_;                  // population_size rows + 1 spare
     std::vector<std::size_t> elite_order_;
+    std::vector<std::uint8_t> swap_mask_;  // crossover capture scratch
 };
 
 // The pre-refactor GA breed loop, preserved verbatim as the bit-exactness
@@ -193,7 +225,8 @@ BreedStats breed_population_scalar(std::vector<Genome>& population,
                                    std::span<const double> fitness,
                                    const BreedConfig& config, const ParameterSpace& space,
                                    const HintSet& hints, double mutation_rate,
-                                   std::size_t generation, Rng& rng, bool with_stats);
+                                   std::size_t generation, Rng& rng, bool with_stats,
+                                   BirthLog* births = nullptr);
 
 // Incremental mean pairwise normalized Hamming distance: feed each genome
 // once (O(genes) per add via per-gene value counts), read value() at any

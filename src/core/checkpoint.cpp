@@ -109,6 +109,15 @@ public:
         return keys;
     }
 
+    std::vector<obs::GeneOrigin> origins()
+    {
+        std::string codes;
+        if (!(in_ >> codes)) fail("expected origin codes");
+        std::vector<obs::GeneOrigin> out;
+        if (!obs::origins_from_codes(codes, out)) fail("bad origin codes '" + codes + "'");
+        return out;
+    }
+
     FaultCounters fault()
     {
         expect("fault");
@@ -176,6 +185,21 @@ void save_checkpoint(const std::string& path, const GaCheckpoint& cp)
     out << "counters " << cp.distinct << ' ' << cp.calls << '\n';
     write_quarantine(out, cp.quarantine);
     write_fault(out, cp.fault);
+    out << "lineage " << (cp.have_lineage ? 1 : 0) << '\n';
+    if (cp.have_lineage) {
+        out << "slots " << cp.lineage.slot_ids.size();
+        for (std::uint64_t id : cp.lineage.slot_ids) out << ' ' << id;
+        out << '\n';
+        out << "births " << cp.lineage.next_id << ' ' << cp.lineage.last_improved << ' '
+            << cp.lineage.records.size() << '\n';
+        for (const obs::BirthRecord& rec : cp.lineage.records) {
+            out << rec.id << ' ' << rec.parent_a << ' ' << rec.parent_b << ' '
+                << rec.generation << ' '
+                << static_cast<unsigned>(static_cast<std::uint8_t>(rec.op)) << ' '
+                << (rec.survived ? 1 : 0) << ' ' << (rec.improved ? 1 : 0) << ' '
+                << obs::origin_codes(rec.origins) << '\n';
+        }
+    }
     out << "end\n";
     commit(path, out.str());
 }
@@ -291,6 +315,29 @@ GaCheckpoint load_ga_checkpoint(const std::string& path)
     cp.calls = r.size();
     cp.quarantine = r.quarantine();
     cp.fault = r.fault();
+    r.expect("lineage");
+    cp.have_lineage = r.boolean();
+    if (cp.have_lineage) {
+        r.expect("slots");
+        cp.lineage.slot_ids.resize(r.size());
+        for (std::uint64_t& id : cp.lineage.slot_ids) id = r.u64();
+        r.expect("births");
+        cp.lineage.next_id = r.u64();
+        cp.lineage.last_improved = r.u64();
+        cp.lineage.records.resize(r.size());
+        for (obs::BirthRecord& rec : cp.lineage.records) {
+            rec.id = r.u64();
+            rec.parent_a = r.u64();
+            rec.parent_b = r.u64();
+            rec.generation = r.u64();
+            const std::uint64_t op = r.u64();
+            if (op >= obs::k_birth_op_count) r.fail("bad birth op");
+            rec.op = static_cast<obs::BirthOp>(op);
+            rec.survived = r.boolean();
+            rec.improved = r.boolean();
+            rec.origins = r.origins();
+        }
+    }
     r.expect("end");
     return cp;
 }

@@ -29,10 +29,13 @@
 #include "core/fault.hpp"
 #include "core/ga.hpp"
 #include "core/run_stats.hpp"
+#include "obs/lineage.hpp"
 
 namespace nautilus {
 
-inline constexpr std::uint32_t k_checkpoint_version = 1;
+// Version 2 added the optional GA lineage section (PR 8); older files are
+// rejected rather than silently resumed without their birth records.
+inline constexpr std::uint32_t k_checkpoint_version = 2;
 
 // Single-objective GA run state, captured at "about to evaluate generation
 // `generation`".
@@ -58,6 +61,11 @@ struct GaCheckpoint {
     std::size_t calls = 0;
     std::vector<std::uint64_t> quarantine;
     FaultCounters fault;
+
+    // Lineage recorder state (present only when the interrupted run was
+    // recording; a resume without it falls back to op=resume roots).
+    bool have_lineage = false;
+    obs::LineageState lineage;
 };
 
 // NSGA-II run state, captured at the top of the generation loop.

@@ -217,6 +217,28 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     }
     obs::ScopedTimer run_span{tracer, "ga.run"};
 
+    // Lineage recording (DESIGN.md section 11): active whenever tracing is on
+    // or a live tracker is attached.  Recording is pure observation -- it
+    // consumes zero RNG draws, so the determinism contract is unchanged.
+    std::optional<obs::LineageRecorder> lineage;
+    std::vector<std::uint64_t> ids;      // birth id of each population slot
+    std::vector<std::uint64_t> next_ids;
+    if (tracer.enabled() || config_.obs.lineage_tracker() != nullptr) {
+        lineage.emplace(&tracer, config_.obs.lineage_tracker(), "ga");
+        if (restored != nullptr && restored->have_lineage &&
+            restored->lineage.slot_ids.size() == population.size()) {
+            lineage->restore(restored->lineage);
+            ids = restored->lineage.slot_ids;
+        }
+        else {
+            const obs::BirthOp root_op =
+                restored != nullptr ? obs::BirthOp::resume : obs::BirthOp::init;
+            ids.reserve(population.size());
+            for (std::size_t i = 0; i < population.size(); ++i)
+                ids.push_back(lineage->on_root(start_gen, root_op, space_.size()));
+        }
+    }
+
     // Capture the loop state as "about to evaluate generation `gen`" and
     // write it out atomically.
     const auto write_checkpoint = [&](std::size_t gen) {
@@ -239,6 +261,10 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
         cp.calls = snap.calls;
         cp.quarantine = guard.quarantined_keys();
         cp.fault = guard.counters();
+        if (lineage.has_value()) {
+            cp.have_lineage = true;
+            cp.lineage = lineage->snapshot(ids);
+        }
         save_checkpoint(config_.checkpoint_path, cp);
         if (m_checkpoints != nullptr) m_checkpoints->add();
         if (tracer.enabled()) {
@@ -267,6 +293,7 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     breed_cfg.population_size = config_.population_size;
     BreedContext breed_ctx{space_, hints_, config_.mutation_rate};
     DiversityCounter diversity;
+    BirthLog birth_log;
 
     for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
         const bool halt_here =
@@ -319,6 +346,7 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
                 have_best = true;
             }
         }
+        if (improved && lineage.has_value()) lineage->on_improved(ids[best_index]);
         stats.best_so_far = best_so_far;
         result.history.push_back(stats);
         if (have_best)
@@ -357,18 +385,30 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
 
         // --- Breed the next generation -----------------------------------
         BreedStats breed_stats;
+        BirthLog* births = lineage.has_value() ? &birth_log : nullptr;
         {
             obs::ScopedTimer breed_span{tracer, "ga.breed"};
             if (config_.scalar_breed) {
                 breed_stats = breed_population_scalar(population, fitness, breed_cfg,
                                                       space_, hints_, config_.mutation_rate,
-                                                      gen, rng, tracer.enabled());
+                                                      gen, rng, tracer.enabled(), births);
             }
             else {
                 breed_ctx.begin_generation(gen);
-                breed_stats =
-                    breed_ctx.breed(population, fitness, breed_cfg, rng, tracer.enabled());
+                breed_stats = breed_ctx.breed(population, fitness, breed_cfg, rng,
+                                              tracer.enabled(), births);
             }
+        }
+        if (births != nullptr) {
+            // Remap population slots to the newborn generation's birth ids.
+            next_ids.clear();
+            for (const std::uint32_t e : births->elites)
+                next_ids.push_back(lineage->on_elite(ids[e], gen));
+            for (ChildProvenance& c : births->children)
+                next_ids.push_back(lineage->on_child(ids[c.parent_a], ids[c.parent_b],
+                                                     c.crossed, gen,
+                                                     std::move(c.origins)));
+            ids.swap(next_ids);
         }
         if (tracer.enabled()) {
             const MutationStats& mut_stats = breed_stats.mutation;
@@ -396,6 +436,12 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     result.fault = guard.counters();
     result.store_hits = store_hits.load(std::memory_order_relaxed);
     result.store_misses = store_misses.load(std::memory_order_relaxed);
+    if (lineage.has_value()) {
+        std::vector<std::uint64_t> winners;
+        if (lineage->last_improved() != obs::k_no_parent)
+            winners.push_back(lineage->last_improved());
+        lineage->finish(winners);
+    }
     if (progress != nullptr) progress->on_run_end();
     if (tracer.enabled()) {
         obs::TraceEvent ev{"run_end"};

@@ -20,11 +20,17 @@ namespace {
 // step without costing an evaluation, biasing budget accounting).  The
 // BreedContext memoizes value distributions across proposals (local search
 // never advances the generation, so the hoisted probabilities are static).
-Genome propose(const Genome& current, BreedContext& ctx, Rng& rng)
+// `origins` (optional, one slot per gene) accumulates each changed gene's
+// draw class across the bounded retry attempts; untouched genes stay
+// parent_a.  Recording never consumes RNG draws (DESIGN.md §11).
+Genome propose(const Genome& current, BreedContext& ctx, Rng& rng,
+               obs::GeneOrigin* origins = nullptr)
 {
     Genome next = current;
+    if (origins != nullptr)
+        std::fill_n(origins, next.size(), obs::GeneOrigin::parent_a);
     for (int attempt = 0; attempt < 16; ++attempt) {
-        if (ctx.mutate(next, rng) > 0) return next;
+        if (ctx.mutate(next, rng, nullptr, origins) > 0) return next;
     }
     // Degenerate space (all single-value domains): return unchanged.
     return next;
@@ -112,7 +118,24 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "sa.run"};
+
+    // Lineage recording (DESIGN.md section 11): every accepted chain step is
+    // a survival, the best-so-far holder is the winner.
+    std::optional<obs::LineageRecorder> lineage;
+    std::uint64_t current_id = obs::k_no_parent;
+    std::uint64_t best_id = obs::k_no_parent;
+    std::vector<obs::GeneOrigin> prop_origins;
+    if (tracer.enabled() || config_.obs.lineage_tracker() != nullptr) {
+        lineage.emplace(&tracer, config_.obs.lineage_tracker(), "sa");
+        prop_origins.resize(space_.size());
+    }
+
     const auto emit_run_end = [&](bool feasible, double best_value) {
+        if (lineage.has_value()) {
+            std::vector<std::uint64_t> winners;
+            if (feasible && best_id != obs::k_no_parent) winners.push_back(best_id);
+            lineage->finish(winners);
+        }
         if (progress != nullptr) {
             progress->on_units(evaluator.distinct_evaluations());
             if (feasible) progress->on_best(best_value);
@@ -145,17 +168,25 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
 
     // Start from a feasible random point (bounded retries).
     Genome current = Genome::random(space_, rng);
+    if (lineage.has_value())
+        current_id = lineage->on_root(0, obs::BirthOp::init, space_.size());
     Evaluation current_eval = evaluate(current);
     for (int tries = 0;
          !current_eval.feasible && tries < 200 &&
          evaluator.distinct_evaluations() < config_.max_distinct_evals;
          ++tries) {
         current = Genome::random(space_, rng);
+        if (lineage.has_value())
+            current_id = lineage->on_root(0, obs::BirthOp::init, space_.size());
         current_eval = evaluate(current);
     }
     if (!current_eval.feasible) {
         emit_run_end(false, 0.0);
         return curve;
+    }
+    if (lineage.has_value()) {
+        lineage->on_improved(current_id);
+        best_id = current_id;
     }
 
     double best = current_eval.value;
@@ -172,8 +203,13 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
             config_.max_distinct_evals - evaluator.distinct_evaluations();
         std::vector<Genome> probes;
         Genome probe = current;
+        std::uint64_t probe_id = current_id;
         for (std::size_t i = 0; i < std::min<std::size_t>(8, remaining); ++i) {
-            probe = propose(probe, ctx, rng);
+            probe = propose(probe, ctx, rng,
+                            lineage.has_value() ? prop_origins.data() : nullptr);
+            if (lineage.has_value())
+                probe_id = lineage->on_child(probe_id, obs::k_no_parent, false, 0,
+                                             prop_origins);
             probes.push_back(probe);
         }
         std::vector<Evaluation> probe_evals(probes.size());
@@ -186,7 +222,12 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
 
     std::size_t step = 0;
     while (evaluator.distinct_evaluations() < config_.max_distinct_evals) {
-        const Genome candidate = propose(current, ctx, rng);
+        const Genome candidate = propose(
+            current, ctx, rng, lineage.has_value() ? prop_origins.data() : nullptr);
+        std::uint64_t cand_id = obs::k_no_parent;
+        if (lineage.has_value())
+            cand_id = lineage->on_child(current_id, obs::k_no_parent, false, step,
+                                        prop_origins);
         const Evaluation cand_eval = evaluate(candidate);
         const double delta = mapper.fitness(cand_eval) - mapper.fitness(current_eval);
         const bool accept =
@@ -195,8 +236,16 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
         if (accept && cand_eval.feasible) {
             current = candidate;
             current_eval = cand_eval;
+            if (lineage.has_value()) {
+                lineage->on_survived(cand_id);
+                current_id = cand_id;
+            }
             if (no_worse(cand_eval.value, best, direction_)) {
                 best = better_of(cand_eval.value, best, direction_);
+                if (lineage.has_value()) {
+                    lineage->on_improved(cand_id);
+                    best_id = cand_id;
+                }
                 curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
             }
         }
@@ -291,6 +340,18 @@ Curve HillClimber::run(std::uint64_t seed) const
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "hc.run"};
+
+    // Lineage recording (DESIGN.md section 11): restarts mint new roots,
+    // accepted candidates survive, the best-so-far holder is the winner.
+    std::optional<obs::LineageRecorder> lineage;
+    std::uint64_t current_id = obs::k_no_parent;
+    std::uint64_t best_id = obs::k_no_parent;
+    std::vector<obs::GeneOrigin> prop_origins;
+    if (tracer.enabled() || config_.obs.lineage_tracker() != nullptr) {
+        lineage.emplace(&tracer, config_.obs.lineage_tracker(), "hc");
+        prop_origins.resize(space_.size());
+    }
+
     const auto evaluate = [&](const Genome& g) {
         Evaluation out;
         batch_eval.evaluate(evaluator, std::span<const Genome>{&g, 1},
@@ -305,28 +366,43 @@ Curve HillClimber::run(std::uint64_t seed) const
     bool have_best = false;
 
     Genome current = Genome::random(space_, rng);
+    if (lineage.has_value())
+        current_id = lineage->on_root(0, obs::BirthOp::init, space_.size());
     Evaluation current_eval = evaluate(current);
     std::size_t stale = 0;
+    std::size_t step = 0;
 
-    auto note = [&](const Evaluation& e) {
+    auto note = [&](const Evaluation& e, std::uint64_t id) {
         if (!e.feasible) return;
         if (!have_best || no_worse(e.value, best, direction_)) {
             best = better_of(e.value, best, direction_);
             have_best = true;
+            if (lineage.has_value()) {
+                lineage->on_improved(id);
+                best_id = id;
+            }
             curve.append(static_cast<double>(evaluator.distinct_evaluations()), best);
         }
     };
-    note(current_eval);
+    note(current_eval, current_id);
 
     while (evaluator.distinct_evaluations() < config_.max_distinct_evals) {
+        ++step;
         if (stale >= config_.patience || !current_eval.feasible) {
             current = Genome::random(space_, rng);
+            if (lineage.has_value())
+                current_id = lineage->on_root(step, obs::BirthOp::init, space_.size());
             current_eval = evaluate(current);
-            note(current_eval);
+            note(current_eval, current_id);
             stale = 0;
             continue;
         }
-        const Genome candidate = propose(current, ctx, rng);
+        const Genome candidate = propose(
+            current, ctx, rng, lineage.has_value() ? prop_origins.data() : nullptr);
+        std::uint64_t cand_id = obs::k_no_parent;
+        if (lineage.has_value())
+            cand_id = lineage->on_child(current_id, obs::k_no_parent, false, step,
+                                        prop_origins);
         const Evaluation cand_eval = evaluate(candidate);
         if (cand_eval.feasible &&
             no_worse(cand_eval.value, current_eval.value, direction_)) {
@@ -334,7 +410,11 @@ Curve HillClimber::run(std::uint64_t seed) const
                 !no_worse(current_eval.value, cand_eval.value, direction_);
             current = candidate;
             current_eval = cand_eval;
-            note(cand_eval);
+            if (lineage.has_value()) {
+                lineage->on_survived(cand_id);
+                current_id = cand_id;
+            }
+            note(cand_eval, cand_id);
             stale = strictly ? 0 : stale + 1;
         }
         else {
@@ -344,6 +424,11 @@ Curve HillClimber::run(std::uint64_t seed) const
             progress->on_units(evaluator.distinct_evaluations());
             if (have_best) progress->on_best(best);
         }
+    }
+    if (lineage.has_value()) {
+        std::vector<std::uint64_t> winners;
+        if (have_best && best_id != obs::k_no_parent) winners.push_back(best_id);
+        lineage->finish(winners);
     }
     if (progress != nullptr) {
         progress->on_units(evaluator.distinct_evaluations());

@@ -266,7 +266,30 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "nsga2.run"};
+
+    // Lineage recording (DESIGN.md section 11): pure observation, zero RNG
+    // draws.  The NSGA-II checkpoint does not persist lineage, so resumed
+    // runs root the restored population and archive with op=resume.
+    std::optional<obs::LineageRecorder> lineage;
+    std::vector<std::uint64_t> pop_ids;      // birth id per population slot
+    std::vector<std::uint64_t> archive_ids;  // birth id per archive entry
+    std::vector<std::uint64_t> lineage_winners;
+    if (tracer.enabled() || config_.obs.lineage_tracker() != nullptr) {
+        lineage.emplace(&tracer, config_.obs.lineage_tracker(), "nsga2");
+        if (restored != nullptr) {
+            pop_ids.reserve(population.size());
+            for (std::size_t i = 0; i < population.size(); ++i)
+                pop_ids.push_back(
+                    lineage->on_root(start_gen, obs::BirthOp::resume, space_.size()));
+            archive_ids.reserve(archive.size());
+            for (std::size_t i = 0; i < archive.size(); ++i)
+                archive_ids.push_back(
+                    lineage->on_root(start_gen, obs::BirthOp::resume, space_.size()));
+        }
+    }
+
     const auto finish = [&](MultiObjectiveResult result) {
+        if (lineage.has_value()) lineage->finish(lineage_winners);
         if (progress != nullptr) progress->on_run_end();
         result.distinct_evals = evaluator.distinct_evaluations();
         result.total_eval_calls = evaluator.total_calls();
@@ -359,11 +382,17 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
             draws += chunk;
             wave_values.assign(chunk, MultiValue{});
             batch_eval.evaluate(evaluator, wave, std::span<MultiValue>{wave_values});
-            for (std::size_t i = 0; i < chunk; ++i)
-                if (wave_values[i]) population.push_back({wave[i], *wave_values[i]});
+            for (std::size_t i = 0; i < chunk; ++i) {
+                if (!wave_values[i]) continue;
+                population.push_back({wave[i], *wave_values[i]});
+                if (lineage.has_value())
+                    pop_ids.push_back(
+                        lineage->on_root(0, obs::BirthOp::init, space_.size()));
+            }
         }
         if (population.size() < 4) return finish({});
         for (const Member& m : population) archive.push_back(m);
+        archive_ids = pop_ids;
     }
 
     // Per-run breeding arena: hoisted per-generation gene mutation
@@ -400,12 +429,13 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
             }
         }
 
-        // Binary tournament on (rank, crowding).
-        auto select = [&]() -> const Member& {
+        // Binary tournament on (rank, crowding).  Returns the winner's
+        // population index so breeding can record parentage.
+        auto select = [&]() -> std::size_t {
             const std::size_t a = rng.index(population.size());
             const std::size_t b = rng.index(population.size());
-            if (rank[a] != rank[b]) return population[rank[a] < rank[b] ? a : b];
-            return population[crowd[a] >= crowd[b] ? a : b];
+            if (rank[a] != rank[b]) return rank[a] < rank[b] ? a : b;
+            return crowd[a] >= crowd[b] ? a : b;
         };
 
         // Breed offspring (bounded attempts so sparse spaces terminate).
@@ -413,28 +443,63 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         // child pairs; only the evaluations fan out, so the run is
         // deterministic and independent of the worker count.
         std::vector<Member> offspring;
+        std::vector<std::uint64_t> offspring_ids;
         offspring.reserve(config_.population_size);
         std::size_t attempts = 0;
+        std::size_t born = 0;
         const std::size_t attempt_cap = config_.population_size * 50;
         std::vector<Genome> brood;
+        std::vector<std::uint64_t> brood_ids;
+        std::vector<std::uint8_t> swap_mask;
+        std::vector<obs::GeneOrigin> origins_a;
+        std::vector<obs::GeneOrigin> origins_b;
         while (offspring.size() < config_.population_size && attempts < attempt_cap) {
             const std::size_t need = config_.population_size - offspring.size();
             const std::size_t pairs = std::min((need + 1) / 2, attempt_cap - attempts);
             attempts += pairs;
             brood.clear();
+            brood_ids.clear();
             for (std::size_t p = 0; p < pairs; ++p) {
-                Genome child_a = select().genome;
-                Genome child_b = select().genome;
-                if (rng.bernoulli(config_.crossover_rate)) {
-                    auto [xa, xb] = crossover(child_a, child_b, config_.crossover, rng);
+                const std::size_t pa = select();
+                const std::size_t pb = select();
+                Genome child_a = population[pa].genome;
+                Genome child_b = population[pb].genome;
+                const bool crossed = rng.bernoulli(config_.crossover_rate);
+                if (crossed) {
+                    auto [xa, xb] =
+                        crossover(child_a, child_b, config_.crossover, rng,
+                                  lineage.has_value() ? &swap_mask : nullptr);
                     child_a = std::move(xa);
                     child_b = std::move(xb);
                 }
-                breed_ctx.mutate(child_a, rng, mut_stats_ptr);
-                breed_ctx.mutate(child_b, rng, mut_stats_ptr);
+                if (lineage.has_value()) {
+                    const std::size_t genes = child_a.size();
+                    origins_a.assign(genes, obs::GeneOrigin::parent_a);
+                    origins_b.assign(genes, obs::GeneOrigin::parent_a);
+                    if (crossed) {
+                        for (std::size_t i = 0; i < genes; ++i) {
+                            if (swap_mask[i] == 0) continue;
+                            origins_a[i] = obs::GeneOrigin::parent_b;
+                            origins_b[i] = obs::GeneOrigin::parent_b;
+                        }
+                    }
+                    breed_ctx.mutate(child_a, rng, mut_stats_ptr, origins_a.data());
+                    breed_ctx.mutate(child_b, rng, mut_stats_ptr, origins_b.data());
+                    brood_ids.push_back(lineage->on_child(
+                        pop_ids[pa], pop_ids[pb], crossed, gen,
+                        std::vector<obs::GeneOrigin>{origins_a}));
+                    brood_ids.push_back(lineage->on_child(
+                        pop_ids[pb], pop_ids[pa], crossed, gen,
+                        std::vector<obs::GeneOrigin>{origins_b}));
+                }
+                else {
+                    breed_ctx.mutate(child_a, rng, mut_stats_ptr);
+                    breed_ctx.mutate(child_b, rng, mut_stats_ptr);
+                }
                 brood.push_back(std::move(child_a));
                 brood.push_back(std::move(child_b));
             }
+            born += brood.size();
             wave_values.assign(brood.size(), MultiValue{});
             batch_eval.evaluate(evaluator, brood, std::span<MultiValue>{wave_values});
             for (std::size_t i = 0; i < brood.size(); ++i) {
@@ -442,6 +507,10 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
                 if (wave_values[i]) {
                     offspring.push_back({brood[i], *wave_values[i]});
                     archive.push_back(offspring.back());
+                    if (lineage.has_value()) {
+                        offspring_ids.push_back(brood_ids[i]);
+                        archive_ids.push_back(brood_ids[i]);
+                    }
                 }
             }
         }
@@ -449,13 +518,23 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
         // Environmental selection over parents + offspring.
         std::vector<Member> pool = std::move(population);
         pool.insert(pool.end(), offspring.begin(), offspring.end());
+        std::vector<std::uint64_t> pool_ids = std::move(pop_ids);
+        pool_ids.insert(pool_ids.end(), offspring_ids.begin(), offspring_ids.end());
         const auto pool_points = to_points(pool);
         const auto pool_fronts = non_dominated_sort(pool_points, directions_);
 
         population.clear();
+        pop_ids.clear();
+        const auto keep = [&](std::size_t idx) {
+            population.push_back(pool[idx]);
+            if (lineage.has_value()) {
+                pop_ids.push_back(pool_ids[idx]);
+                lineage->on_survived(pool_ids[idx]);
+            }
+        };
         for (const auto& front : pool_fronts) {
             if (population.size() + front.size() <= config_.population_size) {
-                for (std::size_t idx : front) population.push_back(pool[idx]);
+                for (std::size_t idx : front) keep(idx);
             }
             else {
                 // Fill the remainder by descending crowding distance.
@@ -466,7 +545,7 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
                           [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
                 for (std::size_t k : order) {
                     if (population.size() >= config_.population_size) break;
-                    population.push_back(pool[front[k]]);
+                    keep(front[k]);
                 }
             }
             if (population.size() >= config_.population_size) break;
@@ -478,6 +557,7 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
             obs::TraceEvent ev{"generation"};
             ev.add("gen", gen)
                 .add("engine", "nsga2")
+                .add("born", born)
                 .add("offspring", offspring.size())
                 .add("archive", archive.size())
                 .add("fronts", pool_fronts.size())
@@ -505,6 +585,8 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
     result.front.reserve(front_idx.size());
     for (std::size_t idx : front_idx)
         result.front.push_back({archive[idx].genome, archive[idx].values});
+    if (lineage.has_value())
+        for (std::size_t idx : front_idx) lineage_winners.push_back(archive_ids[idx]);
     return finish(std::move(result));
 }
 

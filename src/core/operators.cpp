@@ -194,14 +194,20 @@ std::size_t mutate(Genome& genome, const MutationContext& ctx, Rng& rng)
         const std::size_t pick = rng.weighted_index(dist);
         genome.set_gene(i, static_cast<std::uint32_t>(pick));
         ++changed;
-        if (ctx.stats != nullptr) {
-            ++ctx.stats->genes_mutated;
+        if (ctx.stats != nullptr || ctx.origins != nullptr) {
             // Mirror value_distribution's choice of distribution.
             const bool directed = ctx.hints->confidence() > 0.0 && domain.ordered() &&
                                   (hints.bias || hints.target);
-            if (!directed) ++ctx.stats->uniform_draws;
-            else if (hints.bias) ++ctx.stats->bias_draws;
-            else ++ctx.stats->target_draws;
+            if (ctx.stats != nullptr) {
+                ++ctx.stats->genes_mutated;
+                if (!directed) ++ctx.stats->uniform_draws;
+                else if (hints.bias) ++ctx.stats->bias_draws;
+                else ++ctx.stats->target_draws;
+            }
+            if (ctx.origins != nullptr)
+                ctx.origins[i] = !directed     ? obs::GeneOrigin::uniform
+                                 : hints.bias ? obs::GeneOrigin::bias
+                                              : obs::GeneOrigin::target;
         }
     }
     return changed;
@@ -218,19 +224,21 @@ const char* crossover_name(CrossoverKind kind)
 }
 
 std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverKind kind,
-                                    Rng& rng)
+                                    Rng& rng, std::vector<std::uint8_t>* swapped)
 {
     if (a.size() != b.size() || a.empty())
         throw std::invalid_argument("crossover: parents must have equal nonzero size");
     const std::size_t n = a.size();
     Genome child_a = a;
     Genome child_b = b;
+    if (swapped != nullptr) swapped->assign(n, 0);
 
     auto swap_range = [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             const std::uint32_t tmp = child_a.gene(i);
             child_a.set_gene(i, child_b.gene(i));
             child_b.set_gene(i, tmp);
+            if (swapped != nullptr) (*swapped)[i] = 1;
         }
     };
 
@@ -261,13 +269,19 @@ std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverK
     return {std::move(child_a), std::move(child_b)};
 }
 
-std::size_t repair(Genome& genome, const ParameterSpace& space)
+std::size_t repair(Genome& genome, const ParameterSpace& space,
+                   std::vector<obs::GeneOrigin>* origins)
 {
     std::size_t changed = 0;
     std::vector<std::uint32_t> genes = genome.genes();
+    if (origins != nullptr && origins->size() != space.size())
+        origins->resize(space.size(), obs::GeneOrigin::fresh);
     if (genes.size() != space.size()) {
         changed += genes.size() > space.size() ? genes.size() - space.size()
                                                : space.size() - genes.size();
+        if (origins != nullptr)
+            for (std::size_t i = genes.size(); i < space.size(); ++i)
+                (*origins)[i] = obs::GeneOrigin::repair;
         genes.resize(space.size(), 0);
     }
     for (std::size_t i = 0; i < genes.size(); ++i) {
@@ -283,6 +297,7 @@ std::size_t repair(Genome& genome, const ParameterSpace& space)
             // this branch only runs when cardinality - 1 fits.
             genes[i] = static_cast<std::uint32_t>(cardinality - 1);
             ++changed;
+            if (origins != nullptr) (*origins)[i] = obs::GeneOrigin::repair;
         }
     }
     if (changed > 0) genome = Genome{std::move(genes)};

@@ -21,6 +21,7 @@
 #include "core/hints.hpp"
 #include "core/parameter.hpp"
 #include "core/rng.hpp"
+#include "obs/lineage.hpp"
 
 namespace nautilus {
 
@@ -46,6 +47,10 @@ struct MutationContext {
     double mutation_rate = 0.1;      // baseline per-gene probability
     std::size_t generation = 0;      // for importance decay
     MutationStats* stats = nullptr;  // optional draw-outcome tally
+    // Optional per-gene origin capture (one slot per gene): each mutated
+    // gene's slot is overwritten with the draw class that set its value.
+    // Pure observation — never consumes RNG draws (DESIGN.md §11).
+    obs::GeneOrigin* origins = nullptr;
 };
 
 // Per-gene mutation probabilities for this generation.  With no hints every
@@ -79,15 +84,23 @@ const char* crossover_name(CrossoverKind kind);
 
 // Produce two children from two parents.  Parents must have equal, nonzero
 // size.  single_point/two_point exchange contiguous gene runs; uniform picks
-// each gene from either parent with probability 1/2.
+// each gene from either parent with probability 1/2.  When `swapped` is
+// non-null it is resized to the gene count and entry i is set to 1 iff gene
+// i was exchanged (the mask is shared by both children); capturing it draws
+// nothing from the RNG.
 std::pair<Genome, Genome> crossover(const Genome& a, const Genome& b, CrossoverKind kind,
-                                    Rng& rng);
+                                    Rng& rng,
+                                    std::vector<std::uint8_t>* swapped = nullptr);
 
 // Force `genome` back into `space`: truncate or zero-extend to the space's
 // parameter count and clamp every out-of-domain gene index to its domain's
 // last value.  Used when seeding populations from external sources (files,
 // checkpoints of a since-grown space).  Returns the number of genes changed;
-// afterwards genome.compatible_with(space) always holds.
-std::size_t repair(Genome& genome, const ParameterSpace& space);
+// afterwards genome.compatible_with(space) always holds.  When `origins` is
+// non-null it is resized to the space's parameter count and every changed
+// gene's slot is overwritten with GeneOrigin::repair (untouched slots keep
+// their prior classification; slots added by extension are repair too).
+std::size_t repair(Genome& genome, const ParameterSpace& space,
+                   std::vector<obs::GeneOrigin>* origins = nullptr);
 
 }  // namespace nautilus

@@ -6,6 +6,9 @@
 #include <optional>
 #include <variant>
 
+#include "obs/format.hpp"
+#include "obs/lineage.hpp"
+
 namespace nautilus::obs {
 
 namespace {
@@ -16,15 +19,16 @@ bool valid_name_char(char c, bool first)
     return !first && c >= '0' && c <= '9';
 }
 
-// Prometheus sample values: decimal with enough digits to round-trip the
-// instrument's double exactly enough for tests and dashboards alike.
+// Prometheus sample values: the shared %.17g round-trip rendering
+// (obs/format.hpp), so a scraped gauge equals the trace/JSON value
+// bit-for-bit.  Non-finite values keep their Prometheus spellings.
 std::string format_value(double v)
 {
     if (std::isnan(v)) return "NaN";
     if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    return buf;
+    std::string out;
+    append_double_17g(out, v);
+    return out;
 }
 
 void append_type_line(std::string& out, const std::string& name, const char* kind)
@@ -228,6 +232,59 @@ void append_progress_exposition(std::string& out, const ProgressSnapshot& snap,
     gauge(p + "evals_per_second", snap.evals_per_second());
     if (const std::optional<double> eta = snap.eta_seconds())
         gauge(p + "eta_seconds", *eta);
+}
+
+void append_lineage_exposition(std::string& out, const LineageCounters& counters,
+                               const PrometheusOptions& options)
+{
+    const std::string p = options.prefix + "lineage_";
+    const auto gauge = [&out](const std::string& name, double value) {
+        append_type_line(out, name, "gauge");
+        out += name;
+        out += ' ';
+        out += format_value(value);
+        out += '\n';
+    };
+    const auto u64 = [&gauge](const std::string& name, std::uint64_t value) {
+        gauge(name, static_cast<double>(value));
+    };
+    u64(p + "runs", counters.runs);
+    u64(p + "births", counters.births);
+    u64(p + "roots", counters.roots);
+    u64(p + "elites", counters.elites);
+    u64(p + "mutation_births", counters.mutation_births);
+    u64(p + "crossover_births", counters.crossover_births);
+    u64(p + "survived", counters.survived);
+    u64(p + "improved", counters.improved);
+    u64(p + "genes_fresh", counters.genes_fresh);
+    u64(p + "genes_inherited", counters.genes_inherited);
+    u64(p + "genes_crossed", counters.genes_crossed);
+    u64(p + "genes_uniform", counters.genes_uniform);
+    u64(p + "genes_bias", counters.genes_bias);
+    u64(p + "genes_target", counters.genes_target);
+    u64(p + "genes_repair", counters.genes_repair);
+    if (!counters.have_last) return;
+    const LineageSummary& last = counters.last;
+    u64(p + "last_births", last.births);
+    u64(p + "last_survived", last.survived);
+    u64(p + "last_improved", last.improved);
+    u64(p + "last_offspring_uniform", last.offspring_uniform);
+    u64(p + "last_offspring_bias", last.offspring_bias);
+    u64(p + "last_offspring_target", last.offspring_target);
+    u64(p + "last_survived_uniform", last.survived_uniform);
+    u64(p + "last_survived_bias", last.survived_bias);
+    u64(p + "last_survived_target", last.survived_target);
+    u64(p + "last_improved_uniform", last.improved_uniform);
+    u64(p + "last_improved_bias", last.improved_bias);
+    u64(p + "last_improved_target", last.improved_target);
+    if (!last.have_winner) return;
+    u64(p + "winner_genes", last.winner_genes);
+    u64(p + "winner_fresh", last.winner_fresh);
+    u64(p + "winner_uniform", last.winner_uniform);
+    u64(p + "winner_bias", last.winner_bias);
+    u64(p + "winner_target", last.winner_target);
+    u64(p + "winner_repair", last.winner_repair);
+    u64(p + "winner_depth", last.winner_depth);
 }
 
 std::string chrome_trace_json(const std::vector<TraceEvent>& events)

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -43,6 +44,12 @@ std::string to_prometheus(const MetricsSnapshot& snap,
 // so one /metrics scrape carries both pipeline counters and live progress.
 void append_progress_exposition(std::string& out, const ProgressSnapshot& snap,
                                 const PrometheusOptions& options = {});
+
+// Append the lineage gauges (`<prefix>lineage_*`) to an exposition:
+// cumulative birth/survival/improvement and per-class gene counters, plus
+// the last finished run's hint-attribution summary (winner gene classes).
+void append_lineage_exposition(std::string& out, const LineageCounters& counters,
+                               const PrometheusOptions& options = {});
 
 // Convert parsed trace events into a Chrome trace-event JSON array.  All
 // events land in pid 1; spans on tid 1 (nested by containment), evaluation

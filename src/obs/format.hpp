@@ -1,0 +1,37 @@
+#pragma once
+// Shared float-formatting discipline for every exporter.
+//
+// The trace writer, the Prometheus exposition and the /status JSON all
+// serialize doubles; they must agree on the rendering so a value can be
+// compared bit-for-bit across surfaces (e.g. /status "best" against the
+// trace's run_end "best").  %.17g is the shortest width guaranteed to
+// round-trip an IEEE-754 double exactly through strtod.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace nautilus::obs {
+
+// Append the round-trip (%.17g) decimal rendering of a finite double.
+inline void append_double_17g(std::string& out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+// JSON rendering: non-finite values become null; a plain integer rendering
+// gets ".0" appended so parsers can tell doubles from integer fields.
+inline void append_json_double(std::string& out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    const std::size_t start = out.size();
+    append_double_17g(out, v);
+    if (out.find_first_of(".eE", start) == std::string::npos) out += ".0";
+}
+
+}  // namespace nautilus::obs

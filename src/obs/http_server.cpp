@@ -33,6 +33,25 @@ std::string make_response(int status, const char* reason, std::string_view conte
     return out;
 }
 
+// Reentrant errno rendering.  glibc with _GNU_SOURCE gives the char*-
+// returning strerror_r; POSIX gives the int-returning one.  Overload
+// dispatch on the actual return type picks the right adapter, so this
+// compiles against either without feature-test-macro gymnastics.
+const char* strerror_adapt(int rc, const char* buf)
+{
+    return rc == 0 ? buf : "unknown error";
+}
+const char* strerror_adapt(const char* msg, const char* /*buf*/)
+{
+    return msg != nullptr ? msg : "unknown error";
+}
+
+std::string errno_message(int err)
+{
+    char buf[256] = "unknown error";
+    return strerror_adapt(::strerror_r(err, buf, sizeof buf), buf);
+}
+
 void send_all(int fd, std::string_view data)
 {
     std::size_t sent = 0;
@@ -51,8 +70,12 @@ void send_all(int fd, std::string_view data)
 
 ObsHttpServer::ObsHttpServer(HttpServerConfig config,
                              std::shared_ptr<MetricsRegistry> metrics,
-                             std::shared_ptr<ProgressTracker> progress)
-    : config_(std::move(config)), metrics_(std::move(metrics)), progress_(std::move(progress))
+                             std::shared_ptr<ProgressTracker> progress,
+                             std::shared_ptr<LineageTracker> lineage)
+    : config_(std::move(config)),
+      metrics_(std::move(metrics)),
+      progress_(std::move(progress)),
+      lineage_(std::move(lineage))
 {
 }
 
@@ -86,7 +109,7 @@ void ObsHttpServer::start()
         listen_fd_ = -1;
         throw std::runtime_error("ObsHttpServer: cannot bind " + config_.bind_address +
                                  ":" + std::to_string(config_.port) + " (" +
-                                 std::strerror(err) + ")");
+                                 errno_message(err) + ")");
     }
     if (::listen(listen_fd_, 16) != 0) {
         ::close(listen_fd_);
@@ -140,15 +163,19 @@ std::string ObsHttpServer::body_for(std::string_view path) const
         std::string body =
             metrics_ != nullptr ? to_prometheus(metrics_->snapshot()) : std::string{};
         if (progress_ != nullptr) append_progress_exposition(body, progress_->snapshot());
+        if (lineage_ != nullptr) append_lineage_exposition(body, lineage_->counters());
         return body;
     }
     if (path == "/status")
         return progress_ != nullptr ? to_json(progress_->snapshot()) + "\n" : "{}\n";
+    if (path == "/lineage")
+        return lineage_ != nullptr ? to_json(lineage_->counters()) + "\n" : "{}\n";
     if (path == "/healthz") return "ok\n";
     if (path == "/")
         return "nautilus observability endpoint\n"
                "  /metrics  Prometheus text exposition\n"
                "  /status   JSON run progress\n"
+               "  /lineage  JSON lineage counters\n"
                "  /healthz  liveness probe\n";
     return {};
 }
@@ -203,7 +230,7 @@ void ObsHttpServer::handle_connection(int fd)
         return;
     }
     const std::string_view content_type =
-        path == "/status" ? "application/json"
+        path == "/status" || path == "/lineage" ? "application/json"
         : path == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
                              : "text/plain; charset=utf-8";
     send_all(fd, make_response(200, "OK", content_type, body, head));

@@ -5,8 +5,9 @@
 //
 // Endpoints:
 //   GET /metrics   Prometheus text exposition (v0.0.4) of the registry plus
-//                  the progress gauges -- scrapeable by Prometheus
+//                  the progress and lineage gauges -- scrapeable by Prometheus
 //   GET /status    JSON run progress (obs::ProgressSnapshot)
+//   GET /lineage   JSON lineage counters (obs::LineageCounters)
 //   GET /healthz   "ok" liveness probe
 //   GET /          plain-text index of the above
 //
@@ -25,6 +26,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 
@@ -37,10 +39,11 @@ struct HttpServerConfig {
 
 class ObsHttpServer {
 public:
-    // Either source may be null; the matching endpoint then serves an
+    // Any source may be null; the matching endpoint then serves an
     // empty exposition / `{}`.
     ObsHttpServer(HttpServerConfig config, std::shared_ptr<MetricsRegistry> metrics,
-                  std::shared_ptr<ProgressTracker> progress);
+                  std::shared_ptr<ProgressTracker> progress,
+                  std::shared_ptr<LineageTracker> lineage = nullptr);
     ~ObsHttpServer();
 
     ObsHttpServer(const ObsHttpServer&) = delete;
@@ -71,6 +74,7 @@ private:
     HttpServerConfig config_;
     std::shared_ptr<MetricsRegistry> metrics_;
     std::shared_ptr<ProgressTracker> progress_;
+    std::shared_ptr<LineageTracker> lineage_;
 
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -22,10 +23,14 @@ struct Instrumentation {
     // Live run progress (generation, best, eval counters) feeding the
     // `/status` endpoint and the `--progress` heartbeat.  Null by default.
     std::shared_ptr<ProgressTracker> progress;
+    // Live lineage counters feeding the `/lineage` endpoint.  Null by
+    // default; engines record lineage whenever tracing is on OR this is set.
+    std::shared_ptr<LineageTracker> lineage;
 
     bool tracing() const { return tracer.enabled(); }
     MetricsRegistry* registry() const { return metrics.get(); }
     ProgressTracker* progress_tracker() const { return progress.get(); }
+    LineageTracker* lineage_tracker() const { return lineage.get(); }
 
     // Convenience constructors for the common wirings.
     static Instrumentation with_sink(std::shared_ptr<TraceSink> sink)

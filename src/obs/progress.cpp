@@ -5,6 +5,8 @@
 #include <iostream>
 #include <ostream>
 
+#include "obs/format.hpp"
+
 namespace nautilus::obs {
 
 namespace {
@@ -40,15 +42,11 @@ void append_json_string(std::string& out, std::string_view s)
     out += '"';
 }
 
+// Shared %.17g round-trip rendering (obs/format.hpp): /status doubles equal
+// the corresponding trace fields bit-for-bit.
 void append_json_number(std::string& out, double v)
 {
-    if (!std::isfinite(v)) {
-        out += "null";
-        return;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    out += buf;
+    append_json_double(out, v);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/format.hpp"
+
 namespace nautilus::obs {
 
 namespace {
@@ -37,19 +39,11 @@ void append_escaped(std::string& out, std::string_view s)
 
 // Shortest round-trip decimal; non-finite values become JSON null.  A plain
 // integer rendering gets ".0" appended so the parser can tell doubles from
-// integer fields.
+// integer fields.  The rendering is shared (obs/format.hpp) so the trace,
+// /status JSON and Prometheus exposition agree bit-for-bit.
 void append_double(std::string& out, double v)
 {
-    if (!std::isfinite(v)) {
-        out += "null";
-        return;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    out += buf;
-    if (out.find_first_of(".eE", out.size() - std::char_traits<char>::length(buf)) ==
-        std::string::npos)
-        out += ".0";
+    append_json_double(out, v);
 }
 
 void append_value(std::string& out, const FieldValue& value)

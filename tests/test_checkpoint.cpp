@@ -181,10 +181,11 @@ TEST(Checkpoint, LoaderRejectsMissingFileVersionAndEngineMismatch)
     // Version bump: loaders must refuse formats they do not understand.
     const std::string original = slurp(path);
     std::string bumped = original;
-    const auto pos = bumped.find("nautilus-checkpoint 1");
+    const std::string header =
+        "nautilus-checkpoint " + std::to_string(k_checkpoint_version);
+    const auto pos = bumped.find(header);
     ASSERT_NE(pos, std::string::npos);
-    bumped.replace(pos, std::string{"nautilus-checkpoint 1"}.size(),
-                   "nautilus-checkpoint 999");
+    bumped.replace(pos, header.size(), "nautilus-checkpoint 999");
     spit(path, bumped);
     EXPECT_THROW(load_ga_checkpoint(path), std::runtime_error);
 

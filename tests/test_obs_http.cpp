@@ -99,7 +99,33 @@ TEST(ObsHttpServer, NullSourcesServeEmptyDefaults)
 {
     ObsHttpServer server{{}, nullptr, nullptr};
     EXPECT_EQ(server.body_for("/status"), "{}\n");
+    EXPECT_EQ(server.body_for("/lineage"), "{}\n");
     EXPECT_TRUE(server.body_for("/metrics").empty());
+}
+
+TEST(ObsHttpServer, LineageEndpointServesCountersAndExposition)
+{
+    auto lineage = std::make_shared<LineageTracker>();
+    const std::vector<GeneOrigin> origins{GeneOrigin::parent_a, GeneOrigin::bias};
+    lineage->on_birth(BirthOp::crossover, origins);
+    lineage->on_survived();
+    ObsHttpServer server{{}, std::make_shared<MetricsRegistry>(), nullptr, lineage};
+    server.start();
+
+    const std::string body = http_get(server.port(), "/lineage");
+    EXPECT_NE(body.find("Content-Type: application/json"), std::string::npos);
+    EXPECT_NE(body.find("\"births\":1"), std::string::npos);
+    EXPECT_NE(body.find("\"genes_bias\":1"), std::string::npos);
+    EXPECT_NE(body.find("\"survived\":1"), std::string::npos);
+
+    const std::string exposition = http_get(server.port(), "/metrics");
+    EXPECT_NE(exposition.find("nautilus_lineage_births 1"), std::string::npos);
+    EXPECT_NE(exposition.find("nautilus_lineage_crossover_births 1"),
+              std::string::npos);
+    EXPECT_NE(exposition.find("nautilus_lineage_genes_bias 1"), std::string::npos);
+
+    EXPECT_NE(http_get(server.port(), "/").find("/lineage"), std::string::npos);
+    server.stop();
 }
 
 TEST(ObsHttpServer, ServesOverRealSockets)
@@ -202,8 +228,9 @@ TEST(ObsHttpServerConcurrency, ScrapingDuringParallelEvaluationIsSafe)
     cfg.eval_workers = 4;
     cfg.obs.metrics = std::make_shared<MetricsRegistry>();
     cfg.obs.progress = std::make_shared<ProgressTracker>();
+    cfg.obs.lineage = std::make_shared<LineageTracker>();
 
-    ObsHttpServer server{{}, cfg.obs.metrics, cfg.obs.progress};
+    ObsHttpServer server{{}, cfg.obs.metrics, cfg.obs.progress, cfg.obs.lineage};
     server.start();
 
     std::atomic<bool> done{false};
@@ -212,7 +239,9 @@ TEST(ObsHttpServerConcurrency, ScrapingDuringParallelEvaluationIsSafe)
         while (!done.load(std::memory_order_acquire)) {
             const std::string m = http_get(server.port(), "/metrics");
             const std::string s = http_get(server.port(), "/status");
-            if (!m.empty() && !s.empty()) scrapes.fetch_add(1, std::memory_order_relaxed);
+            const std::string l = http_get(server.port(), "/lineage");
+            if (!m.empty() && !s.empty() && !l.empty())
+                scrapes.fetch_add(1, std::memory_order_relaxed);
         }
     }};
 
@@ -236,6 +265,11 @@ TEST(ObsHttpServerConcurrency, ScrapingDuringParallelEvaluationIsSafe)
     EXPECT_EQ(snap.eval_calls, result.total_eval_calls);
     EXPECT_EQ(snap.runs_completed, 1u);
     EXPECT_FALSE(snap.running);
+    const LineageCounters lineage = cfg.obs.lineage->counters();
+    EXPECT_EQ(lineage.runs, 1u);
+    EXPECT_GE(lineage.births, cfg.population_size);
+    EXPECT_TRUE(lineage.have_last);
+    EXPECT_EQ(lineage.last.births, lineage.births);
 }
 
 }  // namespace

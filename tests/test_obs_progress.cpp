@@ -120,7 +120,8 @@ TEST(ObsProgress, JsonRendering)
     EXPECT_NE(json.find("\"generations_total\":80"), std::string::npos);
     EXPECT_NE(json.find("\"best\":123.5"), std::string::npos);
     EXPECT_NE(json.find("\"distinct_evals\":340"), std::string::npos);
-    EXPECT_NE(json.find("\"cache_hit_rate\":0.575"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_hit_rate\":0.57499999999999996"),
+              std::string::npos);
 
     snap.have_best = false;
     EXPECT_NE(to_json(snap).find("\"best\":null"), std::string::npos);
@@ -178,6 +179,56 @@ TEST(ObsProgress, GaRunPopulatesTracker)
     ASSERT_TRUE(result.best_eval.feasible);
     EXPECT_TRUE(snap.have_best);
     EXPECT_DOUBLE_EQ(snap.best, result.best_eval.value);
+}
+
+// Float formatting is unified through obs/format.hpp: /status must render
+// `best` with the exact byte sequence the run_end trace event carries, even
+// for doubles with no short decimal form.
+TEST(ObsProgress, StatusBestMatchesRunEndRenderingBitForBit)
+{
+    // Golden: the classic non-representable sum renders with full round-trip
+    // precision on both surfaces.
+    const double awkward = 0.1 + 0.2;
+    ProgressSnapshot golden;
+    golden.have_best = true;
+    golden.best = awkward;
+    EXPECT_NE(to_json(golden).find("\"best\":0.30000000000000004"),
+              std::string::npos);
+    TraceEvent golden_end{"run_end"};
+    golden_end.add("best", FieldValue{awkward});
+    EXPECT_NE(to_jsonl(golden_end).find("\"best\":0.30000000000000004"),
+              std::string::npos);
+
+    // End to end: a traced GA run whose best value carries an awkward
+    // fraction must render identically in the trace and in /status JSON.
+    const ParameterSpace space = toy_space();
+    GaConfig cfg;
+    cfg.generations = 8;
+    cfg.seed = 2015;
+    auto sink = std::make_shared<MemorySink>();
+    cfg.obs.tracer = Tracer{sink};
+    cfg.obs.progress = std::make_shared<ProgressTracker>();
+    const GaEngine engine{space, cfg, Direction::maximize,
+                          [](const Genome& g) {
+                              const Evaluation e = sum_eval(g);
+                              return Evaluation{true, e.value + 0.1};
+                          },
+                          HintSet::none(space)};
+    engine.run();
+
+    const auto token_after = [](const std::string& text, const std::string& key) {
+        const std::size_t at = text.find(key);
+        EXPECT_NE(at, std::string::npos) << key << " in " << text;
+        const std::size_t start = at + key.size();
+        return text.substr(start, text.find_first_of(",}", start) - start);
+    };
+    const auto ends = sink->events_of("run_end");
+    ASSERT_FALSE(ends.empty());
+    const std::string trace_best = token_after(to_jsonl(ends.back()), "\"best\":");
+    const std::string status_best =
+        token_after(to_json(cfg.obs.progress->snapshot()), "\"best\":");
+    EXPECT_EQ(trace_best, status_best);
+    EXPECT_NE(trace_best.find('.'), std::string::npos);  // the 0.1 survived
 }
 
 // The tracker result must not depend on the worker count (same contract as

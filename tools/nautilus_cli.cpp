@@ -26,7 +26,11 @@
 //                               the multi-objective engine instead of a
 //                               single-metric query
 //   --trace PATH                write a structured JSONL trace of the run
-//                               (inspect with trace_inspect)
+//                               (inspect with trace_inspect; includes birth
+//                               and lineage_summary events, see lineage_report)
+//   --lineage                   track search lineage live (hint-class
+//                               attribution) and print an efficacy summary at
+//                               the end; also feeds the /lineage endpoint
 //   --metrics                   print the metrics registry dump at the end
 //   --serve PORT                serve live observability over HTTP while the
 //                               search runs: /metrics (Prometheus text),
@@ -106,6 +110,7 @@ struct CliOptions {
     std::string dataset;
     std::string pareto_metric;
     std::string trace_path;
+    bool lineage = false;
     bool metrics = false;
     int serve_port = -1;            // >= 0 enables the HTTP endpoint
     double serve_grace = 0.0;       // seconds to keep serving after the run
@@ -142,7 +147,8 @@ struct CliOptions {
                  "          [--direction min|max] [--guidance none|weak|strong|estimated]\n"
                  "          [--runs N] [--generations N] [--population N] [--seed N]\n"
                  "          [--workers N] [--samples N] [--sensitivity] [--save-dataset PATH]\n"
-                 "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--metrics]\n"
+                 "          [--dataset PATH] [--pareto METRIC2] [--trace PATH] [--lineage]\n"
+                 "          [--metrics]\n"
                  "          [--serve PORT] [--serve-grace S] [--progress [S]]\n"
                  "          [--store PATH] [--store-max-bytes N] [--scalar-breed]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
@@ -223,6 +229,7 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--dataset") opt.dataset = need_value(i);
         else if (arg == "--pareto") opt.pareto_metric = need_value(i);
         else if (arg == "--trace") opt.trace_path = need_value(i);
+        else if (arg == "--lineage") opt.lineage = true;
         else if (arg == "--metrics") opt.metrics = true;
         else if (arg == "--serve") {
             const std::uint64_t port = u64(i);
@@ -323,11 +330,52 @@ int main(int argc, char** argv)
         }
         std::printf("tracing to %s\n", opt.trace_path.c_str());
     }
+    if (opt.lineage) inst.lineage = std::make_shared<obs::LineageTracker>();
     if (opt.metrics) inst.metrics = std::make_shared<obs::MetricsRegistry>();
     const auto dump_metrics = [&] {
         if (!opt.metrics || !inst.metrics) return;
         std::cout << "-- metrics --\n";
         inst.metrics->write_text(std::cout);
+    };
+    // End-of-run lineage efficacy line: the last finished run's per-hint-class
+    // offspring -> survived -> improved funnel plus winner attribution.
+    const auto dump_lineage = [&] {
+        if (!inst.lineage) return;
+        const obs::LineageCounters c = inst.lineage->counters();
+        if (!c.have_last) return;
+        const obs::LineageSummary& s = c.last;
+        std::printf("lineage (%s, last of %llu runs): %llu births "
+                    "(%llu roots, %llu elites, %llu mutation, %llu crossover), "
+                    "%llu survived, %llu improved\n",
+                    c.engine.c_str(), static_cast<unsigned long long>(c.runs),
+                    static_cast<unsigned long long>(s.births),
+                    static_cast<unsigned long long>(s.roots),
+                    static_cast<unsigned long long>(s.elites),
+                    static_cast<unsigned long long>(s.mutation_births),
+                    static_cast<unsigned long long>(s.crossover_births),
+                    static_cast<unsigned long long>(s.survived),
+                    static_cast<unsigned long long>(s.improved));
+        std::printf("  hint efficacy (offspring/survived/improved): "
+                    "bias %llu/%llu/%llu, target %llu/%llu/%llu, "
+                    "uniform %llu/%llu/%llu\n",
+                    static_cast<unsigned long long>(s.offspring_bias),
+                    static_cast<unsigned long long>(s.survived_bias),
+                    static_cast<unsigned long long>(s.improved_bias),
+                    static_cast<unsigned long long>(s.offspring_target),
+                    static_cast<unsigned long long>(s.survived_target),
+                    static_cast<unsigned long long>(s.improved_target),
+                    static_cast<unsigned long long>(s.offspring_uniform),
+                    static_cast<unsigned long long>(s.survived_uniform),
+                    static_cast<unsigned long long>(s.improved_uniform));
+        if (s.have_winner)
+            std::printf("  winner genes: %llu bias, %llu target, %llu uniform, "
+                        "%llu fresh, %llu repair (ancestry depth %llu)\n",
+                        static_cast<unsigned long long>(s.winner_bias),
+                        static_cast<unsigned long long>(s.winner_target),
+                        static_cast<unsigned long long>(s.winner_uniform),
+                        static_cast<unsigned long long>(s.winner_fresh),
+                        static_cast<unsigned long long>(s.winner_repair),
+                        static_cast<unsigned long long>(s.winner_depth));
     };
 
     // Live observability: the progress tracker feeds both the HTTP /status
@@ -344,7 +392,8 @@ int main(int argc, char** argv)
         if (!inst.metrics) inst.metrics = std::make_shared<obs::MetricsRegistry>();
         obs::HttpServerConfig http;
         http.port = static_cast<std::uint16_t>(opt.serve_port);
-        server = std::make_unique<obs::ObsHttpServer>(http, inst.metrics, progress);
+        server = std::make_unique<obs::ObsHttpServer>(http, inst.metrics, progress,
+                                                      inst.lineage);
         try {
             server->start();
         }
@@ -470,6 +519,7 @@ int main(int argc, char** argv)
         std::printf("evaluation pipeline: %.3f s @ %zu workers, %zu distinct / %zu calls\n",
                     result.eval_seconds, result.eval_workers, result.distinct_evals,
                     result.total_eval_calls);
+        dump_lineage();
         dump_store();
         dump_metrics();
         return finish(0);
@@ -559,6 +609,7 @@ int main(int argc, char** argv)
             std::fprintf(stderr, "%s\n", e.what());
             return finish(1);
         }
+        dump_lineage();
         dump_store();
         dump_metrics();
         return finish(0);
@@ -619,6 +670,7 @@ int main(int argc, char** argv)
 
     const exp::ExperimentResult result = experiment.run();
     result.print(std::cout);
+    dump_lineage();
     dump_store();
     dump_metrics();
     return finish(0);

@@ -149,15 +149,24 @@ std::optional<TraceSummary> load(const std::string& path)
     return sum;
 }
 
+const char* usage_text()
+{
+    return "usage: %s BASE.jsonl CAND.jsonl [--allow-best-delta X]\n"
+           "          [--allow-count-delta N] [--no-counters]\n"
+           "          [--max-throughput-drop PCT] [--max-phase-slowdown PCT]\n"
+           "          [--store-check] [--min-store-hit-rate PCT]\n";
+}
+
 [[noreturn]] void usage(const char* argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s BASE.jsonl CAND.jsonl [--allow-best-delta X]\n"
-                 "          [--allow-count-delta N] [--no-counters]\n"
-                 "          [--max-throughput-drop PCT] [--max-phase-slowdown PCT]\n"
-                 "          [--store-check] [--min-store-hit-rate PCT]\n",
-                 argv0);
+    std::fprintf(stderr, usage_text(), argv0);
     std::exit(2);
+}
+
+[[noreturn]] void help(const char* argv0)
+{
+    std::printf(usage_text(), argv0);
+    std::exit(0);
 }
 
 // Numeric flag parsing: the whole token must parse and the value must be
@@ -221,7 +230,7 @@ int main(int argc, char** argv)
         else if (arg == "--max-phase-slowdown") max_phase_slowdown = number();
         else if (arg == "--store-check") store_check = true;
         else if (arg == "--min-store-hit-rate") min_store_hit_rate = number();
-        else if (arg == "--help" || arg == "-h") usage(argv[0]);
+        else if (arg == "--help" || arg == "-h") help(argv[0]);
         else if (arg[0] == '-') {
             std::fprintf(stderr, "trace_diff: unknown option '%s'\n", arg.c_str());
             usage(argv[0]);

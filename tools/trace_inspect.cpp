@@ -24,6 +24,13 @@
 // distinct_at_start on resumed runs), and every guarded attempt must be
 // accounted for: attempts - attempts_at_start == fresh + (retries -
 // retries_at_start).
+//
+// Traces carrying lineage events (DESIGN.md section 11) are additionally
+// held to the lineage conservation invariants: birth ids are dense and
+// strictly increasing within a run, ancestry is acyclic (parents precede
+// children), GA birth counts and per-class origin sums match the breed
+// events gene-for-gene, the NSGA-II `born` field matches its generation's
+// births, and the lineage_summary totals agree with the events observed.
 
 #include <cstdio>
 #include <cstring>
@@ -44,6 +51,24 @@ namespace {
 struct SpanAgg {
     std::uint64_t count = 0;
     double seconds = 0.0;
+};
+
+// Births observed at one generation within a run window.
+struct GenBirths {
+    std::uint64_t total = 0;  // non-root births (elite + mutation + crossover)
+    std::uint64_t elites = 0;
+    std::uint64_t uniform = 0;  // per-gene origin class sums
+    std::uint64_t bias = 0;
+    std::uint64_t target = 0;
+};
+
+// One GA breed event (or NSGA-II generation draw block) at one generation.
+struct GenBreed {
+    std::uint64_t children = 0;
+    std::uint64_t elites = 0;
+    std::uint64_t uniform = 0;
+    std::uint64_t bias = 0;
+    std::uint64_t target = 0;
 };
 
 // Accounting for one run_start..run_end window.  Waves are attributed to the
@@ -77,12 +102,45 @@ struct RunAgg {
     std::optional<std::uint64_t> quarantined;
     std::optional<double> best;
     bool feasible = false;
+    // Lineage accounting within the run window (DESIGN.md section 11).
+    std::uint64_t births_in_window = 0;
+    std::uint64_t roots = 0;
+    std::uint64_t elite_births = 0;
+    std::uint64_t mutation_births = 0;
+    std::uint64_t crossover_births = 0;
+    std::optional<std::uint64_t> first_birth_id;
+    std::map<std::uint64_t, GenBirths> birth_gens;  // non-root births by gen
+    std::map<std::uint64_t, GenBreed> breed_gens;   // GA breed events by gen
+    std::map<std::uint64_t, std::uint64_t> born_gens;  // NSGA-II `born` by gen
+    std::map<std::uint64_t, GenBreed> draw_gens;    // NSGA-II draws by gen
+    // From the lineage_summary event (absent when lineage was off).
+    std::optional<std::uint64_t> sum_births;
+    std::uint64_t sum_births_at_start = 0;
+    std::uint64_t sum_roots = 0;
+    std::uint64_t sum_elites = 0;
+    std::uint64_t sum_mutation = 0;
+    std::uint64_t sum_crossover = 0;
 };
+
+const char* usage_text()
+{
+    return "usage: %s TRACE.jsonl [--check] [--chrome OUT.json]\n";
+}
 
 [[noreturn]] void usage(const char* argv0)
 {
-    std::fprintf(stderr, "usage: %s TRACE.jsonl [--check] [--chrome OUT.json]\n", argv0);
+    std::fprintf(stderr, usage_text(), argv0);
     std::exit(2);
+}
+
+[[noreturn]] void help(const char* argv0)
+{
+    std::printf(usage_text(), argv0);
+    std::printf("  --check          validate accounting invariants; nonzero exit on any"
+                " failure\n"
+                "  --chrome OUT     also write Chrome trace-event JSON (ui.perfetto.dev)\n"
+                "  -h, --help       show this help\n");
+    std::exit(0);
 }
 
 }  // namespace
@@ -99,7 +157,7 @@ int main(int argc, char** argv)
             chrome_out = argv[++i];
         }
         else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
-            usage(argv[0]);
+            help(argv[0]);
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "trace_inspect: unknown option '%s'\n", argv[i]);
             usage(argv[0]);
@@ -216,6 +274,16 @@ int main(int argc, char** argv)
             target_draws += ev.unsigned_int("target_draws").value_or(0);
             uniform_draws += ev.unsigned_int("uniform_draws").value_or(0);
             genes_mutated += ev.unsigned_int("genes_mutated").value_or(0);
+            if (open_run) {
+                if (const std::optional<std::uint64_t> gen = ev.unsigned_int("gen")) {
+                    GenBreed& breed = runs[*open_run].breed_gens[*gen];
+                    breed.children += ev.unsigned_int("children").value_or(0);
+                    breed.elites += ev.unsigned_int("elites").value_or(0);
+                    breed.uniform += ev.unsigned_int("uniform_draws").value_or(0);
+                    breed.bias += ev.unsigned_int("bias_draws").value_or(0);
+                    breed.target += ev.unsigned_int("target_draws").value_or(0);
+                }
+            }
         }
         else if (ev.type == "generation") {
             // NSGA-II reports draws on the generation event instead of breed.
@@ -223,6 +291,88 @@ int main(int argc, char** argv)
             target_draws += ev.unsigned_int("target_draws").value_or(0);
             uniform_draws += ev.unsigned_int("uniform_draws").value_or(0);
             genes_mutated += ev.unsigned_int("genes_mutated").value_or(0);
+            if (open_run) {
+                const std::optional<std::uint64_t> gen = ev.unsigned_int("gen");
+                const std::optional<std::uint64_t> born = ev.unsigned_int("born");
+                if (gen && born) {
+                    RunAgg& run = runs[*open_run];
+                    run.born_gens[*gen] += *born;
+                    GenBreed& draw = run.draw_gens[*gen];
+                    draw.uniform += ev.unsigned_int("uniform_draws").value_or(0);
+                    draw.bias += ev.unsigned_int("bias_draws").value_or(0);
+                    draw.target += ev.unsigned_int("target_draws").value_or(0);
+                }
+            }
+        }
+        else if (ev.type == "birth") {
+            if (!open_run) {
+                if (check) {
+                    ++parse_errors;
+                    std::fprintf(stderr, "%s:%zu: birth outside any run\n", path.c_str(),
+                                 lineno);
+                }
+                continue;
+            }
+            RunAgg& run = runs[*open_run];
+            const std::uint64_t id = ev.unsigned_int("id").value_or(0);
+            if (!run.first_birth_id) run.first_birth_id = id;
+            // Ids are minted densely: each birth is first_id + count so far.
+            if (id != *run.first_birth_id + run.births_in_window) {
+                ++parse_errors;
+                std::fprintf(stderr, "%s:%zu: birth id %llu breaks the dense sequence\n",
+                             path.c_str(), lineno, static_cast<unsigned long long>(id));
+            }
+            ++run.births_in_window;
+            // Ancestry is acyclic: parents are always older (smaller id).
+            for (const char* key : {"pa", "pb"}) {
+                if (const std::optional<std::uint64_t> parent = ev.unsigned_int(key)) {
+                    if (*parent >= id) {
+                        ++parse_errors;
+                        std::fprintf(stderr,
+                                     "%s:%zu: birth %llu has %s %llu >= its own id\n",
+                                     path.c_str(), lineno,
+                                     static_cast<unsigned long long>(id), key,
+                                     static_cast<unsigned long long>(*parent));
+                    }
+                }
+            }
+            const std::string op = ev.string("op").value_or("?");
+            if (op == "init" || op == "resume") ++run.roots;
+            else {
+                if (op == "elite") ++run.elite_births;
+                else if (op == "mutation") ++run.mutation_births;
+                else if (op == "crossover") ++run.crossover_births;
+                else if (check) {
+                    ++parse_errors;
+                    std::fprintf(stderr, "%s:%zu: birth with unknown op '%s'\n",
+                                 path.c_str(), lineno, op.c_str());
+                }
+                const std::uint64_t gen = ev.unsigned_int("gen").value_or(0);
+                GenBirths& gb = run.birth_gens[gen];
+                ++gb.total;
+                if (op == "elite") ++gb.elites;
+                for (const char c : ev.string("origins").value_or("")) {
+                    if (c == 'u') ++gb.uniform;
+                    else if (c == 'b') ++gb.bias;
+                    else if (c == 't') ++gb.target;
+                }
+            }
+        }
+        else if (ev.type == "lineage_summary") {
+            if (open_run) {
+                RunAgg& run = runs[*open_run];
+                run.sum_births = ev.unsigned_int("births");
+                run.sum_births_at_start = ev.unsigned_int("births_at_start").value_or(0);
+                run.sum_roots = ev.unsigned_int("roots").value_or(0);
+                run.sum_elites = ev.unsigned_int("elites").value_or(0);
+                run.sum_mutation = ev.unsigned_int("mutation_births").value_or(0);
+                run.sum_crossover = ev.unsigned_int("crossover_births").value_or(0);
+            }
+            else if (check) {
+                ++parse_errors;
+                std::fprintf(stderr, "%s:%zu: lineage_summary outside any run\n",
+                             path.c_str(), lineno);
+            }
         }
     }
 
@@ -294,6 +444,78 @@ int main(int argc, char** argv)
                          run.engine.c_str(), static_cast<unsigned long long>(run.items),
                          static_cast<unsigned long long>(run.fresh),
                          static_cast<unsigned long long>(run.hits));
+        }
+        // -- lineage conservation (DESIGN.md section 11) --------------------
+        if (run.births_in_window == 0 && !run.sum_births) continue;
+        const auto u64err = [&](const char* what, std::uint64_t got,
+                                std::uint64_t want) {
+            ++accounting_errors;
+            std::fprintf(stderr, "run %zu (%s): %s %llu != expected %llu\n", i,
+                         run.engine.c_str(), what, static_cast<unsigned long long>(got),
+                         static_cast<unsigned long long>(want));
+        };
+        if (run.sum_births) {
+            // Summary totals cover restored records too; the window only holds
+            // births minted in this trace.
+            if (*run.sum_births != run.sum_births_at_start + run.births_in_window)
+                u64err("lineage_summary births", *run.sum_births,
+                       run.sum_births_at_start + run.births_in_window);
+            if (run.sum_births_at_start == 0) {
+                if (run.sum_roots != run.roots)
+                    u64err("lineage_summary roots", run.sum_roots, run.roots);
+                if (run.sum_elites != run.elite_births)
+                    u64err("lineage_summary elites", run.sum_elites, run.elite_births);
+                if (run.sum_mutation != run.mutation_births)
+                    u64err("lineage_summary mutation_births", run.sum_mutation,
+                           run.mutation_births);
+                if (run.sum_crossover != run.crossover_births)
+                    u64err("lineage_summary crossover_births", run.sum_crossover,
+                           run.crossover_births);
+            }
+        }
+        else if (run.distinct_evals) {
+            ++accounting_errors;
+            std::fprintf(stderr, "run %zu (%s): births without a lineage_summary\n", i,
+                         run.engine.c_str());
+        }
+        if (run.engine == "ga") {
+            // Every breed event's offspring must be born, gene class for
+            // gene class; every non-root birth must have a breed event.
+            for (const auto& [gen, breed] : run.breed_gens) {
+                const auto it = run.birth_gens.find(gen);
+                const GenBirths births =
+                    it != run.birth_gens.end() ? it->second : GenBirths{};
+                if (births.total != breed.children + breed.elites)
+                    u64err("gen births", births.total, breed.children + breed.elites);
+                if (births.elites != breed.elites)
+                    u64err("gen elite births", births.elites, breed.elites);
+                if (births.uniform != breed.uniform)
+                    u64err("gen uniform origins", births.uniform, breed.uniform);
+                if (births.bias != breed.bias)
+                    u64err("gen bias origins", births.bias, breed.bias);
+                if (births.target != breed.target)
+                    u64err("gen target origins", births.target, breed.target);
+            }
+            for (const auto& [gen, births] : run.birth_gens)
+                if (run.breed_gens.find(gen) == run.breed_gens.end())
+                    u64err("births without a breed event at gen", births.total, 0);
+        }
+        else if (run.engine == "nsga2") {
+            for (const auto& [gen, born] : run.born_gens) {
+                const auto it = run.birth_gens.find(gen);
+                const GenBirths births =
+                    it != run.birth_gens.end() ? it->second : GenBirths{};
+                if (births.total != born) u64err("gen births vs born", births.total, born);
+                const auto draw_it = run.draw_gens.find(gen);
+                const GenBreed draws =
+                    draw_it != run.draw_gens.end() ? draw_it->second : GenBreed{};
+                if (births.uniform != draws.uniform)
+                    u64err("gen uniform origins", births.uniform, draws.uniform);
+                if (births.bias != draws.bias)
+                    u64err("gen bias origins", births.bias, draws.bias);
+                if (births.target != draws.target)
+                    u64err("gen target origins", births.target, draws.target);
+            }
         }
     }
 
