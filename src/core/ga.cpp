@@ -296,9 +296,15 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
     BirthLog birth_log;
 
     for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
+        // A cancel token trips the same machinery as halt_at_generation:
+        // checkpoint at the boundary, result.halted = true.  Both require at
+        // least one generation of progress past the resume point so a
+        // cancel/resubmit cycle always advances.
         const bool halt_here =
-            config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
-            gen > start_gen;
+            (config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
+             gen > start_gen) ||
+            (config_.cancel != nullptr &&
+             config_.cancel->load(std::memory_order_acquire) && gen > start_gen);
         if (!config_.checkpoint_path.empty() && gen > start_gen &&
             (gen % config_.checkpoint_every == 0 || halt_here))
             write_checkpoint(gen);

@@ -8,6 +8,7 @@
 // delegated to CachingEvaluator.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -86,6 +87,15 @@ struct GaConfig {
     // resume with or without a store attached.
     std::shared_ptr<EvalStore> store;
     std::uint64_t store_namespace = 0;  // EvalStore::namespace_key(...)
+
+    // Cooperative cancellation (the job server's DELETE /jobs/<id>).  When
+    // set and observed true at a generation boundary, the run writes a
+    // checkpoint (when checkpoint_path is set) and stops with
+    // result.halted = true, exactly like halt_at_generation -- so a
+    // cancelled job can be resubmitted and resumed bit-exactly.  Like the
+    // store, deliberately excluded from config_fingerprint: a checkpoint may
+    // resume with or without a token attached.
+    std::shared_ptr<const std::atomic<bool>> cancel;
 
     // Checkpoint/resume.  When `checkpoint_path` is set, the full run state
     // is written there every `checkpoint_every` generations (atomically, via

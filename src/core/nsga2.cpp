@@ -405,8 +405,10 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
     bool halted = false;
     for (std::size_t gen = start_gen; gen < config_.generations; ++gen) {
         const bool halt_here =
-            config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
-            gen > start_gen;
+            (config_.halt_at_generation != 0 && gen == config_.halt_at_generation &&
+             gen > start_gen) ||
+            (config_.cancel != nullptr &&
+             config_.cancel->load(std::memory_order_acquire) && gen > start_gen);
         if (!config_.checkpoint_path.empty() && gen > start_gen &&
             (gen % config_.checkpoint_every == 0 || halt_here))
             write_checkpoint(gen);

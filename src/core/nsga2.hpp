@@ -9,6 +9,7 @@
 // distinct-evaluation cost accounting, so an IP author's hints accelerate
 // frontier mapping the same way they accelerate single-metric queries.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -57,6 +58,11 @@ struct MultiObjectiveConfig {
     // feasible=false for infeasible points).
     std::shared_ptr<EvalStore> store;
     std::uint64_t store_namespace = 0;
+
+    // Cooperative cancellation; same semantics as GaConfig::cancel (halt at
+    // a generation boundary with a checkpoint, excluded from the config
+    // fingerprint).
+    std::shared_ptr<const std::atomic<bool>> cancel;
 
     // Checkpoint/resume; same semantics as GaConfig (DESIGN.md section 8).
     std::string checkpoint_path;

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/export.hpp"
@@ -15,22 +16,80 @@ namespace nautilus::obs {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr std::size_t kMaxRequestBytes = 65536;
+
+const char* reason_phrase(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Response";
+    }
+}
 
 // `head_only` suppresses the payload but not the headers: a HEAD response
 // must advertise the Content-Length the matching GET would carry
 // (RFC 9110 section 9.3.2), so the header is always computed from the real
 // body size.
-std::string make_response(int status, const char* reason, std::string_view content_type,
+std::string render_response(const HttpResponse& r, bool head_only = false)
+{
+    std::string out =
+        "HTTP/1.1 " + std::to_string(r.status) + ' ' + reason_phrase(r.status) + "\r\n";
+    out += "Content-Type: ";
+    out += r.content_type;
+    out += "\r\nContent-Length: " + std::to_string(r.body.size());
+    if (!r.allow.empty()) out += "\r\nAllow: " + r.allow;
+    out += "\r\nConnection: close\r\n\r\n";
+    if (!head_only) out += r.body;
+    return out;
+}
+
+std::string make_response(int status, const char* /*reason*/, std::string_view content_type,
                           std::string_view body, bool head_only = false)
 {
-    std::string out = "HTTP/1.1 " + std::to_string(status) + ' ' + reason + "\r\n";
-    out += "Content-Type: ";
-    out += content_type;
-    out += "\r\nContent-Length: " + std::to_string(body.size());
-    out += "\r\nConnection: close\r\n\r\n";
-    if (!head_only) out += body;
-    return out;
+    return render_response(
+        {status, std::string(content_type), std::string(body), std::string{}}, head_only);
+}
+
+// Locate a header's value in the request head (case-insensitive name match
+// at line starts).  Returns nullopt when absent.
+std::optional<std::string_view> header_value(std::string_view head, std::string_view name)
+{
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string_view::npos) eol = head.size();
+        const std::string_view line = head.substr(pos, eol - pos);
+        if (line.size() > name.size() + 1 && line[name.size()] == ':') {
+            bool match = true;
+            for (std::size_t i = 0; i < name.size(); ++i) {
+                const auto lower = [](char c) {
+                    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+                };
+                if (lower(line[i]) != lower(name[i])) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                std::string_view value = line.substr(name.size() + 1);
+                while (!value.empty() && (value.front() == ' ' || value.front() == '\t'))
+                    value.remove_prefix(1);
+                while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+                    value.remove_suffix(1);
+                return value;
+            }
+        }
+        pos = eol + 2;
+    }
+    return std::nullopt;
 }
 
 // Reentrant errno rendering.  glibc with _GNU_SOURCE gives the char*-
@@ -171,13 +230,43 @@ std::string ObsHttpServer::body_for(std::string_view path) const
     if (path == "/lineage")
         return lineage_ != nullptr ? to_json(lineage_->counters()) + "\n" : "{}\n";
     if (path == "/healthz") return "ok\n";
-    if (path == "/")
-        return "nautilus observability endpoint\n"
-               "  /metrics  Prometheus text exposition\n"
-               "  /status   JSON run progress\n"
-               "  /lineage  JSON lineage counters\n"
-               "  /healthz  liveness probe\n";
+    if (path == "/") {
+        std::string index =
+            "nautilus observability endpoint\n"
+            "  /metrics  Prometheus text exposition\n"
+            "  /status   JSON run progress\n"
+            "  /lineage  JSON lineage counters\n"
+            "  /healthz  liveness probe\n";
+        if (jobs_ != nullptr)
+            index += "  /jobs     search jobs (POST spec, GET list, GET/DELETE /jobs/<id>)\n";
+        return index;
+    }
     return {};
+}
+
+HttpResponse ObsHttpServer::respond(std::string_view method, std::string_view path,
+                                    std::string_view body) const
+{
+    // The job plane owns everything under /jobs, including its own method
+    // routing (POST/GET/DELETE with per-path Allow sets).
+    if (jobs_ != nullptr &&
+        (path == "/jobs" || path.substr(0, 6) == "/jobs/"))
+        return jobs_->handle_jobs(method, path, body);
+
+    // Everything else is the read-only observability plane: GET/HEAD only,
+    // and a 405 must name the methods that would have worked.
+    if (method != "GET" && method != "HEAD")
+        return {405, "text/plain; charset=utf-8",
+                "method not allowed (this endpoint is read-only)\n", "GET, HEAD"};
+
+    const std::string content = body_for(path);
+    if (content.empty() && path != "/metrics")
+        return {404, "text/plain; charset=utf-8", "not found\n", {}};
+    const char* content_type =
+        path == "/status" || path == "/lineage" ? "application/json"
+        : path == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
+                             : "text/plain; charset=utf-8";
+    return {200, content_type, content, {}};
 }
 
 void ObsHttpServer::handle_connection(int fd)
@@ -186,11 +275,32 @@ void ObsHttpServer::handle_connection(int fd)
     timeout.tv_sec = 2;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
 
-    // Read until the end of the request head (GETs carry no body).
+    // Read until the end of the request head, then -- when a Content-Length
+    // announces one -- until the full body has arrived.
     std::string request;
+    std::size_t head_end = std::string::npos;
+    std::size_t needed = kMaxRequestBytes;  // unknown until the head is parsed
     char buf[1024];
-    while (request.size() < kMaxRequestBytes &&
-           request.find("\r\n\r\n") == std::string::npos) {
+    while (request.size() < needed && request.size() <= kMaxRequestBytes) {
+        if (head_end == std::string::npos) {
+            head_end = request.find("\r\n\r\n");
+            if (head_end != std::string::npos) {
+                const auto cl =
+                    header_value(std::string_view{request.data(), head_end},
+                                 "Content-Length");
+                if (!cl) break;  // no declared body; whatever arrived is all
+                char* end = nullptr;
+                const unsigned long long declared = std::strtoull(cl->data(), &end, 10);
+                if (end != cl->data() + cl->size()) {
+                    send_all(fd, make_response(400, "Bad Request", "text/plain",
+                                               "bad Content-Length\n"));
+                    return;
+                }
+                needed = head_end + 4 + static_cast<std::size_t>(declared);
+                if (needed > kMaxRequestBytes) break;  // answered 413 below
+                if (request.size() >= needed) break;
+            }
+        }
         const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
         if (n <= 0) {
             if (n < 0 && errno == EINTR) continue;
@@ -198,8 +308,13 @@ void ObsHttpServer::handle_connection(int fd)
         }
         request.append(buf, static_cast<std::size_t>(n));
     }
+    if (head_end == std::string::npos) {
+        if (request.size() > kMaxRequestBytes)
+            send_all(fd, make_response(413, "Content Too Large", "text/plain",
+                                       "request head too large\n"));
+        return;  // malformed or timed out
+    }
     const std::size_t line_end = request.find("\r\n");
-    if (line_end == std::string::npos) return;  // malformed or timed out
 
     // "METHOD SP request-target SP HTTP-version"
     const std::string_view line{request.data(), line_end};
@@ -217,23 +332,32 @@ void ObsHttpServer::handle_connection(int fd)
         path = path.substr(0, query);
 
     requests_.fetch_add(1, std::memory_order_relaxed);
-    const bool head = method == "HEAD";
-    if (method != "GET" && !head) {
-        send_all(fd, make_response(405, "Method Not Allowed", "text/plain",
-                                   "only GET is supported\n"));
-        return;
-    }
 
-    const std::string body = body_for(path);
-    if (body.empty() && path != "/metrics") {
-        send_all(fd, make_response(404, "Not Found", "text/plain", "not found\n", head));
+    const std::string_view head_view{request.data(), head_end};
+    const bool have_length = header_value(head_view, "Content-Length").has_value();
+    std::string_view body{request};
+    body.remove_prefix(head_end + 4);
+    if (!have_length && !body.empty()) {
+        // A body arrived but no Content-Length announced it (RFC 9110
+        // section 8.6): refuse rather than guess where the spec ends.
+        send_all(fd, make_response(411, "Length Required", "text/plain",
+                                   "requests with a body must send Content-Length\n"));
         return;
     }
-    const std::string_view content_type =
-        path == "/status" || path == "/lineage" ? "application/json"
-        : path == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
-                             : "text/plain; charset=utf-8";
-    send_all(fd, make_response(200, "OK", content_type, body, head));
+    if (request.size() > kMaxRequestBytes || needed > kMaxRequestBytes) {
+        send_all(fd, make_response(413, "Content Too Large", "text/plain",
+                                   "request body too large\n"));
+        return;
+    }
+    if (have_length && request.size() < needed) {
+        send_all(fd, make_response(400, "Bad Request", "text/plain",
+                                   "request body shorter than Content-Length\n"));
+        return;
+    }
+    if (have_length) body = body.substr(0, needed - head_end - 4);
+
+    const bool head_only = method == "HEAD";
+    send_all(fd, render_response(respond(method, path, body), head_only));
 }
 
 }  // namespace nautilus::obs

@@ -11,6 +11,18 @@
 //   GET /healthz   "ok" liveness probe
 //   GET /          plain-text index of the above
 //
+// With a JobApi attached (attach_jobs), the server is also the submission
+// plane for the multi-tenant job scheduler (src/serve/):
+//   POST   /jobs        submit a JSON search spec, get a job id
+//   GET    /jobs        list jobs and pool state
+//   GET    /jobs/<id>   job status: state, progress snapshot, final result
+//   DELETE /jobs/<id>   cancel (checkpoint-backed for ga/nsga2)
+//
+// Method discipline (RFC 9110): the read-only observability endpoints
+// answer non-GET/HEAD with 405 plus an `Allow: GET, HEAD` header; a request
+// carrying a body without a Content-Length header gets 411; request heads
+// and declared bodies past the size cap get 413.
+//
 // Design: one bounded accept thread handles connections serially -- scrape
 // traffic is one collector every few seconds, not user traffic, so there is
 // nothing to win by going multi-threaded and a lot of shutdown complexity
@@ -18,12 +30,15 @@
 // Connection: close, and the socket is torn down; stop() shuts the
 // listening socket down and joins the thread.  Reads of the registry and
 // tracker are the snapshot paths, which are safe concurrently with engine
-// and worker-thread updates.
+// and worker-thread updates.  Job submissions hand off to the JobApi
+// implementation, which runs jobs on its own threads -- the accept thread
+// never blocks on a search.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "obs/lineage.hpp"
@@ -31,6 +46,30 @@
 #include "obs/progress.hpp"
 
 namespace nautilus::obs {
+
+// One response from the routing layer.  The reason phrase is derived from
+// the status code; `allow` (when set) is emitted as an Allow: header, as
+// RFC 9110 requires of 405 responses.
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+    std::string allow;
+};
+
+// The job-plane hook: requests under /jobs are delegated here.  Implemented
+// by serve::JobScheduler; obs depends only on this interface, never on the
+// scheduler, preserving the layering (core -> obs <- serve).
+class JobApi {
+public:
+    virtual ~JobApi() = default;
+
+    // `path` is the full request path ("/jobs" or "/jobs/<id>", query
+    // string already stripped); `body` is the request body (POST specs).
+    // Must be callable from any thread.
+    virtual HttpResponse handle_jobs(std::string_view method, std::string_view path,
+                                     std::string_view body) = 0;
+};
 
 struct HttpServerConfig {
     std::string bind_address = "127.0.0.1";
@@ -48,6 +87,10 @@ public:
 
     ObsHttpServer(const ObsHttpServer&) = delete;
     ObsHttpServer& operator=(const ObsHttpServer&) = delete;
+
+    // Attach the job-submission plane (call before start()).  Requests
+    // under /jobs are delegated to `api`; without one they 404.
+    void attach_jobs(std::shared_ptr<JobApi> api) { jobs_ = std::move(api); }
 
     // Bind + listen + spawn the accept thread.  Throws std::runtime_error
     // when the address cannot be bound.
@@ -67,6 +110,12 @@ public:
     // Exposed for tests: the response body for a given request path.
     std::string body_for(std::string_view path) const;
 
+    // Full routing for one request -- method discipline, /jobs delegation,
+    // read-only endpoints -- without touching a socket.  Exposed so the job
+    // lifecycle golden tests can drive the exact HTTP surface in-process.
+    HttpResponse respond(std::string_view method, std::string_view path,
+                         std::string_view body) const;
+
 private:
     void accept_loop();
     void handle_connection(int fd);
@@ -75,6 +124,7 @@ private:
     std::shared_ptr<MetricsRegistry> metrics_;
     std::shared_ptr<ProgressTracker> progress_;
     std::shared_ptr<LineageTracker> lineage_;
+    std::shared_ptr<JobApi> jobs_;
 
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;

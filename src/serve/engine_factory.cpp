@@ -1,0 +1,257 @@
+#include "serve/engine_factory.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/ga.hpp"
+#include "core/local_search.hpp"
+#include "core/nautilus.hpp"
+#include "core/nsga2.hpp"
+#include "core/random_search.hpp"
+#include "fft/fft_generator.hpp"
+#include "ip/metrics.hpp"
+#include "noc/network_generator.hpp"
+#include "noc/router_generator.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace nautilus::serve {
+
+namespace {
+
+using ip::Metric;
+
+// Resolve a metric name and confirm the generator actually models it --
+// a spec naming a metric this IP never sets would otherwise run a full
+// budget of evaluations and report "no feasible design", which is a
+// misleading answer to a configuration error.
+Metric metric_or_throw(const ip::IpGenerator& generator, const std::string& name)
+{
+    const auto m = ip::metric_from_name(name);
+    if (!m) throw std::invalid_argument("unknown metric '" + name + "'");
+    const auto provided = generator.metrics();
+    for (const Metric p : provided)
+        if (p == *m) return *m;
+    std::string names;
+    for (const Metric p : provided) {
+        if (!names.empty()) names += ", ";
+        names += ip::metric_name(p);
+    }
+    throw std::invalid_argument("ip '" + generator.name() + "' does not provide metric '" +
+                                name + "' (available: " + names + ")");
+}
+
+Direction direction_of(const JobSpec& spec)
+{
+    return spec.direction == "min" ? Direction::minimize : Direction::maximize;
+}
+
+HintSet hints_for(const ip::IpGenerator& generator, const JobSpec& spec, Metric metric,
+                  Direction direction)
+{
+    if (spec.guidance == "weak" || spec.guidance == "strong") {
+        const GuidanceLevel level =
+            spec.guidance == "weak" ? GuidanceLevel::weak : GuidanceLevel::strong;
+        return apply_guidance(generator.author_hints(metric), direction, level);
+    }
+    return HintSet::none(generator.space());
+}
+
+obs::Instrumentation instrumentation_for(const JobRunInputs& inputs)
+{
+    obs::Instrumentation inst;
+    if (!inputs.trace_path.empty())
+        inst.tracer = obs::Tracer{std::make_shared<obs::JsonlFileSink>(inputs.trace_path)};
+    inst.progress = inputs.progress;
+    return inst;
+}
+
+bool checkpoint_exists(const std::string& path)
+{
+    return !path.empty() && std::ifstream{path}.good();
+}
+
+// The store namespace is derived from ip + metric(s) exactly like the
+// single-run CLI, so server jobs and standalone runs share records.
+std::uint64_t store_namespace(const JobSpec& spec)
+{
+    std::string context = spec.ip + "/" + spec.metric;
+    if (spec.engine == "nsga2") context += "+" + spec.metric2;
+    return EvalStore::namespace_key(context);
+}
+
+void absorb_curve(JobOutcome& out, const Curve& curve)
+{
+    out.feasible = !curve.empty();
+    if (out.feasible) out.best = curve.final_best();
+    out.distinct_evals = static_cast<std::size_t>(curve.final_evals());
+}
+
+JobOutcome run_ga(const ip::IpGenerator& generator, const JobSpec& spec,
+                  const JobRunInputs& inputs, std::size_t workers)
+{
+    const Metric metric = metric_or_throw(generator, spec.metric);
+    const Direction direction = direction_of(spec);
+
+    GaConfig ga;
+    ga.generations = spec.generations;
+    if (spec.population != 0) ga.population_size = spec.population;
+    ga.seed = spec.seed;
+    ga.eval_workers = workers;
+    ga.obs = instrumentation_for(inputs);
+    ga.cancel = inputs.cancel;
+    ga.checkpoint_path = inputs.checkpoint_path;
+    ga.halt_at_generation = inputs.halt_at_generation;
+    if (inputs.store) {
+        ga.store = inputs.store;
+        ga.store_namespace = store_namespace(spec);
+    }
+
+    const GaEngine engine{generator.space(), ga, direction,
+                          generator.metric_eval(metric),
+                          hints_for(generator, spec, metric, direction)};
+    const RunResult r = checkpoint_exists(inputs.checkpoint_path)
+                            ? engine.resume(inputs.checkpoint_path)
+                            : engine.run();
+
+    JobOutcome out;
+    out.halted = r.halted;
+    out.feasible = r.best_eval.feasible;
+    if (out.feasible) {
+        out.best = r.best_eval.value;
+        out.best_genome = r.best_genome.to_string(generator.space());
+    }
+    out.distinct_evals = r.distinct_evals;
+    out.total_eval_calls = r.total_eval_calls;
+    out.store_hits = r.store_hits;
+    out.store_misses = r.store_misses;
+    out.start_generation = r.start_generation;
+    return out;
+}
+
+JobOutcome run_nsga2(const ip::IpGenerator& generator, const JobSpec& spec,
+                     const JobRunInputs& inputs, std::size_t workers)
+{
+    const Metric first = metric_or_throw(generator, spec.metric);
+    const Metric second = metric_or_throw(generator, spec.metric2);
+    const Direction direction = direction_of(spec);
+    const std::vector<Direction> dirs{direction, ip::metric_default_direction(second)};
+
+    const MultiEvalFn eval = [&generator, first,
+                              second](const Genome& g) -> std::optional<std::vector<double>> {
+        const auto mv = generator.evaluate(g);
+        if (!mv.feasible) return std::nullopt;
+        const auto a = mv.try_get(first);
+        const auto b = mv.try_get(second);
+        if (!a || !b) return std::nullopt;
+        return std::vector<double>{*a, *b};
+    };
+
+    MultiObjectiveConfig mo;
+    mo.generations = spec.generations;
+    if (spec.population != 0) mo.population_size = spec.population;
+    mo.seed = spec.seed;
+    mo.eval_workers = workers;
+    mo.obs = instrumentation_for(inputs);
+    mo.cancel = inputs.cancel;
+    mo.checkpoint_path = inputs.checkpoint_path;
+    mo.halt_at_generation = inputs.halt_at_generation;
+    if (inputs.store) {
+        mo.store = inputs.store;
+        mo.store_namespace = store_namespace(spec);
+    }
+
+    const Nsga2Engine engine{generator.space(), mo, dirs, eval,
+                             hints_for(generator, spec, first, direction)};
+    const MultiObjectiveResult r = checkpoint_exists(inputs.checkpoint_path)
+                                       ? engine.resume(inputs.checkpoint_path)
+                                       : engine.run();
+
+    JobOutcome out;
+    out.halted = r.halted;
+    out.feasible = !r.front.empty();
+    out.front.reserve(r.front.size());
+    for (const FrontPoint& p : r.front)
+        out.front.push_back({p.genome.to_string(generator.space()), p.values});
+    out.distinct_evals = r.distinct_evals;
+    out.total_eval_calls = r.total_eval_calls;
+    out.store_hits = r.store_hits;
+    out.store_misses = r.store_misses;
+    out.start_generation = r.start_generation;
+    return out;
+}
+
+JobOutcome run_budgeted(const ip::IpGenerator& generator, const JobSpec& spec,
+                        const JobRunInputs& inputs, std::size_t workers)
+{
+    const Metric metric = metric_or_throw(generator, spec.metric);
+    const Direction direction = direction_of(spec);
+    const EvalFn eval = generator.metric_eval(metric);
+    const obs::Instrumentation inst = instrumentation_for(inputs);
+
+    JobOutcome out;
+    if (spec.engine == "random") {
+        RandomSearchConfig rs;
+        rs.max_distinct_evals = spec.evals;
+        rs.seed = spec.seed;
+        rs.eval_workers = workers;
+        rs.obs = inst;
+        if (inputs.store) {
+            rs.store = inputs.store;
+            rs.store_namespace = store_namespace(spec);
+        }
+        absorb_curve(out, RandomSearch{generator.space(), rs, direction, eval}.run(spec.seed));
+    }
+    else if (spec.engine == "sa") {
+        AnnealingConfig sa;
+        sa.max_distinct_evals = spec.evals;
+        sa.seed = spec.seed;
+        sa.eval_workers = workers;
+        sa.obs = inst;
+        if (inputs.store) {
+            sa.store = inputs.store;
+            sa.store_namespace = store_namespace(spec);
+        }
+        absorb_curve(out, SimulatedAnnealing{generator.space(), sa, direction, eval,
+                                             hints_for(generator, spec, metric, direction)}
+                              .run(spec.seed));
+    }
+    else {
+        HillClimbConfig hc;
+        hc.max_distinct_evals = spec.evals;
+        hc.seed = spec.seed;
+        hc.eval_workers = workers;
+        hc.obs = inst;
+        if (inputs.store) {
+            hc.store = inputs.store;
+            hc.store_namespace = store_namespace(spec);
+        }
+        absorb_curve(out, HillClimber{generator.space(), hc, direction, eval,
+                                      hints_for(generator, spec, metric, direction)}
+                              .run(spec.seed));
+    }
+    return out;
+}
+
+}  // namespace
+
+std::unique_ptr<ip::IpGenerator> make_generator(const std::string& ip)
+{
+    if (ip == "router") return std::make_unique<noc::RouterGenerator>();
+    if (ip == "fft")
+        return std::make_unique<fft::FftGenerator>(synth::FpgaTech::virtex6_lx760t(),
+                                                   /*measure_snr=*/false);
+    if (ip == "network") return std::make_unique<noc::NetworkGenerator>();
+    throw std::invalid_argument("unknown ip '" + ip + "' (expected router, fft, network)");
+}
+
+JobOutcome run_job(const JobSpec& spec, const JobRunInputs& inputs)
+{
+    const std::unique_ptr<ip::IpGenerator> generator = make_generator(spec.ip);
+    const std::size_t workers = inputs.workers != 0 ? inputs.workers : spec.workers;
+    if (spec.engine == "ga") return run_ga(*generator, spec, inputs, workers);
+    if (spec.engine == "nsga2") return run_nsga2(*generator, spec, inputs, workers);
+    return run_budgeted(*generator, spec, inputs, workers);
+}
+
+}  // namespace nautilus::serve

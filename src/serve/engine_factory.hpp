@@ -1,0 +1,70 @@
+#pragma once
+// From a parsed JobSpec to a finished search: one entry point for all five
+// engines, shared by the job scheduler and `nautilus_cli --job`.
+//
+// Using the same factory on both sides is what makes the determinism gate
+// trivial to argue: a server job and a standalone run of the same spec build
+// the *same* engine configuration by construction, and every engine's
+// results are bit-for-bit independent of the worker count, so the granted
+// worker cap (which depends on pool capacity) cannot change the outcome.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval_store.hpp"
+#include "ip/ip_generator.hpp"
+#include "obs/progress.hpp"
+#include "serve/job_spec.hpp"
+
+namespace nautilus::serve {
+
+// Instantiate an IP generator by spec name.  Throws std::invalid_argument
+// for unknown names (parse_job_spec already validates, so this only fires
+// on hand-built specs).
+std::unique_ptr<ip::IpGenerator> make_generator(const std::string& ip);
+
+// Everything the surrounding system attaches to one run.  All members are
+// optional; a default-constructed JobRunInputs runs the spec bare.
+struct JobRunInputs {
+    // Granted eval workers; 0 = use spec.workers.  Results are identical
+    // for any value (the repo-wide worker-count-independence contract).
+    std::size_t workers = 0;
+    std::shared_ptr<EvalStore> store;  // shared persistent store; may be null
+    std::string trace_path;            // per-job JSONL trace; empty = no trace
+    std::string checkpoint_path;       // ga/nsga2 checkpoints; empty = none.
+                                       // When the file already exists the run
+                                       // resumes from it (bit-exactly).
+    std::shared_ptr<const std::atomic<bool>> cancel;  // cooperative cancel token
+    std::shared_ptr<obs::ProgressTracker> progress;   // live /jobs/<id> progress
+    // Test hook mirroring `--die-at-gen`: halt with a checkpoint at this
+    // generation (ga/nsga2 only; 0 = never).
+    std::size_t halt_at_generation = 0;
+};
+
+struct FrontEntry {
+    std::string genome;  // rendered via the space ("param=value ...")
+    std::vector<double> values;
+};
+
+struct JobOutcome {
+    bool halted = false;       // stopped at a checkpointed boundary (cancel/halt)
+    bool feasible = false;     // a feasible design was found
+    double best = 0.0;         // scalar engines, when feasible
+    std::string best_genome;   // rendered best point (ga only; curve engines
+                               // track values, not genomes)
+    std::vector<FrontEntry> front;  // nsga2 only
+    std::size_t distinct_evals = 0;
+    std::size_t total_eval_calls = 0;  // 0 for the curve engines
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
+    std::size_t start_generation = 0;  // nonzero when resumed from a checkpoint
+};
+
+// Run one job to completion or to a cancel/halt boundary.  Throws on
+// configuration errors (bad checkpoint fingerprint, unwritable trace path).
+JobOutcome run_job(const JobSpec& spec, const JobRunInputs& inputs);
+
+}  // namespace nautilus::serve

@@ -55,6 +55,32 @@ std::string http_get(std::uint16_t port, const std::string& target,
     return response;
 }
 
+// Same client, but the caller supplies the raw request text (used to probe
+// body handling: Content-Length parsing, the 411 path).
+std::string http_raw(std::uint16_t port, const std::string& request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return {};
+    }
+    (void)!::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buf[2048];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
 TEST(ObsHttpServer, BindsEphemeralPortAndReportsIt)
 {
     ObsHttpServer server{{}, nullptr, nullptr};
@@ -157,6 +183,52 @@ TEST(ObsHttpServer, ServesOverRealSockets)
               std::string::npos);
 
     EXPECT_GE(server.requests_served(), 6u);
+    server.stop();
+}
+
+// RFC 9110 method discipline on the read-only endpoints: any non-GET/HEAD
+// method gets 405 with an Allow header naming what the resource supports --
+// whether or not the request carried a (properly announced) body.
+TEST(ObsHttpServer, NonGetMethodsGet405WithAllowHeader)
+{
+    ObsHttpServer server{{}, std::make_shared<MetricsRegistry>(), nullptr};
+    server.start();
+    for (const std::string method : {"POST", "PUT", "DELETE", "PATCH"}) {
+        const std::string response = http_get(server.port(), "/metrics", method);
+        EXPECT_NE(response.find("405 Method Not Allowed"), std::string::npos) << method;
+        EXPECT_NE(response.find("Allow: GET, HEAD"), std::string::npos) << method;
+    }
+    const std::string with_body = http_raw(
+        server.port(),
+        "POST /status HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nhi");
+    EXPECT_NE(with_body.find("405 Method Not Allowed"), std::string::npos);
+    EXPECT_NE(with_body.find("Allow: GET, HEAD"), std::string::npos);
+    // GET still works after the refusals.
+    EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"), std::string::npos);
+    server.stop();
+}
+
+// RFC 9110 section 8.6: a request that carries a body without announcing it
+// via Content-Length is refused with 411 rather than the body being guessed
+// at or silently dropped.  A bad Content-Length value is a plain 400, and an
+// announced body that exceeds the request cap is 413.
+TEST(ObsHttpServer, BodyWithoutContentLengthGets411)
+{
+    ObsHttpServer server{{}, nullptr, nullptr};
+    server.start();
+
+    const std::string no_length = http_raw(
+        server.port(), "POST /jobs HTTP/1.1\r\nHost: x\r\n\r\n{\"engine\":\"ga\"}");
+    EXPECT_NE(no_length.find("411 Length Required"), std::string::npos);
+
+    const std::string bad_length = http_raw(
+        server.port(), "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: two\r\n\r\nhi");
+    EXPECT_NE(bad_length.find("400 Bad Request"), std::string::npos);
+
+    const std::string huge = http_raw(
+        server.port(),
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9999999\r\n\r\nx");
+    EXPECT_NE(huge.find("413"), std::string::npos);
     server.stop();
 }
 

@@ -64,6 +64,21 @@
 //   --chaos-hang R              inject hangs (sleep) with probability R
 //   --chaos-flaky R             perturb values with probability R
 //   --chaos-seed N              fault-injection seed (default 0xc4a05)
+//
+// Job plane (search-as-a-service; see DESIGN.md §12):
+//   --job SPEC.json             run one job spec standalone (the reference
+//                               side of the server determinism gate); honors
+//                               --trace, --store, --checkpoint, --die-at-gen
+//   --serve-jobs PORT           run the multi-tenant job server: POST /jobs
+//                               submits specs, GET /jobs/<id> streams
+//                               progress, DELETE /jobs/<id> cancels with a
+//                               resumable checkpoint.  PORT 0 = ephemeral
+//   --jobs-capacity N           total evaluation-worker slots shared by all
+//                               jobs (default 4)
+//   --jobs-dir PATH             directory for per-job traces and checkpoints
+//                               (default .)
+//   --serve-duration S          serve for S seconds then exit (default 0 =
+//                               serve until killed)
 
 #include <cctype>
 #include <chrono>
@@ -72,6 +87,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -88,6 +104,7 @@
 #include "ip/analysis.hpp"
 #include "noc/network_generator.hpp"
 #include "noc/router_generator.hpp"
+#include "serve/scheduler.hpp"
 
 using namespace nautilus;
 using ip::Metric;
@@ -118,6 +135,13 @@ struct CliOptions {
     std::string store;              // persistent evaluation store directory
     std::uint64_t store_max_bytes = 0;  // 0 = unlimited
     bool scalar_breed = false;      // pre-refactor GA breed path (bit-identical)
+
+    // Job plane: one standalone spec run, or the multi-tenant server.
+    std::string job_spec;            // --job SPEC.json
+    int serve_jobs_port = -1;        // >= 0 enables the job server
+    std::size_t jobs_capacity = 4;   // shared eval-worker slots
+    std::string jobs_dir = ".";      // per-job traces + checkpoints
+    double serve_duration = 0.0;     // 0 = serve until killed
 
     // Single-run fault-tolerance / checkpoint mode.
     std::string checkpoint;
@@ -151,6 +175,8 @@ struct CliOptions {
                  "          [--metrics]\n"
                  "          [--serve PORT] [--serve-grace S] [--progress [S]]\n"
                  "          [--store PATH] [--store-max-bytes N] [--scalar-breed]\n"
+                 "          [--job SPEC.json] [--serve-jobs PORT] [--jobs-capacity N]\n"
+                 "          [--jobs-dir PATH] [--serve-duration S]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
                  "          [--die-at-gen N] [--retries N] [--retry-backoff MS]\n"
                  "          [--eval-timeout S] [--chaos-fail R] [--chaos-hang R]\n"
@@ -249,6 +275,18 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--store") opt.store = need_value(i);
         else if (arg == "--store-max-bytes") opt.store_max_bytes = u64(i);
         else if (arg == "--scalar-breed") opt.scalar_breed = true;
+        else if (arg == "--job") opt.job_spec = need_value(i);
+        else if (arg == "--serve-jobs") {
+            const std::uint64_t port = u64(i);
+            if (port > 65535) {
+                std::fprintf(stderr, "--serve-jobs port out of range (0..65535)\n");
+                usage(argv[0]);
+            }
+            opt.serve_jobs_port = static_cast<int>(port);
+        }
+        else if (arg == "--jobs-capacity") opt.jobs_capacity = count(i);
+        else if (arg == "--jobs-dir") opt.jobs_dir = need_value(i);
+        else if (arg == "--serve-duration") opt.serve_duration = number(i);
         else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
         else if (arg == "--checkpoint-every") opt.checkpoint_every = count(i);
         else if (arg == "--resume") opt.resume = need_value(i);
@@ -291,11 +329,144 @@ Metric default_metric(const std::string& ip)
     return Metric::freq_mhz;
 }
 
+std::shared_ptr<EvalStore> open_store(const CliOptions& opt)
+{
+    if (opt.store.empty()) return nullptr;
+    EvalStoreConfig sc;
+    sc.path = opt.store;
+    sc.max_bytes = opt.store_max_bytes;
+    return std::make_shared<EvalStore>(sc);
+}
+
+// `--job SPEC.json`: run one job spec standalone through the same
+// serve::run_job entry point the scheduler uses.  This is the reference
+// side of the server determinism gate -- its trace must be byte-identical
+// to the server-side trace of the same spec.
+int run_job_mode(const CliOptions& opt)
+{
+    std::ifstream in{opt.job_spec};
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", opt.job_spec.c_str());
+        return 2;
+    }
+    const std::string json{std::istreambuf_iterator<char>{in},
+                           std::istreambuf_iterator<char>{}};
+    serve::JobSpec spec;
+    try {
+        spec = serve::parse_job_spec(json);
+    }
+    catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "invalid job spec: %s\n", e.what());
+        return 2;
+    }
+
+    serve::JobRunInputs inputs;
+    inputs.trace_path = opt.trace_path;
+    inputs.checkpoint_path = opt.checkpoint;
+    inputs.halt_at_generation = opt.die_at_gen;
+    std::shared_ptr<EvalStore> store;
+    try {
+        store = open_store(opt);
+        inputs.store = store;
+        std::printf("job: %s\n", serve::canonical_spec_json(spec).c_str());
+        const serve::JobOutcome r = serve::run_job(spec, inputs);
+        if (r.halted)
+            std::printf("halted at a checkpoint boundary (rerun to resume)\n");
+        if (!r.feasible) std::printf("no feasible design found\n");
+        else if (spec.engine == "nsga2") {
+            std::printf("front: %zu points\n", r.front.size());
+            for (const serve::FrontEntry& p : r.front) {
+                std::printf("  [");
+                for (std::size_t k = 0; k < p.values.size(); ++k)
+                    std::printf("%s%.17g", k == 0 ? "" : ", ", p.values[k]);
+                std::printf("]  %s\n", p.genome.c_str());
+            }
+        }
+        else {
+            std::printf("best: %.17g\n", r.best);
+            if (!r.best_genome.empty()) std::printf("genome: %s\n", r.best_genome.c_str());
+        }
+        std::printf("evals: %zu distinct, %zu calls\n", r.distinct_evals,
+                    r.total_eval_calls);
+        if (store) store->flush();
+    }
+    catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
+// `--serve-jobs PORT`: the multi-tenant job server.  One scheduler over a
+// shared worker-slot pool and (optionally) one shared evaluation store;
+// the observability HTTP server is the submission plane.
+int serve_jobs_mode(const CliOptions& opt)
+{
+    const auto metrics = std::make_shared<obs::MetricsRegistry>();
+    const auto progress = std::make_shared<obs::ProgressTracker>();
+
+    std::shared_ptr<EvalStore> store;
+    try {
+        store = open_store(opt);
+    }
+    catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    if (store) {
+        store->attach_metrics(metrics);
+        std::printf("evaluation store: %s (%zu records)\n", opt.store.c_str(),
+                    store->records());
+    }
+
+    serve::SchedulerConfig sc;
+    sc.worker_capacity = opt.jobs_capacity;
+    sc.jobs_dir = opt.jobs_dir;
+    sc.store = store;
+    sc.metrics = metrics;
+    auto scheduler = std::make_shared<serve::JobScheduler>(sc);
+
+    obs::HttpServerConfig http;
+    http.port = static_cast<std::uint16_t>(opt.serve_jobs_port);
+    auto server = std::make_unique<obs::ObsHttpServer>(http, metrics, progress);
+    server->attach_jobs(scheduler);
+    try {
+        server->start();
+    }
+    catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    std::printf("serving jobs on http://127.0.0.1:%u/jobs (capacity %zu, dir %s)\n",
+                static_cast<unsigned>(server->port()), scheduler->capacity(),
+                opt.jobs_dir.c_str());
+    std::fflush(stdout);
+
+    if (opt.serve_duration > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(opt.serve_duration));
+    else
+        while (true) std::this_thread::sleep_for(std::chrono::hours(1));
+
+    server->stop();
+    server.reset();     // drops the server's scheduler reference
+    scheduler.reset();  // cancels + joins running jobs (checkpoints written)
+    if (store) store->flush();
+    std::printf("job server stopped\n");
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
 {
     const CliOptions opt = parse(argc, argv);
+
+    // Job-plane modes are self-contained (specs name their own IP and the
+    // server multiplexes many searches); handle them before the single-query
+    // setup below so e.g. --trace is not opened twice.
+    if (!opt.job_spec.empty()) return run_job_mode(opt);
+    if (opt.serve_jobs_port >= 0) return serve_jobs_mode(opt);
+
     const auto generator = make_generator(opt.ip);
 
     Metric metric = default_metric(opt.ip);
