@@ -21,6 +21,7 @@
 #include "core/breed.hpp"
 #include "core/ga.hpp"
 #include "obs/export.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
 #include "core/nautilus.hpp"
@@ -307,6 +308,23 @@ void bm_full_ga_run_store_warm(benchmark::State& state)
 }
 BENCHMARK(bm_full_ga_run_store_warm);
 
+// Forwards every trace event into the service logger's ring -- the worst
+// case for the telemetry plane, where the whole engine event stream (not
+// just access/job records) pays the seqlock publish on top of
+// serialization.  The acceptance budget caps this at 5% over the plain run,
+// same bar as lineage's.
+class LogSink final : public obs::TraceSink {
+public:
+    explicit LogSink(std::shared_ptr<obs::Logger> logger) : logger_(std::move(logger)) {}
+    void write(const obs::TraceEvent& event) override
+    {
+        logger_->log(obs::LogLevel::info, event);
+    }
+
+private:
+    std::shared_ptr<obs::Logger> logger_;
+};
+
 // ---- BENCH_obs.json ---------------------------------------------------------
 //
 // `--obs-json PATH` measures the observability plane directly (outside the
@@ -361,6 +379,10 @@ int write_obs_bench(const std::string& path)
     obs::Instrumentation lineaged;
     lineaged.lineage = std::make_shared<obs::LineageTracker>();
     const double lineage_time = time_ga_runs(lineaged, kReps);
+    auto ring_logger = std::make_shared<obs::Logger>(obs::LogConfig{});  // ring only
+    const obs::Instrumentation logged =
+        obs::Instrumentation::with_sink(std::make_shared<LogSink>(ring_logger));
+    const double logged_time = time_ga_runs(logged, kReps);
 
     // 2) Trace serialization throughput: events/s through a discarding sink.
     const std::uint64_t events = sink->count();
@@ -374,6 +396,26 @@ int write_obs_bench(const std::string& path)
         benchmark::DoNotOptimize(obs::to_jsonl(wave));
     const double events_per_second =
         static_cast<double>(kSerializeIters) / seconds_since(ser0);
+
+    // 2b) Logger throughput: access-shaped records through the file-less
+    //     logger (level stamp + serialization + seqlock ring publish).
+    obs::Logger rate_logger{obs::LogConfig{}};
+    obs::TraceEvent access{"access"};
+    access.add("request_id", obs::FieldValue{std::uint64_t{42}})
+        .add("method", obs::FieldValue{std::string{"GET"}})
+        .add("path", obs::FieldValue{std::string{"/metrics"}})
+        .add("status", 200)
+        .add("bytes", std::size_t{4096})
+        .add("micros", obs::FieldValue{std::uint64_t{180}});
+    constexpr std::uint64_t kLogIters = 200000;
+    const auto log0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kLogIters; ++i)
+        rate_logger.log(obs::LogLevel::info, access);
+    const double log_seconds = seconds_since(log0);
+    const double log_records_per_second =
+        static_cast<double>(kLogIters) / log_seconds;
+    const double log_record_latency_us =
+        log_seconds / static_cast<double>(kLogIters) * 1e6;
 
     // 3) Scrape latency: Prometheus exposition and /status JSON over a
     //    registry shaped like a real traced run's.
@@ -396,7 +438,7 @@ int write_obs_bench(const std::string& path)
         std::fprintf(stderr, "bench_engine_micro: cannot write %s\n", path.c_str());
         return 1;
     }
-    char buf[1024];
+    char buf[1536];
     std::snprintf(buf, sizeof buf,
                   "{\n"
                   "  \"schema\": \"nautilus-bench-obs/1\",\n"
@@ -405,20 +447,26 @@ int write_obs_bench(const std::string& path)
                   "  \"ga_traced_seconds\": %.6f,\n"
                   "  \"ga_progress_seconds\": %.6f,\n"
                   "  \"ga_lineage_seconds\": %.6f,\n"
+                  "  \"ga_logged_seconds\": %.6f,\n"
                   "  \"traced_overhead_pct\": %.2f,\n"
                   "  \"progress_overhead_pct\": %.2f,\n"
                   "  \"lineage_overhead_pct\": %.2f,\n"
+                  "  \"log_overhead_pct\": %.2f,\n"
                   "  \"trace_events_per_run\": %.1f,\n"
                   "  \"trace_serialize_events_per_second\": %.0f,\n"
+                  "  \"log_records_per_second\": %.0f,\n"
+                  "  \"log_record_latency_us\": %.3f,\n"
                   "  \"prometheus_exposition_us\": %.2f,\n"
                   "  \"status_json_us\": %.2f\n"
                   "}\n",
-                  kReps, plain, traced_time, progress_time, lineage_time,
+                  kReps, plain, traced_time, progress_time, lineage_time, logged_time,
                   (traced_time / plain - 1.0) * 100.0,
                   (progress_time / plain - 1.0) * 100.0,
                   (lineage_time / plain - 1.0) * 100.0,
+                  (logged_time / plain - 1.0) * 100.0,
                   static_cast<double>(events) / (3.0 * kReps),
-                  events_per_second, exposition_us, status_us);
+                  events_per_second, log_records_per_second, log_record_latency_us,
+                  exposition_us, status_us);
     out << buf;
     std::printf("%s", buf);
     std::printf("bench_engine_micro: wrote %s\n", path.c_str());

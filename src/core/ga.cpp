@@ -213,6 +213,7 @@ RunResult GaEngine::run_impl(std::uint64_t seed, const GaCheckpoint* restored) c
                 .add("attempts_at_start", std::size_t{fc.attempts})
                 .add("retries_at_start", std::size_t{fc.retries});
         }
+        for (const auto& [key, value] : config_.obs.run_tags) ev.add(key, value);
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "ga.run"};

@@ -115,6 +115,7 @@ Curve SimulatedAnnealing::run(std::uint64_t seed) const
             .add("budget", config_.max_distinct_evals)
             .add("workers", config_.eval_workers)
             .add("confidence", obs::FieldValue{hints_.confidence()});
+        for (const auto& [key, value] : config_.obs.run_tags) ev.add(key, value);
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "sa.run"};
@@ -337,6 +338,7 @@ Curve HillClimber::run(std::uint64_t seed) const
             .add("budget", config_.max_distinct_evals)
             .add("workers", config_.eval_workers)
             .add("confidence", obs::FieldValue{hints_.confidence()});
+        for (const auto& [key, value] : config_.obs.run_tags) ev.add(key, value);
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "hc.run"};

@@ -263,6 +263,7 @@ MultiObjectiveResult Nsga2Engine::run_impl(std::uint64_t seed,
                 .add("attempts_at_start", std::size_t{fc.attempts})
                 .add("retries_at_start", std::size_t{fc.retries});
         }
+        for (const auto& [key, value] : config_.obs.run_tags) ev.add(key, value);
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "nsga2.run"};

@@ -70,6 +70,7 @@ Curve RandomSearch::run(std::uint64_t seed) const
             .add("seed", static_cast<std::size_t>(seed))
             .add("budget", config_.max_distinct_evals)
             .add("workers", config_.eval_workers);
+        for (const auto& [key, value] : config_.obs.run_tags) ev.add(key, value);
         tracer.emit(std::move(ev));
     }
     obs::ScopedTimer run_span{tracer, "random.run"};

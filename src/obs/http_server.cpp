@@ -6,11 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <stdexcept>
 
 #include "obs/export.hpp"
+#include "obs/format.hpp"
 
 namespace nautilus::obs {
 
@@ -37,8 +39,10 @@ const char* reason_phrase(int status)
 // `head_only` suppresses the payload but not the headers: a HEAD response
 // must advertise the Content-Length the matching GET would carry
 // (RFC 9110 section 9.3.2), so the header is always computed from the real
-// body size.
-std::string render_response(const HttpResponse& r, bool head_only = false)
+// body size.  `request_id` (nonzero) is echoed as X-Nautilus-Request-Id so
+// a client can join its request against the server's access log.
+std::string render_response(const HttpResponse& r, bool head_only = false,
+                            std::uint64_t request_id = 0)
 {
     std::string out =
         "HTTP/1.1 " + std::to_string(r.status) + ' ' + reason_phrase(r.status) + "\r\n";
@@ -46,16 +50,36 @@ std::string render_response(const HttpResponse& r, bool head_only = false)
     out += r.content_type;
     out += "\r\nContent-Length: " + std::to_string(r.body.size());
     if (!r.allow.empty()) out += "\r\nAllow: " + r.allow;
+    if (!r.retry_after.empty()) out += "\r\nRetry-After: " + r.retry_after;
+    if (request_id != 0)
+        out += "\r\nX-Nautilus-Request-Id: " + std::to_string(request_id);
     out += "\r\nConnection: close\r\n\r\n";
     if (!head_only) out += r.body;
     return out;
 }
 
-std::string make_response(int status, const char* /*reason*/, std::string_view content_type,
-                          std::string_view body, bool head_only = false)
+// Parse the `n=K` parameter of a /logs query string.  Returns false on a
+// malformed count; leaves `n` untouched when the parameter is absent.
+bool parse_tail_count(std::string_view query, std::size_t& n)
 {
-    return render_response(
-        {status, std::string(content_type), std::string(body), std::string{}}, head_only);
+    std::size_t pos = 0;
+    while (pos <= query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string_view::npos) amp = query.size();
+        const std::string_view param = query.substr(pos, amp - pos);
+        if (param.substr(0, 2) == "n=") {
+            const std::string_view value = param.substr(2);
+            if (value.empty() || value.size() > 9) return false;
+            std::size_t parsed = 0;
+            for (const char c : value) {
+                if (c < '0' || c > '9') return false;
+                parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+            }
+            n = parsed;
+        }
+        pos = amp + 1;
+    }
+    return true;
 }
 
 // Locate a header's value in the request head (case-insensitive name match
@@ -183,6 +207,7 @@ void ObsHttpServer::start()
 
     stopping_.store(false, std::memory_order_release);
     running_.store(true, std::memory_order_release);
+    started_ = std::chrono::steady_clock::now();
     thread_ = std::thread{[this] { accept_loop(); }};
 }
 
@@ -216,19 +241,43 @@ void ObsHttpServer::accept_loop()
     }
 }
 
+double ObsHttpServer::uptime_seconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
+        .count();
+}
+
 std::string ObsHttpServer::body_for(std::string_view path) const
 {
     if (path == "/metrics") {
+        // Server self-state is refreshed into the registry at scrape time,
+        // so it appears in the exposition without a background updater.
+        if (metrics_ != nullptr) {
+            metrics_->gauge("http.requests_served")
+                .set(static_cast<double>(requests_served()));
+            metrics_->gauge("process.uptime_seconds").set(uptime_seconds());
+        }
         std::string body =
             metrics_ != nullptr ? to_prometheus(metrics_->snapshot()) : std::string{};
         if (progress_ != nullptr) append_progress_exposition(body, progress_->snapshot());
         if (lineage_ != nullptr) append_lineage_exposition(body, lineage_->counters());
         return body;
     }
-    if (path == "/status")
-        return progress_ != nullptr ? to_json(progress_->snapshot()) + "\n" : "{}\n";
+    if (path == "/status") {
+        std::string body =
+            progress_ != nullptr ? to_json(progress_->snapshot()) : std::string{"{}"};
+        // Splice uptime into the snapshot object, keeping it one flat map.
+        std::string uptime;
+        if (body.size() > 2) uptime += ',';
+        uptime += "\"uptime_seconds\":";
+        append_json_double(uptime, uptime_seconds());
+        body.insert(body.size() - 1, uptime);
+        return body + "\n";
+    }
     if (path == "/lineage")
         return lineage_ != nullptr ? to_json(lineage_->counters()) + "\n" : "{}\n";
+    if (path == "/logs")
+        return logger_ != nullptr ? logger_->tail_json(100) + "\n" : std::string{};
     if (path == "/healthz") return "ok\n";
     if (path == "/") {
         std::string index =
@@ -237,6 +286,8 @@ std::string ObsHttpServer::body_for(std::string_view path) const
             "  /status   JSON run progress\n"
             "  /lineage  JSON lineage counters\n"
             "  /healthz  liveness probe\n";
+        if (logger_ != nullptr)
+            index += "  /logs     JSON tail of the server log (?n=K)\n";
         if (jobs_ != nullptr)
             index += "  /jobs     search jobs (POST spec, GET list, GET/DELETE /jobs/<id>)\n";
         return index;
@@ -244,14 +295,21 @@ std::string ObsHttpServer::body_for(std::string_view path) const
     return {};
 }
 
-HttpResponse ObsHttpServer::respond(std::string_view method, std::string_view path,
-                                    std::string_view body) const
+HttpResponse ObsHttpServer::respond(std::string_view method, std::string_view target,
+                                    std::string_view body, std::uint64_t request_id) const
 {
+    std::string_view path = target;
+    std::string_view query;
+    if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+        path = target.substr(0, q);
+        query = target.substr(q + 1);
+    }
+
     // The job plane owns everything under /jobs, including its own method
     // routing (POST/GET/DELETE with per-path Allow sets).
     if (jobs_ != nullptr &&
         (path == "/jobs" || path.substr(0, 6) == "/jobs/"))
-        return jobs_->handle_jobs(method, path, body);
+        return jobs_->handle_jobs(method, path, body, request_id);
 
     // Everything else is the read-only observability plane: GET/HEAD only,
     // and a 405 must name the methods that would have worked.
@@ -259,18 +317,78 @@ HttpResponse ObsHttpServer::respond(std::string_view method, std::string_view pa
         return {405, "text/plain; charset=utf-8",
                 "method not allowed (this endpoint is read-only)\n", "GET, HEAD"};
 
+    if (path == "/logs" && logger_ != nullptr) {
+        std::size_t n = 100;
+        if (!parse_tail_count(query, n))
+            return {400, "text/plain; charset=utf-8",
+                    "bad query: expected n=<decimal count>\n", {}};
+        return {200, "application/json", logger_->tail_json(n) + "\n", {}};
+    }
+
     const std::string content = body_for(path);
     if (content.empty() && path != "/metrics")
         return {404, "text/plain; charset=utf-8", "not found\n", {}};
     const char* content_type =
-        path == "/status" || path == "/lineage" ? "application/json"
+        path == "/status" || path == "/lineage" || path == "/logs"
+            ? "application/json"
         : path == "/metrics" ? "text/plain; version=0.0.4; charset=utf-8"
                              : "text/plain; charset=utf-8";
     return {200, content_type, content, {}};
 }
 
+void ObsHttpServer::record_request(std::string_view method, std::string_view target,
+                                   int status, std::size_t bytes, double seconds,
+                                   std::uint64_t request_id)
+{
+    if (metrics_ != nullptr) {
+        metrics_->counter("http.requests").add();
+        const char* klass = status >= 500   ? "http.requests.5xx"
+                            : status >= 400 ? "http.requests.4xx"
+                            : status >= 300 ? "http.requests.3xx"
+                                            : "http.requests.2xx";
+        metrics_->counter(klass).add();
+        metrics_->histogram("http.request_seconds", Histogram::seconds_buckets())
+            .observe(seconds);
+        metrics_->counter("http.response_bytes").add(bytes);
+    }
+    if (logger_ != nullptr && logger_->enabled(LogLevel::info)) {
+        TraceEvent ev{"access"};
+        ev.add("request_id", FieldValue{request_id})
+            .add("method",
+                 FieldValue{std::string{method.empty() ? std::string_view{"-"} : method}})
+            .add("path",
+                 FieldValue{std::string{target.empty() ? std::string_view{"-"} : target}})
+            .add("status", status)
+            .add("bytes", bytes)
+            .add("micros", FieldValue{static_cast<std::uint64_t>(seconds * 1e6)});
+        logger_->log(LogLevel::info, std::move(ev));
+    }
+}
+
 void ObsHttpServer::handle_connection(int fd)
 {
+    const auto arrived = std::chrono::steady_clock::now();
+    const std::uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::string_view method;  // empty until the request line parses
+    std::string_view target;
+
+    // Every answered request -- including protocol errors -- flows through
+    // one epilogue: render with the request id, send, count, and feed the
+    // self-metrics and access log.
+    const auto finish = [&](const HttpResponse& r, bool head_only = false) {
+        const std::string wire = render_response(r, head_only, request_id);
+        send_all(fd, wire);
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - arrived)
+                .count();
+        record_request(method, target, r.status, wire.size(), seconds, request_id);
+    };
+    const auto error = [&](int status, std::string_view message) {
+        finish({status, "text/plain; charset=utf-8", std::string{message}, {}});
+    };
+
     timeval timeout{};
     timeout.tv_sec = 2;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
@@ -292,8 +410,7 @@ void ObsHttpServer::handle_connection(int fd)
                 char* end = nullptr;
                 const unsigned long long declared = std::strtoull(cl->data(), &end, 10);
                 if (end != cl->data() + cl->size()) {
-                    send_all(fd, make_response(400, "Bad Request", "text/plain",
-                                               "bad Content-Length\n"));
+                    error(400, "bad Content-Length\n");
                     return;
                 }
                 needed = head_end + 4 + static_cast<std::size_t>(declared);
@@ -310,9 +427,8 @@ void ObsHttpServer::handle_connection(int fd)
     }
     if (head_end == std::string::npos) {
         if (request.size() > kMaxRequestBytes)
-            send_all(fd, make_response(413, "Content Too Large", "text/plain",
-                                       "request head too large\n"));
-        return;  // malformed or timed out
+            error(413, "request head too large\n");
+        return;  // malformed or timed out; nothing was answered
     }
     const std::size_t line_end = request.find("\r\n");
 
@@ -323,15 +439,11 @@ void ObsHttpServer::handle_connection(int fd)
                                 ? std::string_view::npos
                                 : line.find(' ', sp1 + 1);
     if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-        send_all(fd, make_response(400, "Bad Request", "text/plain", "bad request\n"));
+        error(400, "bad request\n");
         return;
     }
-    const std::string_view method = line.substr(0, sp1);
-    std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (const std::size_t query = path.find('?'); query != std::string_view::npos)
-        path = path.substr(0, query);
-
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    method = line.substr(0, sp1);
+    target = line.substr(sp1 + 1, sp2 - sp1 - 1);
 
     const std::string_view head_view{request.data(), head_end};
     const bool have_length = header_value(head_view, "Content-Length").has_value();
@@ -340,24 +452,20 @@ void ObsHttpServer::handle_connection(int fd)
     if (!have_length && !body.empty()) {
         // A body arrived but no Content-Length announced it (RFC 9110
         // section 8.6): refuse rather than guess where the spec ends.
-        send_all(fd, make_response(411, "Length Required", "text/plain",
-                                   "requests with a body must send Content-Length\n"));
+        error(411, "requests with a body must send Content-Length\n");
         return;
     }
     if (request.size() > kMaxRequestBytes || needed > kMaxRequestBytes) {
-        send_all(fd, make_response(413, "Content Too Large", "text/plain",
-                                   "request body too large\n"));
+        error(413, "request body too large\n");
         return;
     }
     if (have_length && request.size() < needed) {
-        send_all(fd, make_response(400, "Bad Request", "text/plain",
-                                   "request body shorter than Content-Length\n"));
+        error(400, "request body shorter than Content-Length\n");
         return;
     }
     if (have_length) body = body.substr(0, needed - head_end - 4);
 
-    const bool head_only = method == "HEAD";
-    send_all(fd, render_response(respond(method, path, body), head_only));
+    finish(respond(method, target, body, request_id), method == "HEAD");
 }
 
 }  // namespace nautilus::obs

@@ -6,10 +6,21 @@
 // Endpoints:
 //   GET /metrics   Prometheus text exposition (v0.0.4) of the registry plus
 //                  the progress and lineage gauges -- scrapeable by Prometheus
-//   GET /status    JSON run progress (obs::ProgressSnapshot)
+//   GET /status    JSON run progress (obs::ProgressSnapshot) + uptime_seconds
 //   GET /lineage   JSON lineage counters (obs::LineageCounters)
+//   GET /logs      JSON tail of the server log ring (?n=K records)
 //   GET /healthz   "ok" liveness probe
 //   GET /          plain-text index of the above
+//
+// Telemetry: every connection is assigned a monotonically increasing
+// request id, echoed back as an `X-Nautilus-Request-Id` header and stamped
+// on an "access" record in the attached Logger (method, path, status,
+// bytes, micros).  POST /jobs forwards the id into the JobApi so the
+// resulting job's trace and server-log records carry it -- one grep on the
+// id joins the access log, the server log and the engine trace.  Request
+// handling also feeds self-metrics into the registry: http.requests (total
+// and by status class), an http.request_seconds histogram and
+// http.response_bytes.
 //
 // With a JobApi attached (attach_jobs), the server is also the submission
 // plane for the multi-tenant job scheduler (src/serve/):
@@ -35,6 +46,7 @@
 // never blocks on a search.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -42,6 +54,7 @@
 #include <thread>
 
 #include "obs/lineage.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 
@@ -49,12 +62,14 @@ namespace nautilus::obs {
 
 // One response from the routing layer.  The reason phrase is derived from
 // the status code; `allow` (when set) is emitted as an Allow: header, as
-// RFC 9110 requires of 405 responses.
+// RFC 9110 requires of 405 responses, and `retry_after` (when set) as a
+// Retry-After: header (503 backpressure).
 struct HttpResponse {
     int status = 200;
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
     std::string allow;
+    std::string retry_after;
 };
 
 // The job-plane hook: requests under /jobs are delegated here.  Implemented
@@ -65,10 +80,13 @@ public:
     virtual ~JobApi() = default;
 
     // `path` is the full request path ("/jobs" or "/jobs/<id>", query
-    // string already stripped); `body` is the request body (POST specs).
-    // Must be callable from any thread.
+    // string already stripped); `body` is the request body (POST specs);
+    // `request_id` is the HTTP request id (0 = none), stamped into jobs
+    // created by POST so their traces and log records correlate with the
+    // access log.  Must be callable from any thread.
     virtual HttpResponse handle_jobs(std::string_view method, std::string_view path,
-                                     std::string_view body) = 0;
+                                     std::string_view body,
+                                     std::uint64_t request_id) = 0;
 };
 
 struct HttpServerConfig {
@@ -92,6 +110,11 @@ public:
     // under /jobs are delegated to `api`; without one they 404.
     void attach_jobs(std::shared_ptr<JobApi> api) { jobs_ = std::move(api); }
 
+    // Attach the structured service log (call before start()).  Enables
+    // `/logs` and per-request access records; without one `/logs` 404s and
+    // requests are not logged (self-metrics still record).
+    void attach_logger(std::shared_ptr<Logger> logger) { logger_ = std::move(logger); }
+
     // Bind + listen + spawn the accept thread.  Throws std::runtime_error
     // when the address cannot be bound.
     void start();
@@ -107,24 +130,34 @@ public:
         return requests_.load(std::memory_order_relaxed);
     }
 
+    // Seconds since construction (reset by start()); the `/status`
+    // uptime_seconds field and the nautilus_process_uptime_seconds gauge.
+    double uptime_seconds() const;
+
     // Exposed for tests: the response body for a given request path.
     std::string body_for(std::string_view path) const;
 
     // Full routing for one request -- method discipline, /jobs delegation,
     // read-only endpoints -- without touching a socket.  Exposed so the job
     // lifecycle golden tests can drive the exact HTTP surface in-process.
-    HttpResponse respond(std::string_view method, std::string_view path,
-                         std::string_view body) const;
+    // `target` may carry a query string (`/logs?n=5`); `request_id` is
+    // forwarded to the job plane (0 = unassigned, as in direct test calls).
+    HttpResponse respond(std::string_view method, std::string_view target,
+                         std::string_view body, std::uint64_t request_id = 0) const;
 
 private:
     void accept_loop();
     void handle_connection(int fd);
+    // Post-response bookkeeping: self-metrics + the "access" log record.
+    void record_request(std::string_view method, std::string_view target, int status,
+                        std::size_t bytes, double seconds, std::uint64_t request_id);
 
     HttpServerConfig config_;
     std::shared_ptr<MetricsRegistry> metrics_;
     std::shared_ptr<ProgressTracker> progress_;
     std::shared_ptr<LineageTracker> lineage_;
     std::shared_ptr<JobApi> jobs_;
+    std::shared_ptr<Logger> logger_;
 
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
@@ -132,6 +165,8 @@ private:
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> next_request_id_{0};
+    std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
 };
 
 }  // namespace nautilus::obs

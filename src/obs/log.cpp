@@ -1,0 +1,113 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace nautilus::obs {
+
+std::string_view log_level_name(LogLevel level)
+{
+    switch (level) {
+        case LogLevel::debug: return "debug";
+        case LogLevel::info: return "info";
+        case LogLevel::warn: return "warn";
+        case LogLevel::error: return "error";
+    }
+    return "info";
+}
+
+std::optional<LogLevel> log_level_from_name(std::string_view name)
+{
+    if (name == "debug") return LogLevel::debug;
+    if (name == "info") return LogLevel::info;
+    if (name == "warn") return LogLevel::warn;
+    if (name == "error") return LogLevel::error;
+    return std::nullopt;
+}
+
+Logger::Logger(LogConfig config)
+    : config_(std::move(config)),
+      slot_count_(std::max<std::size_t>(config_.ring_capacity, 1)),
+      slots_(new Slot[slot_count_])
+{
+    if (!config_.path.empty()) {
+        file_.open(config_.path, std::ios::out | std::ios::app);
+        if (!file_) throw std::runtime_error("cannot open log file: " + config_.path);
+        file_open_ = true;
+    }
+}
+
+void Logger::log(LogLevel level, TraceEvent event)
+{
+    if (!enabled(level)) return;
+    event.t = seconds_since_open();
+    event.fields.insert(event.fields.begin(),
+                        {std::string{"level"}, FieldValue{std::string{log_level_name(level)}}});
+    const std::string line = to_jsonl(event);
+    records_logged_.fetch_add(1, std::memory_order_relaxed);
+    if (file_open_) {
+        std::lock_guard<std::mutex> lock(file_mutex_);
+        file_ << line << '\n';
+        file_.flush();
+    }
+    publish(line);
+}
+
+void Logger::publish(const std::string& line)
+{
+    if (line.size() > kSlotPayload) {
+        records_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[ticket % slot_count_];
+    // Seqlock write: mark the slot dirty (odd), publish the payload through
+    // atomic byte stores, then release the even sequence that names this
+    // ticket.  The release fence keeps the dirty mark visible before any
+    // payload byte is.
+    slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < line.size(); ++i)
+        slot.bytes[i].store(line[i], std::memory_order_relaxed);
+    slot.size.store(static_cast<std::uint32_t>(line.size()), std::memory_order_relaxed);
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::string Logger::tail_json(std::size_t n) const
+{
+    std::vector<std::pair<std::uint64_t, std::string>> records;
+    records.reserve(slot_count_);
+    for (std::size_t i = 0; i < slot_count_; ++i) {
+        const Slot& slot = slots_[i];
+        const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+        if (s1 == 0 || (s1 & 1u) != 0) continue;  // never written / mid-write
+        const std::uint32_t size = slot.size.load(std::memory_order_relaxed);
+        if (size > kSlotPayload) continue;
+        std::string payload(size, '\0');
+        for (std::uint32_t b = 0; b < size; ++b)
+            payload[b] = slot.bytes[b].load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+        if (payload.empty() || payload.front() != '{' || payload.back() != '}') continue;
+        records.emplace_back(s1 / 2 - 1, std::move(payload));
+    }
+    std::sort(records.begin(), records.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (records.size() > n) records.erase(records.begin(), records.end() - n);
+
+    std::string out = "{\"logged\":";
+    out += std::to_string(records_logged());
+    out += ",\"dropped\":";
+    out += std::to_string(records_dropped());
+    out += ",\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i != 0) out += ',';
+        out += records[i].second;
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace nautilus::obs

@@ -1,0 +1,124 @@
+#pragma once
+// Structured service log: leveled JSONL records shared between a file sink
+// and a lock-free in-memory ring served by `/logs`.
+//
+// Records reuse the trace layer's TraceEvent shape -- one flat JSON object
+// per line, `{"type":"access","t":1.25,"level":"info",...}` -- serialized by
+// to_jsonl, so every log line round-trips through parse_jsonl_line and the
+// same jq/grep tooling that reads engine traces.  `t` is seconds since the
+// Logger was constructed (the server's log time origin) and `level` is
+// always the first field after the reserved keys.
+//
+// Concurrency model: the file sink is a plain mutex + ofstream (append
+// mode), acceptable at access-log rates.  The ring is a bounded multi-writer
+// seqlock: each slot carries a sequence word (odd while a writer owns it,
+// `2*ticket+2` once record #ticket is published) over an array of
+// std::atomic<char> payload bytes, so scraping `/logs` while workers log is
+// wait-free for writers and clean under ThreadSanitizer -- every shared
+// byte is an atomic.  Readers revalidate the sequence after copying and
+// drop torn slots; tickets recovered from the sequence word give a total
+// order for the tail.  Records longer than a slot are dropped from the ring
+// (counted) but still reach the file sink.
+//
+// Like the rest of obs::, the logger is opt-in: sites hold a
+// shared_ptr<Logger> that may be null and guard on it (or on
+// enabled(level)) before building a record.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace nautilus::obs {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3 };
+
+// "debug" / "info" / "warn" / "error".
+std::string_view log_level_name(LogLevel level);
+// Inverse of log_level_name; nullopt on any other spelling.
+std::optional<LogLevel> log_level_from_name(std::string_view name);
+
+struct LogConfig {
+    LogLevel level = LogLevel::info;
+    std::string path;                  // empty = ring only, no file sink
+    std::size_t ring_capacity = 1024;  // slots kept for /logs (min 1)
+};
+
+class Logger {
+public:
+    // Throws std::runtime_error if `config.path` is set and cannot be
+    // opened for append.
+    explicit Logger(LogConfig config);
+
+    Logger(const Logger&) = delete;
+    Logger& operator=(const Logger&) = delete;
+
+    LogLevel level() const { return config_.level; }
+    bool enabled(LogLevel level) const
+    {
+        return static_cast<int>(level) >= static_cast<int>(config_.level);
+    }
+
+    // Stamps `t` and the "level" field, serializes once, appends to the
+    // file sink (if any) and publishes into the ring.  Records below the
+    // configured level are discarded without serialization.
+    void log(LogLevel level, TraceEvent event);
+
+    // `{"logged":N,"dropped":D,"records":[...]}` -- the most recent `n`
+    // ring records in emission order.  Safe to call concurrently with
+    // writers.
+    std::string tail_json(std::size_t n) const;
+
+    // Records accepted (post level filter) / records that never reached
+    // the ring (oversized payload; they still reach the file sink).
+    std::uint64_t records_logged() const
+    {
+        return records_logged_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t records_dropped() const
+    {
+        return records_dropped_.load(std::memory_order_relaxed);
+    }
+
+    double seconds_since_open() const
+    {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - opened_)
+            .count();
+    }
+
+private:
+    // One seqlock-protected record slot.  seq == 0: never written; odd:
+    // writer in progress; even 2*ticket+2: record #ticket is readable.
+    static constexpr std::size_t kSlotPayload = 768;
+    struct Slot {
+        std::atomic<std::uint64_t> seq{0};
+        std::atomic<std::uint32_t> size{0};
+        std::atomic<char> bytes[kSlotPayload];
+    };
+
+    void publish(const std::string& line);
+
+    LogConfig config_;
+    std::chrono::steady_clock::time_point opened_ = std::chrono::steady_clock::now();
+
+    std::mutex file_mutex_;
+    std::ofstream file_;
+    bool file_open_ = false;
+
+    std::size_t slot_count_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<std::uint64_t> head_{0};  // next ticket to assign
+
+    std::atomic<std::uint64_t> records_logged_{0};
+    std::atomic<std::uint64_t> records_dropped_{0};
+};
+
+}  // namespace nautilus::obs

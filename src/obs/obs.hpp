@@ -9,6 +9,9 @@
 // `metrics != nullptr` so the disabled cost is a branch per site.
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
@@ -26,6 +29,11 @@ struct Instrumentation {
     // Live lineage counters feeding the `/lineage` endpoint.  Null by
     // default; engines record lineage whenever tracing is on OR this is set.
     std::shared_ptr<LineageTracker> lineage;
+    // Extra fields every engine copies onto its `run_start` event, in
+    // order.  The job server uses this to stamp `job_id` / `request_id`
+    // so a trace joins against the access and server logs; standalone
+    // runs leave it empty and their traces are byte-identical to before.
+    std::vector<std::pair<std::string, FieldValue>> run_tags;
 
     bool tracing() const { return tracer.enabled(); }
     MetricsRegistry* registry() const { return metrics.get(); }

@@ -1,5 +1,7 @@
 #include "serve/engine_factory.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 
@@ -63,6 +65,13 @@ obs::Instrumentation instrumentation_for(const JobRunInputs& inputs)
     if (!inputs.trace_path.empty())
         inst.tracer = obs::Tracer{std::make_shared<obs::JsonlFileSink>(inputs.trace_path)};
     inst.progress = inputs.progress;
+    // Server jobs tag run_start with their identity so one grep on a
+    // request id joins the trace against the access and server logs.
+    if (inputs.job_id != 0) {
+        inst.run_tags.emplace_back("job_id", obs::FieldValue{inputs.job_id});
+        if (inputs.request_id != 0)
+            inst.run_tags.emplace_back("request_id", obs::FieldValue{inputs.request_id});
+    }
     return inst;
 }
 
@@ -88,7 +97,8 @@ void absorb_curve(JobOutcome& out, const Curve& curve)
 }
 
 JobOutcome run_ga(const ip::IpGenerator& generator, const JobSpec& spec,
-                  const JobRunInputs& inputs, std::size_t workers)
+                  const JobRunInputs& inputs, std::size_t workers,
+                  const obs::Instrumentation& inst)
 {
     const Metric metric = metric_or_throw(generator, spec.metric);
     const Direction direction = direction_of(spec);
@@ -98,7 +108,7 @@ JobOutcome run_ga(const ip::IpGenerator& generator, const JobSpec& spec,
     if (spec.population != 0) ga.population_size = spec.population;
     ga.seed = spec.seed;
     ga.eval_workers = workers;
-    ga.obs = instrumentation_for(inputs);
+    ga.obs = inst;
     ga.cancel = inputs.cancel;
     ga.checkpoint_path = inputs.checkpoint_path;
     ga.halt_at_generation = inputs.halt_at_generation;
@@ -126,11 +136,13 @@ JobOutcome run_ga(const ip::IpGenerator& generator, const JobSpec& spec,
     out.store_hits = r.store_hits;
     out.store_misses = r.store_misses;
     out.start_generation = r.start_generation;
+    out.retries = r.fault.retries;
     return out;
 }
 
 JobOutcome run_nsga2(const ip::IpGenerator& generator, const JobSpec& spec,
-                     const JobRunInputs& inputs, std::size_t workers)
+                     const JobRunInputs& inputs, std::size_t workers,
+                     const obs::Instrumentation& inst)
 {
     const Metric first = metric_or_throw(generator, spec.metric);
     const Metric second = metric_or_throw(generator, spec.metric2);
@@ -152,7 +164,7 @@ JobOutcome run_nsga2(const ip::IpGenerator& generator, const JobSpec& spec,
     if (spec.population != 0) mo.population_size = spec.population;
     mo.seed = spec.seed;
     mo.eval_workers = workers;
-    mo.obs = instrumentation_for(inputs);
+    mo.obs = inst;
     mo.cancel = inputs.cancel;
     mo.checkpoint_path = inputs.checkpoint_path;
     mo.halt_at_generation = inputs.halt_at_generation;
@@ -178,16 +190,17 @@ JobOutcome run_nsga2(const ip::IpGenerator& generator, const JobSpec& spec,
     out.store_hits = r.store_hits;
     out.store_misses = r.store_misses;
     out.start_generation = r.start_generation;
+    out.retries = r.fault.retries;
     return out;
 }
 
 JobOutcome run_budgeted(const ip::IpGenerator& generator, const JobSpec& spec,
-                        const JobRunInputs& inputs, std::size_t workers)
+                        const JobRunInputs& inputs, std::size_t workers,
+                        const obs::Instrumentation& inst)
 {
     const Metric metric = metric_or_throw(generator, spec.metric);
     const Direction direction = direction_of(spec);
     const EvalFn eval = generator.metric_eval(metric);
-    const obs::Instrumentation inst = instrumentation_for(inputs);
 
     JobOutcome out;
     if (spec.engine == "random") {
@@ -249,9 +262,42 @@ JobOutcome run_job(const JobSpec& spec, const JobRunInputs& inputs)
 {
     const std::unique_ptr<ip::IpGenerator> generator = make_generator(spec.ip);
     const std::size_t workers = inputs.workers != 0 ? inputs.workers : spec.workers;
-    if (spec.engine == "ga") return run_ga(*generator, spec, inputs, workers);
-    if (spec.engine == "nsga2") return run_nsga2(*generator, spec, inputs, workers);
-    return run_budgeted(*generator, spec, inputs, workers);
+    const obs::Instrumentation inst = instrumentation_for(inputs);
+
+    const auto started = std::chrono::steady_clock::now();
+    JobOutcome out;
+    if (spec.engine == "ga")
+        out = run_ga(*generator, spec, inputs, workers, inst);
+    else if (spec.engine == "nsga2")
+        out = run_nsga2(*generator, spec, inputs, workers, inst);
+    else
+        out = run_budgeted(*generator, spec, inputs, workers, inst);
+    const double run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+    // Server jobs close their trace with a resource-accounting summary.
+    // The eval counters mirror the run's own `run_end` exactly (checked by
+    // `trace_inspect --check`); queue wait comes from the scheduler.  Pure
+    // observation: zero RNG, so determinism gates are untouched.
+    if (inputs.job_id != 0 && inst.tracer.enabled()) {
+        const bool evolutionary = spec.engine == "ga" || spec.engine == "nsga2";
+        obs::TraceEvent ev{"job_summary"};
+        ev.add("job_id", obs::FieldValue{inputs.job_id});
+        if (inputs.request_id != 0)
+            ev.add("request_id", obs::FieldValue{inputs.request_id});
+        ev.add("engine", obs::FieldValue{spec.engine})
+            .add("workers", workers)
+            .add("queue_wait_seconds", obs::FieldValue{inputs.queue_wait_seconds})
+            .add("run_seconds", obs::FieldValue{run_seconds})
+            .add("halted", obs::FieldValue{out.halted})
+            .add("distinct_evals", out.distinct_evals)
+            .add("fresh_evals", out.distinct_evals - std::min(out.store_hits,
+                                                              out.distinct_evals));
+        if (evolutionary)
+            ev.add("store_hits", out.store_hits).add("retries", out.retries);
+        inst.tracer.emit(std::move(ev));
+    }
+    return out;
 }
 
 }  // namespace nautilus::serve

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +43,13 @@ struct JobRunInputs {
     // Test hook mirroring `--die-at-gen`: halt with a checkpoint at this
     // generation (ga/nsga2 only; 0 = never).
     std::size_t halt_at_generation = 0;
+    // Telemetry identity (0 = standalone run).  A nonzero job_id tags the
+    // trace's run_start with job_id/request_id and emits a closing
+    // `job_summary` accounting event; standalone runs leave both at 0 and
+    // their traces stay byte-identical to a server job's engine events.
+    std::uint64_t job_id = 0;
+    std::uint64_t request_id = 0;
+    double queue_wait_seconds = 0.0;  // scheduler queue wait, echoed in job_summary
 };
 
 struct FrontEntry {
@@ -61,6 +69,7 @@ struct JobOutcome {
     std::size_t store_hits = 0;
     std::size_t store_misses = 0;
     std::size_t start_generation = 0;  // nonzero when resumed from a checkpoint
+    std::size_t retries = 0;           // fault-guard retries (ga/nsga2 only)
 };
 
 // Run one job to completion or to a cancel/halt boundary.  Throws on

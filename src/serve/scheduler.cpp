@@ -84,7 +84,7 @@ JobScheduler::~JobScheduler()
     for (std::thread& t : threads) t.join();
 }
 
-SubmitResult JobScheduler::submit(std::string_view spec_json)
+SubmitResult JobScheduler::submit(std::string_view spec_json, std::uint64_t request_id)
 {
     JobSpec spec;
     try {
@@ -92,6 +92,13 @@ SubmitResult JobScheduler::submit(std::string_view spec_json)
     }
     catch (const std::invalid_argument& e) {
         if (config_.metrics) config_.metrics->counter("jobs.rejected").add();
+        if (config_.log && config_.log->enabled(obs::LogLevel::warn)) {
+            obs::TraceEvent ev{"job"};
+            ev.add("phase", "rejected");
+            if (request_id != 0) ev.add("request_id", obs::FieldValue{request_id});
+            ev.add("detail", obs::FieldValue{std::string{e.what()}});
+            config_.log->log(obs::LogLevel::warn, std::move(ev));
+        }
         return {0, 400, e.what()};
     }
 
@@ -118,6 +125,8 @@ SubmitResult JobScheduler::submit(std::string_view spec_json)
     job->grant = std::min(job->spec.workers, config_.worker_capacity);
     job->cancel = std::make_shared<std::atomic<bool>>(false);
     job->progress = std::make_shared<obs::ProgressTracker>();
+    job->request_id = request_id;
+    job->submitted_at = std::chrono::steady_clock::now();
 
     Job& ref = *job;
     const std::uint64_t id = job->id;
@@ -127,6 +136,7 @@ SubmitResult JobScheduler::submit(std::string_view spec_json)
         config_.metrics->counter("jobs.submitted").add();
         config_.metrics->gauge("jobs.queued").set(static_cast<double>(queue_.size()));
     }
+    log_job(obs::LogLevel::info, ref, "submitted");
     ref.thread = std::thread{[this, &ref] { job_main(ref); }};
     lock.unlock();
     cv_.notify_all();
@@ -148,17 +158,25 @@ void JobScheduler::job_main(Job& job)
         if (stopping_ || job.cancel->load(std::memory_order_acquire)) {
             // Cancelled while queued: nothing ran, nothing to checkpoint.
             job.state = JobState::cancelled;
+            job.queue_wait_seconds = std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() - job.submitted_at)
+                                         .count();
             if (config_.metrics) {
                 config_.metrics->counter("jobs.cancelled").add();
                 config_.metrics->gauge("jobs.queued")
                     .set(static_cast<double>(queue_.size()));
             }
+            log_job(obs::LogLevel::info, job, "cancelled_queued");
             lock.unlock();
             cv_.notify_all();
             return;
         }
         free_slots_ -= job.grant;
         job.state = JobState::running;
+        job.admitted = true;
+        job.admitted_at = std::chrono::steady_clock::now();
+        job.queue_wait_seconds =
+            std::chrono::duration<double>(job.admitted_at - job.submitted_at).count();
         admission_order_.push_back(job.id);
         // Decide "resumed" while still holding the lock: status_json reads it
         // under mutex_, and 409-on-active-duplicate guarantees no other job
@@ -175,6 +193,7 @@ void JobScheduler::job_main(Job& job)
             config_.metrics->gauge("jobs.workers_busy")
                 .set(static_cast<double>(config_.worker_capacity - free_slots_));
         }
+        log_job(obs::LogLevel::info, job, "admitted");
     }
     cv_.notify_all();
 
@@ -186,10 +205,16 @@ void JobScheduler::job_main(Job& job)
         inputs.checkpoint_path = checkpoint_file(config_.jobs_dir, job.spec);
     inputs.cancel = job.cancel;
     inputs.progress = job.progress;
+    inputs.job_id = job.id;
+    inputs.request_id = job.request_id;
+    inputs.queue_wait_seconds = job.queue_wait_seconds;
 
     try {
         const JobOutcome outcome = run_job(job.spec, inputs);
         const std::lock_guard lock{mutex_};
+        job.run_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - job.admitted_at)
+                .count();
         job.outcome = outcome;
         if (outcome.halted) {
             // Stopped at a checkpointed boundary; the checkpoint stays on
@@ -207,6 +232,9 @@ void JobScheduler::job_main(Job& job)
     }
     catch (const std::exception& e) {
         const std::lock_guard lock{mutex_};
+        job.run_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - job.admitted_at)
+                .count();
         finish(job, JobState::failed, e.what());
     }
     cv_.notify_all();
@@ -229,7 +257,45 @@ void JobScheduler::finish(Job& job, JobState state, std::string error)
         config_.metrics->gauge("jobs.running").set(static_cast<double>(running));
         config_.metrics->gauge("jobs.workers_busy")
             .set(static_cast<double>(config_.worker_capacity - free_slots_));
+        // Per-job resource accounting (nautilus_job_*): how long the job
+        // waited, how long it ran, and what its evaluations cost.
+        config_.metrics
+            ->histogram("job.queue_wait_seconds", obs::Histogram::seconds_buckets())
+            .observe(job.queue_wait_seconds);
+        config_.metrics->histogram("job.run_seconds", obs::Histogram::seconds_buckets())
+            .observe(job.run_seconds);
+        config_.metrics->counter("job.granted_workers").add(job.grant);
+        const JobOutcome& r = job.outcome;
+        config_.metrics->counter("job.fresh_evals")
+            .add(r.distinct_evals - std::min(r.store_hits, r.distinct_evals));
+        config_.metrics->counter("job.store_hits").add(r.store_hits);
+        config_.metrics->counter("job.retries").add(r.retries);
     }
+    log_job(state == JobState::failed ? obs::LogLevel::error : obs::LogLevel::info, job,
+            "finished", job.error);
+}
+
+// Safe with or without mutex_ held as long as `job`'s mutable fields are
+// stable (callers log from under the lock, or before the job thread can
+// run); the Logger itself is internally synchronized.
+void JobScheduler::log_job(obs::LogLevel level, const Job& job, std::string_view phase,
+                           std::string_view detail) const
+{
+    if (!config_.log || !config_.log->enabled(level)) return;
+    obs::TraceEvent ev{"job"};
+    ev.add("phase", obs::FieldValue{std::string{phase}})
+        .add("job_id", obs::FieldValue{job.id});
+    if (job.request_id != 0) ev.add("request_id", obs::FieldValue{job.request_id});
+    ev.add("engine", obs::FieldValue{job.spec.engine})
+        .add("state", obs::FieldValue{std::string{job_state_name(job.state)}});
+    if (job.admitted) {
+        ev.add("workers", job.grant)
+            .add("queue_wait_seconds", obs::FieldValue{job.queue_wait_seconds});
+        if (job.state != JobState::running)
+            ev.add("run_seconds", obs::FieldValue{job.run_seconds});
+    }
+    if (!detail.empty()) ev.add("detail", obs::FieldValue{std::string{detail}});
+    config_.log->log(level, std::move(ev));
 }
 
 bool JobScheduler::cancel(std::uint64_t id)
@@ -282,8 +348,34 @@ std::string JobScheduler::status_json_locked(const Job& job) const
     out += "\",\"workers\":" + std::to_string(job.grant);
     out += ",\"resumed\":";
     out += job.resumed ? "true" : "false";
+    if (job.request_id != 0)
+        out += ",\"request_id\":" + std::to_string(job.request_id);
     out += ",\"spec\":" + job.canonical;
     out += ",\"progress\":" + obs::to_json(job.progress->snapshot());
+    if (job.admitted) {
+        // Resource accounting: queue wait, run wall-clock (live for running
+        // jobs), and -- once terminal -- the evaluation cost split.
+        out += ",\"accounting\":{\"workers\":" + std::to_string(job.grant);
+        out += ",\"queue_wait_seconds\":";
+        obs::append_json_double(out, job.queue_wait_seconds);
+        out += ",\"run_seconds\":";
+        const double run_seconds =
+            terminal(job.state)
+                ? job.run_seconds
+                : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                job.admitted_at)
+                      .count();
+        obs::append_json_double(out, run_seconds);
+        if (job.state == JobState::done || job.state == JobState::cancelled) {
+            const JobOutcome& r = job.outcome;
+            out += ",\"fresh_evals\":" +
+                   std::to_string(r.distinct_evals -
+                                  std::min(r.store_hits, r.distinct_evals));
+            out += ",\"store_hits\":" + std::to_string(r.store_hits);
+            out += ",\"retries\":" + std::to_string(r.retries);
+        }
+        out += "}";
+    }
     if (job.state == JobState::done || job.state == JobState::cancelled) {
         const JobOutcome& r = job.outcome;
         out += ",\"result\":{\"feasible\":";
@@ -366,12 +458,19 @@ std::string JobScheduler::list_json() const
 
 obs::HttpResponse JobScheduler::handle_jobs(std::string_view method,
                                             std::string_view path,
-                                            std::string_view body)
+                                            std::string_view body,
+                                            std::uint64_t request_id)
 {
     if (path == "/jobs") {
         if (method == "POST") {
-            const SubmitResult r = submit(body);
-            if (r.status != 201) return error_response(r.status, r.error);
+            const SubmitResult r = submit(body, request_id);
+            if (r.status != 201) {
+                obs::HttpResponse resp = error_response(r.status, r.error);
+                // Shutdown backpressure: tell clients when to try again
+                // rather than leaving 503 handling to guesswork.
+                if (r.status == 503) resp.retry_after = "1";
+                return resp;
+            }
             return json_response(201, status_json(r.id));
         }
         if (method == "GET" || method == "HEAD") return json_response(200, list_json());

@@ -26,6 +26,7 @@
 // resubmission starts from generation zero.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 
 #include "core/eval_store.hpp"
 #include "obs/http_server.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "serve/engine_factory.hpp"
@@ -55,6 +57,7 @@ struct SchedulerConfig {
     std::string jobs_dir = ".";       // traces + checkpoints live here
     std::shared_ptr<EvalStore> store;               // shared across jobs; may be null
     std::shared_ptr<obs::MetricsRegistry> metrics;  // nautilus_jobs_*; may be null
+    std::shared_ptr<obs::Logger> log;               // "job" lifecycle records; may be null
 };
 
 // Outcome of submit(): HTTP-ish status plus either a job id or an error.
@@ -74,7 +77,9 @@ public:
 
     // Parse + validate + enqueue.  Each accepted job gets its own thread
     // immediately; the thread blocks until FIFO admission grants it slots.
-    SubmitResult submit(std::string_view spec_json);
+    // `request_id` (0 = none) is the HTTP request id of the submitting
+    // POST; it is stamped into the job's trace and log records.
+    SubmitResult submit(std::string_view spec_json, std::uint64_t request_id = 0);
 
     // Request cancellation.  Returns false for unknown ids; true otherwise
     // (idempotent -- cancelling a finished job is a no-op that returns true).
@@ -97,7 +102,8 @@ public:
 
     // obs::JobApi: routes POST/GET/DELETE under /jobs.
     obs::HttpResponse handle_jobs(std::string_view method, std::string_view path,
-                                  std::string_view body) override;
+                                  std::string_view body,
+                                  std::uint64_t request_id) override;
 
 private:
     struct Job {
@@ -112,11 +118,21 @@ private:
         std::string error;   // failed jobs
         JobOutcome outcome;  // valid once terminal (done/cancelled)
         bool resumed = false;
+        // Telemetry: the submitting HTTP request (0 = direct submit()) and
+        // the per-job resource accounting (DESIGN.md section 13).
+        std::uint64_t request_id = 0;
+        std::chrono::steady_clock::time_point submitted_at{};
+        std::chrono::steady_clock::time_point admitted_at{};
+        bool admitted = false;
+        double queue_wait_seconds = 0.0;  // submit -> admission
+        double run_seconds = 0.0;         // admission -> terminal
         std::thread thread;
     };
 
     void job_main(Job& job);
     void finish(Job& job, JobState state, std::string error);
+    void log_job(obs::LogLevel level, const Job& job, std::string_view phase,
+                 std::string_view detail = {}) const;
     std::string status_json_locked(const Job& job) const;
 
     SchedulerConfig config_;

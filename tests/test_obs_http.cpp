@@ -124,8 +124,14 @@ TEST(ObsHttpServer, RoutesBodies)
 TEST(ObsHttpServer, NullSourcesServeEmptyDefaults)
 {
     ObsHttpServer server{{}, nullptr, nullptr};
-    EXPECT_EQ(server.body_for("/status"), "{}\n");
+    // /status always reports the server's own uptime, even with no sources
+    // attached; everything else stays at its empty default.
+    const std::string status = server.body_for("/status");
+    EXPECT_EQ(status.rfind("{\"uptime_seconds\":", 0), 0u) << status;
+    EXPECT_EQ(status.back(), '\n');
     EXPECT_EQ(server.body_for("/lineage"), "{}\n");
+    // No logger attached: /logs is absent (404 through respond()).
+    EXPECT_TRUE(server.body_for("/logs").empty());
     EXPECT_TRUE(server.body_for("/metrics").empty());
 }
 
@@ -245,16 +251,21 @@ TEST(ObsHttpServer, HeadMatchesGetHeadersWithEmptyBody)
 
     // /metrics and /status embed wall-clock gauges (elapsed seconds, rates),
     // so two requests made at different instants can legitimately render
-    // bodies of different lengths.  Compare headers with the Content-Length
-    // *value* masked; the value itself is checked against the body of the
-    // same request, which is exact.
+    // bodies of different lengths -- and every request gets its own
+    // X-Nautilus-Request-Id.  Compare headers with both per-request values
+    // masked; Content-Length itself is checked against the body of the same
+    // request, which is exact.
     const auto mask_length = [](std::string headers) {
-        const std::size_t pos = headers.find("Content-Length: ");
-        if (pos == std::string::npos) return headers;
-        std::size_t end = pos + 16;
-        while (end < headers.size() && std::isdigit(static_cast<unsigned char>(headers[end])))
-            ++end;
-        return headers.replace(pos + 16, end - (pos + 16), "N");
+        for (const std::string key : {"Content-Length: ", "X-Nautilus-Request-Id: "}) {
+            const std::size_t pos = headers.find(key);
+            if (pos == std::string::npos) continue;
+            std::size_t end = pos + key.size();
+            while (end < headers.size() &&
+                   std::isdigit(static_cast<unsigned char>(headers[end])))
+                ++end;
+            headers.replace(pos + key.size(), end - (pos + key.size()), "N");
+        }
+        return headers;
     };
     for (const std::string target : {"/healthz", "/metrics", "/status", "/nope"}) {
         const std::string get = http_get(server.port(), target);

@@ -79,6 +79,13 @@
 //                               (default .)
 //   --serve-duration S          serve for S seconds then exit (default 0 =
 //                               serve until killed)
+//   --log PATH                  append the structured server log (JSONL) to
+//                               PATH: per-request access records plus job
+//                               lifecycle records, all carrying the request
+//                               id echoed in X-Nautilus-Request-Id.  The
+//                               in-memory tail is always served at /logs?n=K
+//   --log-level L               minimum level kept: debug|info|warn|error
+//                               (default info)
 
 #include <cctype>
 #include <chrono>
@@ -142,6 +149,8 @@ struct CliOptions {
     std::size_t jobs_capacity = 4;   // shared eval-worker slots
     std::string jobs_dir = ".";      // per-job traces + checkpoints
     double serve_duration = 0.0;     // 0 = serve until killed
+    std::string log_path;            // structured server log file (JSONL)
+    std::string log_level = "info";  // debug|info|warn|error
 
     // Single-run fault-tolerance / checkpoint mode.
     std::string checkpoint;
@@ -177,6 +186,7 @@ struct CliOptions {
                  "          [--store PATH] [--store-max-bytes N] [--scalar-breed]\n"
                  "          [--job SPEC.json] [--serve-jobs PORT] [--jobs-capacity N]\n"
                  "          [--jobs-dir PATH] [--serve-duration S]\n"
+                 "          [--log PATH] [--log-level debug|info|warn|error]\n"
                  "          [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]\n"
                  "          [--die-at-gen N] [--retries N] [--retry-backoff MS]\n"
                  "          [--eval-timeout S] [--chaos-fail R] [--chaos-hang R]\n"
@@ -287,6 +297,8 @@ CliOptions parse(int argc, char** argv)
         else if (arg == "--jobs-capacity") opt.jobs_capacity = count(i);
         else if (arg == "--jobs-dir") opt.jobs_dir = need_value(i);
         else if (arg == "--serve-duration") opt.serve_duration = number(i);
+        else if (arg == "--log") opt.log_path = need_value(i);
+        else if (arg == "--log-level") opt.log_level = need_value(i);
         else if (arg == "--checkpoint") opt.checkpoint = need_value(i);
         else if (arg == "--checkpoint-every") opt.checkpoint_every = count(i);
         else if (arg == "--resume") opt.resume = need_value(i);
@@ -405,6 +417,26 @@ int serve_jobs_mode(const CliOptions& opt)
     const auto metrics = std::make_shared<obs::MetricsRegistry>();
     const auto progress = std::make_shared<obs::ProgressTracker>();
 
+    // The structured log is always live (the in-memory ring backs /logs);
+    // --log additionally appends every record to a JSONL file.
+    const auto level = obs::log_level_from_name(opt.log_level);
+    if (!level) {
+        std::fprintf(stderr, "unknown log level '%s' (expected debug|info|warn|error)\n",
+                     opt.log_level.c_str());
+        return 2;
+    }
+    std::shared_ptr<obs::Logger> logger;
+    try {
+        obs::LogConfig lc;
+        lc.level = *level;
+        lc.path = opt.log_path;
+        logger = std::make_shared<obs::Logger>(lc);
+    }
+    catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
     std::shared_ptr<EvalStore> store;
     try {
         store = open_store(opt);
@@ -424,11 +456,13 @@ int serve_jobs_mode(const CliOptions& opt)
     sc.jobs_dir = opt.jobs_dir;
     sc.store = store;
     sc.metrics = metrics;
+    sc.log = logger;
     auto scheduler = std::make_shared<serve::JobScheduler>(sc);
 
     obs::HttpServerConfig http;
     http.port = static_cast<std::uint16_t>(opt.serve_jobs_port);
     auto server = std::make_unique<obs::ObsHttpServer>(http, metrics, progress);
+    server->attach_logger(logger);
     server->attach_jobs(scheduler);
     try {
         server->start();
@@ -440,6 +474,9 @@ int serve_jobs_mode(const CliOptions& opt)
     std::printf("serving jobs on http://127.0.0.1:%u/jobs (capacity %zu, dir %s)\n",
                 static_cast<unsigned>(server->port()), scheduler->capacity(),
                 opt.jobs_dir.c_str());
+    if (!opt.log_path.empty())
+        std::printf("logging to %s (level %s)\n", opt.log_path.c_str(),
+                    opt.log_level.c_str());
     std::fflush(stdout);
 
     if (opt.serve_duration > 0.0)

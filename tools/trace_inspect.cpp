@@ -31,6 +31,11 @@
 // children), GA birth counts and per-class origin sums match the breed
 // events gene-for-gene, the NSGA-II `born` field matches its generation's
 // births, and the lineage_summary totals agree with the events observed.
+//
+// Server-job traces close with a `job_summary` accounting event (DESIGN.md
+// section 13); its eval counters must reconcile exactly with the run's own
+// run_end (distinct_evals, store_hits, retries) and its granted worker
+// count with the run_start workers field.
 
 #include <cstdio>
 #include <cstring>
@@ -84,6 +89,7 @@ struct RunAgg {
     double wave_seconds = 0.0;
     // From run_start: resume baselines (zero for fresh runs).
     bool resumed = false;
+    std::uint64_t workers = 0;
     std::uint64_t distinct_at_start = 0;
     std::uint64_t attempts_at_start = 0;
     std::uint64_t retries_at_start = 0;
@@ -120,6 +126,13 @@ struct RunAgg {
     std::uint64_t sum_elites = 0;
     std::uint64_t sum_mutation = 0;
     std::uint64_t sum_crossover = 0;
+    // From the job_summary event (server jobs only; emitted after run_end,
+    // so it attaches to the most recently closed run).
+    std::optional<std::uint64_t> job_distinct;
+    std::optional<std::uint64_t> job_fresh;
+    std::optional<std::uint64_t> job_store_hits;
+    std::optional<std::uint64_t> job_retries;
+    std::optional<std::uint64_t> job_workers;
 };
 
 const char* usage_text()
@@ -177,7 +190,8 @@ int main(int argc, char** argv)
     std::map<std::string, SpanAgg> spans;
     std::vector<TraceEvent> chrome_events;  // kept only with --chrome
     std::vector<RunAgg> runs;
-    std::optional<std::size_t> open_run;  // index into runs
+    std::optional<std::size_t> open_run;     // index into runs
+    std::optional<std::size_t> last_closed;  // most recent run with a run_end
     std::uint64_t bias_draws = 0;
     std::uint64_t target_draws = 0;
     std::uint64_t uniform_draws = 0;
@@ -212,6 +226,7 @@ int main(int argc, char** argv)
             run.first_line = lineno;
             if (const nautilus::obs::FieldValue* f = ev.find("resumed"))
                 if (const bool* b = std::get_if<bool>(f)) run.resumed = *b;
+            run.workers = ev.unsigned_int("workers").value_or(0);
             run.distinct_at_start = ev.unsigned_int("distinct_at_start").value_or(0);
             run.attempts_at_start = ev.unsigned_int("attempts_at_start").value_or(0);
             run.retries_at_start = ev.unsigned_int("retries_at_start").value_or(0);
@@ -261,6 +276,7 @@ int main(int argc, char** argv)
                 run.best = ev.number("best");
                 if (const nautilus::obs::FieldValue* f = ev.find("feasible"))
                     if (const bool* b = std::get_if<bool>(f)) run.feasible = *b;
+                last_closed = open_run;
                 open_run.reset();
             }
             else if (check) {
@@ -358,6 +374,21 @@ int main(int argc, char** argv)
                 }
             }
         }
+        else if (ev.type == "job_summary") {
+            if (last_closed) {
+                RunAgg& run = runs[*last_closed];
+                run.job_distinct = ev.unsigned_int("distinct_evals");
+                run.job_fresh = ev.unsigned_int("fresh_evals");
+                run.job_store_hits = ev.unsigned_int("store_hits");
+                run.job_retries = ev.unsigned_int("retries");
+                run.job_workers = ev.unsigned_int("workers");
+            }
+            else if (check) {
+                ++parse_errors;
+                std::fprintf(stderr, "%s:%zu: job_summary without a completed run\n",
+                             path.c_str(), lineno);
+            }
+        }
         else if (ev.type == "lineage_summary") {
             if (open_run) {
                 RunAgg& run = runs[*open_run];
@@ -444,6 +475,36 @@ int main(int argc, char** argv)
                          run.engine.c_str(), static_cast<unsigned long long>(run.items),
                          static_cast<unsigned long long>(run.fresh),
                          static_cast<unsigned long long>(run.hits));
+        }
+        // -- job_summary reconciliation (DESIGN.md section 13) --------------
+        // A server job's closing summary mirrors the run's own counters; any
+        // divergence means the scheduler accounted cost the engine never
+        // reported (or vice versa).
+        if (run.job_distinct) {
+            const auto jerr = [&](const char* what, std::uint64_t got,
+                                  std::uint64_t want) {
+                ++accounting_errors;
+                std::fprintf(stderr, "run %zu (%s): job_summary %s %llu != run %llu\n", i,
+                             run.engine.c_str(), what,
+                             static_cast<unsigned long long>(got),
+                             static_cast<unsigned long long>(want));
+            };
+            if (*run.job_distinct != *run.distinct_evals)
+                jerr("distinct_evals", *run.job_distinct, *run.distinct_evals);
+            if (run.job_workers && *run.job_workers != run.workers)
+                jerr("workers", *run.job_workers, run.workers);
+            if (run.job_store_hits && *run.job_store_hits != run.store_hits)
+                jerr("store_hits", *run.job_store_hits, run.store_hits);
+            if (run.job_retries && run.retries && *run.job_retries != *run.retries)
+                jerr("retries", *run.job_retries, *run.retries);
+            if (run.job_fresh) {
+                const std::uint64_t hits = run.job_store_hits.value_or(0);
+                const std::uint64_t want =
+                    *run.distinct_evals - (hits < *run.distinct_evals
+                                               ? hits
+                                               : *run.distinct_evals);
+                if (*run.job_fresh != want) jerr("fresh_evals", *run.job_fresh, want);
+            }
         }
         // -- lineage conservation (DESIGN.md section 11) --------------------
         if (run.births_in_window == 0 && !run.sum_births) continue;
